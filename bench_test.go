@@ -1,0 +1,450 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one per experiment, plus ablation benchmarks for the design
+// choices called out in DESIGN.md. Each benchmark prints the headline
+// rows it reproduces once, then times regeneration.
+//
+//	go test -bench=. -benchmem
+package vzlens
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/core"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/geo"
+	"vzlens/internal/mlab"
+	"vzlens/internal/months"
+	"vzlens/internal/netsim"
+	"vzlens/internal/offnet"
+	"vzlens/internal/world"
+)
+
+// benchWorld is shared across benchmarks; campaigns run at quarterly
+// resolution to keep the full suite fast while preserving the headline
+// statistics.
+var (
+	benchOnce  sync.Once
+	benchW     *world.World
+	benchTrace *atlas.TraceCampaign
+	benchChaos *atlas.ChaosCampaign
+)
+
+func setup() {
+	benchOnce.Do(func() {
+		benchW = world.Build(world.Config{Step: 3})
+		benchTrace = benchW.TraceCampaign()
+		benchChaos = benchW.ChaosCampaign()
+	})
+}
+
+// printed tracks which experiment summaries have been shown, so each
+// prints exactly once across benchmark reruns.
+var printed sync.Map
+
+func showOnce(id string, table *core.Table) {
+	if _, loaded := printed.LoadOrStore(id, true); !loaded {
+		fmt.Printf("\n%s\n", table.Text())
+	}
+}
+
+func BenchmarkFig1Economy(b *testing.B) {
+	var r core.Fig1Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig1Economy()
+	}
+	showOnce("fig1", r.Table())
+	b.ReportMetric(r.OilDropPct, "oil_drop_%")
+	b.ReportMetric(r.GDPDropPct, "gdp_drop_%")
+}
+
+func BenchmarkFig2AddressSpace(b *testing.B) {
+	setup()
+	var r core.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig2AddressSpace(benchW)
+	}
+	showOnce("fig2", r.Table())
+	b.ReportMetric(r.CANTVPeakShare*100, "cantv_peak_%")
+}
+
+func BenchmarkFig3Facilities(b *testing.B) {
+	setup()
+	var r core.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig3Facilities(benchW)
+	}
+	showOnce("fig3", r.Table())
+	b.ReportMetric(float64(r.RegionEnd), "facilities_2024")
+}
+
+func BenchmarkFig4Cables(b *testing.B) {
+	setup()
+	var r core.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig4Cables(benchW)
+	}
+	showOnce("fig4", r.Table())
+	b.ReportMetric(float64(r.RegionAt2024), "cables_2024")
+}
+
+func BenchmarkFig5IPv6(b *testing.B) {
+	var r core.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig5IPv6()
+	}
+	showOnce("fig5", r.Table())
+	b.ReportMetric(r.VELatest, "ve_ipv6_%")
+}
+
+func BenchmarkFig6RootDNS(b *testing.B) {
+	setup()
+	var r core.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig6RootDNS(benchChaos)
+	}
+	showOnce("fig6", r.Table())
+	b.ReportMetric(float64(r.RegionEnd), "replicas_2024")
+}
+
+func BenchmarkFig7Offnets(b *testing.B) {
+	setup()
+	var r core.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig7Offnets(benchW, []string{"Google", "Akamai", "Facebook", "Netflix"})
+	}
+	showOnce("fig7", r.Table())
+	b.ReportMetric(r.VEAverage["Google"]*100, "ve_google_%")
+}
+
+func BenchmarkFig8CANTV(b *testing.B) {
+	setup()
+	var r core.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig8CANTV(benchW)
+	}
+	showOnce("fig8", r.Table())
+	b.ReportMetric(float64(r.PeakUpstreams), "peak_upstreams")
+	b.ReportMetric(float64(r.TroughUpstreams), "trough_upstreams")
+}
+
+func BenchmarkFig9TransitHeatmap(b *testing.B) {
+	setup()
+	var r core.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig9TransitHeatmap(benchW)
+	}
+	showOnce("fig9", r.Table())
+	b.ReportMetric(float64(len(r.USDepartures)), "us_departures")
+}
+
+func BenchmarkFig10IXPHeatmap(b *testing.B) {
+	setup()
+	var r core.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig10IXPHeatmap(benchW)
+	}
+	showOnce("fig10", r.Table())
+	b.ReportMetric(r.ARShareAtARIX*100, "arix_share_%")
+}
+
+func BenchmarkFig11Bandwidth(b *testing.B) {
+	var r core.Fig11Result
+	lo, hi := months.New(2007, time.July), months.New(2024, time.January)
+	for i := 0; i < b.N; i++ {
+		r = core.Fig11Bandwidth(1, lo, hi, 3)
+	}
+	showOnce("fig11", r.Table())
+	b.ReportMetric(r.VEJuly2023, "ve_mbps_2023")
+}
+
+func BenchmarkFig12GPDNS(b *testing.B) {
+	setup()
+	var r core.Fig12Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig12GPDNS(benchTrace)
+	}
+	showOnce("fig12", r.Table())
+	b.ReportMetric(r.VE2023H2, "ve_rtt_ms")
+	b.ReportMetric(r.VEOverRegion, "ve_over_region")
+}
+
+func BenchmarkTable1Eyeballs(b *testing.B) {
+	setup()
+	var r core.Table1Result
+	for i := 0; i < b.N; i++ {
+		r = core.Table1Eyeballs(benchW)
+	}
+	showOnce("table1", r.Table())
+	b.ReportMetric(r.CANTVShare*100, "cantv_share_%")
+}
+
+func BenchmarkFig13GDPRank(b *testing.B) {
+	var r core.Fig13Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig13GDPRank()
+	}
+	showOnce("fig13", r.Table())
+	b.ReportMetric(float64(r.Ranks[2020]), "ve_rank_2020")
+}
+
+func BenchmarkFig14PrefixVisibility(b *testing.B) {
+	setup()
+	var r core.Fig14Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig14PrefixVisibility(benchW)
+	}
+	showOnce("fig14", r.Table())
+	b.ReportMetric(float64(len(r.Withdrawn)), "withdrawn_prefixes")
+}
+
+func BenchmarkFig15FacilityMembers(b *testing.B) {
+	setup()
+	var r core.Fig15Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig15FacilityMembers(benchW)
+	}
+	showOnce("fig15", r.Table())
+	b.ReportMetric(float64(r.Latest["Cirion La Urbina"]), "cirion_members")
+}
+
+func BenchmarkFig16RootOrigins(b *testing.B) {
+	setup()
+	var r core.Fig16Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig16RootOrigins(benchChaos)
+	}
+	showOnce("fig16", r.Table())
+	b.ReportMetric(float64(len(r.LatestTop)), "origin_countries")
+}
+
+func BenchmarkFig17AtlasFootprint(b *testing.B) {
+	setup()
+	var r core.Fig17Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig17AtlasFootprint(benchW)
+	}
+	showOnce("fig17", r.Table())
+	b.ReportMetric(float64(r.VE2024), "ve_probes_2024")
+}
+
+func BenchmarkFig18AllHypergiants(b *testing.B) {
+	setup()
+	var r core.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig7Offnets(benchW, []string{
+			"Microsoft", "Cloudflare", "Amazon", "Limelight", "CDNetworks", "Alibaba",
+		})
+	}
+	showOnce("fig18", r.Table())
+	b.ReportMetric(r.VEAverage["Cloudflare"]*100, "ve_cloudflare_%")
+}
+
+func BenchmarkFig19ThirdParty(b *testing.B) {
+	var r core.Fig19Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig19ThirdParty()
+	}
+	showOnce("fig19", r.Table())
+	b.ReportMetric(r.VE.DNS, "ve_dns")
+	b.ReportMetric(r.VE.CDN, "ve_cdn")
+}
+
+func BenchmarkFig20ProbeGeo(b *testing.B) {
+	setup()
+	var r core.Fig20Result
+	m := months.New(2023, time.December)
+	for i := 0; i < b.N; i++ {
+		r = core.Fig20ProbeGeo(benchW.Fleet, benchTrace, m)
+	}
+	showOnce("fig20", r.Table())
+	b.ReportMetric(float64(r.Under10), "border_probes")
+}
+
+func BenchmarkFig21USIXPs(b *testing.B) {
+	setup()
+	var r core.Fig21Result
+	for i := 0; i < b.N; i++ {
+		r = core.Fig21USIXPs(benchW)
+	}
+	showOnce("fig21", r.Table())
+	b.ReportMetric(float64(r.VENetworks), "ve_networks")
+	b.ReportMetric(r.VEShare*100, "ve_share_%")
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationRTTEstimator compares the paper's estimator (median of
+// per-probe minimums) against a naive mean over raw samples, reporting
+// how much congestion noise the naive estimator absorbs.
+func BenchmarkAblationRTTEstimator(b *testing.B) {
+	setup()
+	m := months.New(2023, time.September) // on the quarterly campaign grid
+	var robust, naive float64
+	for i := 0; i < b.N; i++ {
+		robust, _ = benchTrace.CountryMedian("VE", m)
+		naive, _ = benchTrace.CountryMeanNaive("VE", m)
+	}
+	b.ReportMetric(robust, "median_of_min_ms")
+	b.ReportMetric(naive, "naive_mean_ms")
+	b.ReportMetric(naive-robust, "noise_absorbed_ms")
+}
+
+// BenchmarkAblationOrgAggregation compares organization-level off-net
+// coverage (as2org+) with raw per-AS accounting for Google in Venezuela.
+func BenchmarkAblationOrgAggregation(b *testing.B) {
+	setup()
+	hosts := benchW.OffnetHosts("Google", "VE", 2021)
+	var withOrg, withoutOrg float64
+	for i := 0; i < b.N; i++ {
+		withOrg = offnet.Coverage("VE", hosts, benchW.Pop, benchW.Orgs)
+		withoutOrg = offnet.CoverageNoOrg("VE", hosts, benchW.Pop)
+	}
+	b.ReportMetric(withOrg*100, "org_coverage_%")
+	b.ReportMetric(withoutOrg*100, "as_coverage_%")
+}
+
+// BenchmarkAblationCatchmentPolicy compares BGP shortest-path catchment
+// with naive geographic-nearest selection for a Caracas vantage point:
+// geography predicts a nearby Colombian replica, BGP delivers Miami.
+func BenchmarkAblationCatchmentPolicy(b *testing.B) {
+	setup()
+	m := months.New(2023, time.June)
+	resolver := benchW.TopologyAt(m)
+	sites := benchW.GPDNSSitesAt(m)
+	probe := atlas.Probe{ASN: world.ASCANTV, Country: "VE"}
+	if veProbes := benchW.Fleet.ActiveIn("VE", m); len(veProbes) > 0 {
+		probe = veProbes[0]
+	}
+	var bgpLat, geoLat float64
+	for i := 0; i < b.N; i++ {
+		_, bgpLat, _ = resolver.CatchmentFrom(probe.ASN, probe.City, sites, netsim.PolicyBGP)
+		_, geoLat, _ = resolver.CatchmentFrom(probe.ASN, probe.City, sites, netsim.PolicyGeo)
+	}
+	b.ReportMetric(bgpLat, "bgp_oneway_ms")
+	b.ReportMetric(geoLat, "geo_oneway_ms")
+}
+
+// BenchmarkAblationSpeedEstimator compares median and mean download-speed
+// aggregation under the heavy-tailed NDT distribution: the mean is pulled
+// far above the typical user's experience.
+func BenchmarkAblationSpeedEstimator(b *testing.B) {
+	m := months.New(2023, time.July)
+	gen := mlab.NewGenerator(1)
+	archive := mlab.NewArchive()
+	archive.Add(gen.Draw("VE", m, 10000))
+	var median, mean float64
+	for i := 0; i < b.N; i++ {
+		median, _ = archive.Median("VE", m)
+		mean, _ = archive.Mean("VE", m)
+	}
+	b.ReportMetric(median, "ve_median_mbps")
+	b.ReportMetric(mean, "ve_mean_mbps")
+}
+
+// BenchmarkCrisisSignatures times the automated detector sweep across
+// every Venezuelan series (the future-work extension).
+func BenchmarkCrisisSignatures(b *testing.B) {
+	setup()
+	var r core.SignaturesResult
+	for i := 0; i < b.N; i++ {
+		r = core.CrisisSignatures(benchW, benchChaos)
+	}
+	showOnce("signatures", r.Table())
+	b.ReportMetric(float64(len(r.Signatures)), "signatures")
+}
+
+// --- System benchmarks: the simulator itself ---
+
+// BenchmarkWorldBuild times constructing the synthetic region.
+func BenchmarkWorldBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = world.Build(world.Config{Step: 3})
+	}
+}
+
+// BenchmarkTraceCampaignMonth times one monthly snapshot of the GPDNS
+// traceroute campaign (every probe, catchment plus samples).
+func BenchmarkTraceCampaignMonth(b *testing.B) {
+	m := months.New(2023, time.July)
+	w := world.Build(world.Config{TraceStart: m, TraceEnd: m})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.TraceCampaign()
+	}
+}
+
+// BenchmarkChaosCampaignMonth times one monthly snapshot of the built-in
+// CHAOS measurements (every probe, all thirteen letters).
+func BenchmarkChaosCampaignMonth(b *testing.B) {
+	m := months.New(2023, time.July)
+	w := world.Build(world.Config{ChaosStart: m, ChaosEnd: m})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.ChaosCampaign()
+	}
+}
+
+// BenchmarkValleyFreeTree times one single-source valley-free
+// shortest-path tree over the full topology.
+func BenchmarkValleyFreeTree(b *testing.B) {
+	setup()
+	m := months.New(2023, time.July)
+	topo := benchW.TopologyAt(m).Topology()
+	srcs := benchW.Nets["VE"].Eyeballs
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := netsim.NewResolver(topo)
+		_ = r.PathInfoFrom(srcs[i%len(srcs)], world.ASGoogle)
+	}
+}
+
+// BenchmarkChaosParse times the 13-format CHAOS TXT extraction.
+func BenchmarkChaosParse(b *testing.B) {
+	setup()
+	names := []struct {
+		letter byte
+		txt    string
+	}{
+		{'L', "ccs01.l.root-servers.org"},
+		{'L', "aa.ve-mar.l.root"},
+		{'F', "gru1a.f.root-servers.org"},
+		{'K', "ns1.cl-scl.k.ripe.net"},
+		{'I', "s1.bog"},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := names[i%len(names)]
+		if _, err := dnsroot.ParseInstance(dnsroot.Letter(n.letter), n.txt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationReplicaDetection quantifies the CHAOS methodology's
+// coverage (Section 8): distinct strings detected by the probe fleet
+// against instances actually deployed in the region.
+func BenchmarkAblationReplicaDetection(b *testing.B) {
+	setup()
+	m := months.New(2023, time.October) // on the chaos campaign quarterly grid
+	var detected, deployed int
+	for i := 0; i < b.N; i++ {
+		counts := benchChaos.SitesByCountry(m, "")
+		detected = 0
+		for _, cc := range geo.LACNICCountries() {
+			detected += counts[cc]
+		}
+		deployed = 0
+		for cc, n := range benchW.Roots.CountByCountry(m) {
+			if c, ok := geo.LookupCountry(cc); ok && c.LACNIC {
+				deployed += n
+			}
+		}
+	}
+	b.ReportMetric(float64(detected), "detected")
+	b.ReportMetric(float64(deployed), "deployed")
+	b.ReportMetric(float64(detected)/float64(deployed), "coverage")
+}

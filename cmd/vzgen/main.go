@@ -1,0 +1,153 @@
+// Command vzgen materializes the synthetic measurement archives to disk
+// in their native interchange formats, so the analysis pipeline can be
+// exercised against files exactly as it would be against the real
+// archives (LACNIC delegation files, CAIDA serial-1 AS relationships,
+// RouteViews pfx2as, PeeringDB JSON dumps, Telegeography CSV, Meta IPv6
+// CSV, APNIC-style population estimates, as2org+ mappings).
+//
+// Usage:
+//
+//	vzgen -out DIR [-seed N] [-step N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/ipv6"
+	"vzlens/internal/mlab"
+	"vzlens/internal/months"
+	"vzlens/internal/mrt"
+	"vzlens/internal/world"
+)
+
+func main() {
+	out := flag.String("out", "dataset", "output directory")
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	step := flag.Int("step", 3, "months between archive snapshots")
+	flag.Parse()
+
+	w := world.Build(world.Config{Seed: *seed, Step: *step})
+	log.SetFlags(0)
+	log.SetPrefix("vzgen: ")
+
+	writeFile := func(rel string, write func(io.Writer) error) {
+		path := filepath.Join(*out, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			log.Fatalf("%s: %v", rel, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("%s: %v", rel, err)
+		}
+		log.Printf("wrote %s", path)
+	}
+
+	// LACNIC delegation file.
+	writeFile("lacnic/delegated-lacnic-extended.txt", func(f io.Writer) error {
+		_, err := w.Registry().WriteTo(f)
+		return err
+	})
+
+	// Monthly serial-1 AS relationship files and pfx2as snapshots.
+	lo, hi := months.New(1998, time.January), months.New(2024, time.January)
+	rels := w.ASRelArchive(lo, hi)
+	for _, m := range rels.Months() {
+		m := m
+		writeFile(fmt.Sprintf("as-rel/%s.as-rel.txt", m), func(f io.Writer) error {
+			_, err := rels.Get(m).WriteTo(f)
+			return err
+		})
+	}
+	ribs := w.RIBArchive(months.New(2008, time.January), hi)
+	for _, m := range ribs.Months() {
+		m := m
+		writeFile(fmt.Sprintf("pfx2as/%s.pfx2as.txt", m), func(f io.Writer) error {
+			_, err := ribs.Get(m).WriteTo(f)
+			return err
+		})
+	}
+
+	// Monthly PeeringDB dumps.
+	pdb := w.PeeringDBArchive(months.New(2018, time.April), hi)
+	for _, m := range pdb.Months() {
+		m := m
+		writeFile(fmt.Sprintf("peeringdb/peeringdb_dump_%s.json", m), func(f io.Writer) error {
+			return pdb.Get(m).Write(f)
+		})
+	}
+
+	// Submarine cable map.
+	writeFile("telegeography/cables.csv", func(f io.Writer) error {
+		_, err := w.Cables.WriteTo(f)
+		return err
+	})
+
+	// IPv6 adoption.
+	writeFile("meta/ipv6-adoption.csv", func(f io.Writer) error {
+		ds := ipv6.Collect(ipv6.CoveredCountries(), months.New(2018, time.January), months.New(2023, time.June))
+		_, err := ds.WriteTo(f)
+		return err
+	})
+
+	// A raw TABLE_DUMP_V2 RIB dump for the latest month, the MRT form
+	// the pfx2as digests descend from.
+	writeFile("routeviews/rib.2024-01.mrt", func(f io.Writer) error {
+		rib := w.RIBArchive(hi, hi).Get(hi)
+		return mrt.WriteRIB(f, rib, 6762, hi.Time().Unix())
+	})
+
+	// One year of M-Lab style NDT result rows.
+	writeFile("mlab/ndt-2023.jsonl", func(f io.Writer) error {
+		gen := mlab.NewGenerator(w.Config.Seed)
+		for m := months.New(2023, time.January); !m.After(months.New(2023, time.December)); m = m.Add(1) {
+			for _, cc := range mlab.Countries() {
+				if err := mlab.WriteJSON(f, gen.Draw(cc, m, mlab.MonthlyVolume(cc))); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+
+	// One month of RIPE Atlas style measurement results.
+	writeFile("atlas/results-2023-07.jsonl", func(f io.Writer) error {
+		mw := world.Build(world.Config{
+			Seed:       w.Config.Seed,
+			TraceStart: months.New(2023, time.July), TraceEnd: months.New(2023, time.July),
+			ChaosStart: months.New(2023, time.July), ChaosEnd: months.New(2023, time.July),
+		})
+		if err := atlas.WriteTraceJSON(f, mw.TraceCampaign().Samples()); err != nil {
+			return err
+		}
+		return atlas.WriteChaosJSON(f, mw.ChaosCampaign().Results())
+	})
+
+	// Probe metadata in Atlas API form.
+	writeFile("atlas/probes.jsonl", func(f io.Writer) error {
+		return atlas.WriteProbesJSON(f, w.Fleet, hi)
+	})
+
+	// Population estimates and organization mappings.
+	writeFile("apnic/aspop.txt", func(f io.Writer) error {
+		_, err := w.Pop.WriteTo(f)
+		return err
+	})
+	writeFile("as2org/as2org.txt", func(f io.Writer) error {
+		_, err := w.Orgs.WriteTo(f)
+		return err
+	})
+}

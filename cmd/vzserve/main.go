@@ -1,0 +1,47 @@
+// Command vzserve exposes the reproduction over HTTP: JSON and CSV
+// documents for every experiment and per-country summaries.
+//
+//	vzserve [-addr :8080] [-quick]
+//
+//	GET /healthz
+//	GET /api/experiments
+//	GET /api/experiments/{id}        (fig1..fig21, table1; append .csv)
+//	GET /api/countries/{cc}
+//
+// Campaign-backed experiments (fig6, fig12, fig16, fig20) simulate on
+// first request and are cached for the life of the process.
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"vzlens/internal/httpapi"
+	"vzlens/internal/world"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	quick := flag.Bool("quick", true, "quarterly campaign resolution")
+	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	flag.Parse()
+
+	cfg := world.Config{Seed: *seed}
+	if *quick {
+		cfg.Step = 3
+	}
+	log.Printf("vzserve: building world (seed %d, step %d months)", cfg.Seed, cfg.Step)
+	h := httpapi.New(world.Build(cfg))
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		// Campaign simulation on a cold cache can take tens of seconds.
+		WriteTimeout: 5 * time.Minute,
+	}
+	log.Printf("vzserve: listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,10 @@
+// Package vzlens is a Go reproduction of "Ten years of the Venezuelan
+// crisis — An Internet perspective" (ACM SIGCOMM 2024): the analysis
+// pipeline behind every figure and table of the paper, the parsers for
+// each archival dataset format it consumes, and a calibrated synthetic
+// Latin-American Internet standing in for the live measurement platforms.
+//
+// The library lives under internal/; the runnable surfaces are the
+// binaries in cmd/ (vzreport, vzgen, vzfigs), the programs in examples/,
+// and the per-experiment benchmarks in bench_test.go.
+package vzlens

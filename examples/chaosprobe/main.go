@@ -1,0 +1,63 @@
+// Chaosprobe drives the paper's root-server identification path over
+// real sockets: it starts an in-process UDP DNS server for each
+// Venezuelan root instance of a given era, issues CHAOS TXT
+// hostname.bind queries like a RIPE Atlas built-in measurement, and maps
+// the answers back to cities with the per-operator parsers.
+//
+//	go run ./examples/chaosprobe
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/dnswire"
+	"vzlens/internal/months"
+)
+
+func main() {
+	deployment := dnsroot.DefaultDeployment()
+	client := dnswire.NewClient()
+	client.Timeout = 2 * time.Second
+
+	for _, snapshot := range []months.Month{
+		months.New(2017, time.March), // Caracas L and F alive
+		months.New(2021, time.March), // only the Maracaibo L remains
+	} {
+		fmt.Printf("--- %s ---\n", snapshot)
+		instances := deployment.InCountry("VE", snapshot)
+		if len(instances) == 0 {
+			fmt.Println("no Venezuelan root instances")
+			continue
+		}
+		for _, inst := range instances {
+			inst := inst
+			// Each instance is a real UDP DNS server on loopback.
+			srv, err := dnswire.Serve("127.0.0.1:0", func(name string) ([]string, bool) {
+				if name == dnswire.HostnameBind {
+					return []string{inst.ChaosName(snapshot)}, true
+				}
+				return nil, false
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			txt, err := client.Identify(srv.Addr().String())
+			if err != nil {
+				log.Fatalf("query %s: %v", srv.Addr(), err)
+			}
+			site, err := dnsroot.ParseInstance(inst.Letter, txt)
+			if err != nil {
+				log.Fatalf("parse %q: %v", txt, err)
+			}
+			fmt.Printf("%s root @%s answered %q -> %s, %s\n",
+				inst.Letter, srv.Addr(), txt, site.City, site.Country)
+			srv.Close()
+		}
+	}
+	fmt.Println("\nBy 2023 no Venezuelan instance answers: the country's root")
+	fmt.Println("footprint is gone, and queries resolve overseas (Appendix E).")
+}

@@ -1,0 +1,79 @@
+// Countryreport reproduces the paper's multi-dataset view for any
+// country in the region: infrastructure growth, IPv6 rollout, bandwidth
+// trajectory, and probe coverage — the pipeline the paper applies to
+// Venezuela, pointed anywhere.
+//
+//	go run ./examples/countryreport -country CL
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"vzlens/internal/geo"
+	"vzlens/internal/ipv6"
+	"vzlens/internal/mlab"
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+func main() {
+	cc := flag.String("country", "VE", "ISO country code in the LACNIC region")
+	flag.Parse()
+
+	country, ok := geo.LookupCountry(*cc)
+	if !ok || !country.LACNIC {
+		log.Fatalf("countryreport: %q is not a LACNIC country", *cc)
+	}
+	w := world.Build(world.Config{Step: 3})
+
+	fmt.Printf("=== %s (%s) ===\n\n", country.Name, country.Code)
+
+	// Submarine connectivity.
+	c2000 := w.Cables.CountryCount(country.Code, 2000)
+	c2024 := w.Cables.CountryCount(country.Code, 2024)
+	fmt.Printf("Submarine cables:     %d (2000) -> %d (2024)\n", c2000, c2024)
+	for _, cable := range w.Cables.AddedBetween(country.Code, 2000, 2024) {
+		fmt.Printf("  + %d %s\n", cable.RFS, cable.Name)
+	}
+
+	// Peering facilities.
+	f18 := w.PeeringDBSnapshot(months.New(2018, time.April)).FacilityCount()[country.Code]
+	f24 := w.PeeringDBSnapshot(months.New(2024, time.January)).FacilityCount()[country.Code]
+	fmt.Printf("Peering facilities:   %d (2018) -> %d (2024)\n", f18, f24)
+
+	// IPv6 adoption.
+	v6 := ipv6.Adoption(country.Code, months.New(2023, time.June))
+	fmt.Printf("IPv6 adoption:        %.1f%% (mid-2023)\n", v6)
+
+	// Median download speed.
+	s13 := mlab.MedianSpeed(country.Code, months.New(2013, time.July))
+	s23 := mlab.MedianSpeed(country.Code, months.New(2023, time.July))
+	fmt.Printf("Download speed:       %.2f Mbps (2013) -> %.2f Mbps (2023)\n", s13, s23)
+
+	// Atlas coverage.
+	probes := w.Fleet.CountByCountry(months.New(2024, time.January))[country.Code]
+	rank, of := w.Fleet.CountryRank(country.Code, months.New(2024, time.January))
+	fmt.Printf("RIPE Atlas probes:    %d (rank %d of %d)\n", probes, rank, of)
+
+	// Eyeball market.
+	fmt.Printf("Internet population:  %s users\n", thousands(w.Pop.CountryUsers(country.Code)))
+	fmt.Println("Largest providers:")
+	for _, est := range w.Pop.TopN(country.Code, 5) {
+		fmt.Printf("  AS%-7d %-36s %6.2f%%\n", est.ASN, est.Name, w.Pop.Share(est.ASN)*100)
+	}
+}
+
+func thousands(v int64) string {
+	s := fmt.Sprintf("%d", v)
+	out := ""
+	for i, d := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out += ","
+		}
+		out += string(d)
+	}
+	return out
+}

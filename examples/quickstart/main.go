@@ -1,0 +1,30 @@
+// Quickstart: build the synthetic Latin-American Internet, run two of
+// the paper's analyses, and print their tables.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"vzlens/internal/core"
+	"vzlens/internal/world"
+)
+
+func main() {
+	// A World is one coherent synthetic Latin-American Internet,
+	// 1998-2024, from which every dataset in the study derives.
+	w := world.Build(world.Config{})
+
+	// Table 1: the composition of Venezuela's eyeball market.
+	fmt.Println(core.Table1Eyeballs(w).Table().Text())
+
+	// Figure 8: CANTV's interdomain connectivity over 26 years.
+	fmt.Println(core.Fig8CANTV(w).Table().Text())
+
+	// Figure 4: the submarine-cable build-out Venezuela sat out.
+	fig4 := core.Fig4Cables(w)
+	fmt.Printf("The region grew from %d to %d submarine cables (2000-2024).\n",
+		fig4.RegionAt2000, fig4.RegionAt2024)
+	fmt.Printf("Venezuela added: %v\n", fig4.VEAdditionsSince2000)
+}

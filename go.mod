@@ -1,0 +1,3 @@
+module vzlens
+
+go 1.22

@@ -1,0 +1,119 @@
+package atlas
+
+import (
+	"sort"
+	"strings"
+
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/months"
+)
+
+// ChaosResult is one CHAOS TXT hostname.bind answer observed by a probe
+// querying one root letter during a monthly snapshot window.
+type ChaosResult struct {
+	Month   months.Month
+	ProbeID int
+	ProbeCC string
+	Letter  dnsroot.Letter
+	TXT     string
+}
+
+// ChaosCampaign collects the built-in root CHAOS measurements.
+type ChaosCampaign struct {
+	results []ChaosResult
+}
+
+// NewChaosCampaign returns an empty campaign.
+func NewChaosCampaign() *ChaosCampaign { return &ChaosCampaign{} }
+
+// Add records a result.
+func (c *ChaosCampaign) Add(r ChaosResult) { c.results = append(c.results, r) }
+
+// Len returns the number of recorded results.
+func (c *ChaosCampaign) Len() int { return len(c.results) }
+
+// Months returns the months with results, sorted.
+func (c *ChaosCampaign) Months() []months.Month {
+	seen := map[months.Month]bool{}
+	for _, r := range c.results {
+		seen[r.Month] = true
+	}
+	out := make([]months.Month, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// siteKey identifies a distinct observed instance: one letter answering
+// with one normalized CHAOS string. The paper counts unique CHAOS TXT
+// strings carrying geolocation tags, so two instances of the same letter
+// in the same city still count separately when their strings differ.
+type siteKey struct {
+	letter dnsroot.Letter
+	txt    string
+}
+
+// SitesByCountry maps the distinct CHAOS strings observed in month m to
+// countries: each unique response that parses under its operator's
+// convention counts as one root replica in the country of its location
+// tag. Responses that fail to parse are skipped, mirroring the paper's
+// regular-expression extraction. When onlyProbeCC is non-empty, only
+// results from probes in that country are considered (the Figure 16 /
+// Appendix E view from Venezuela).
+func (c *ChaosCampaign) SitesByCountry(m months.Month, onlyProbeCC string) map[string]int {
+	seen := map[siteKey]string{}
+	for _, r := range c.results {
+		if r.Month != m {
+			continue
+		}
+		if onlyProbeCC != "" && r.ProbeCC != onlyProbeCC {
+			continue
+		}
+		site, err := dnsroot.ParseInstance(r.Letter, r.TXT)
+		if err != nil {
+			continue
+		}
+		seen[siteKey{r.Letter, strings.ToLower(strings.TrimSpace(r.TXT))}] = site.Country
+	}
+	out := map[string]int{}
+	for _, cc := range seen {
+		out[cc]++
+	}
+	return out
+}
+
+// CountrySeries returns, per month, the number of distinct root replicas
+// mapped to country cc across all probes — Figure 6's estimator.
+func (c *ChaosCampaign) CountrySeries(cc string) map[months.Month]int {
+	out := map[months.Month]int{}
+	for _, m := range c.Months() {
+		out[m] = c.SitesByCountry(m, "")[cc]
+	}
+	return out
+}
+
+// ProbesSeen returns the distinct probes contributing results in month m,
+// per probe country. The paper uses this to argue Venezuela's replica
+// regression is not a coverage artifact (Appendix F).
+func (c *ChaosCampaign) ProbesSeen(m months.Month) map[string]int {
+	probes := map[int]string{}
+	for _, r := range c.results {
+		if r.Month == m {
+			probes[r.ProbeID] = r.ProbeCC
+		}
+	}
+	out := map[string]int{}
+	for _, cc := range probes {
+		out[cc]++
+	}
+	return out
+}
+
+// Results returns a copy of all recorded results in insertion order.
+func (c *ChaosCampaign) Results() []ChaosResult {
+	out := make([]ChaosResult, len(c.results))
+	copy(out, c.results)
+	return out
+}

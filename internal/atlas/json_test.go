@@ -1,0 +1,138 @@
+package atlas
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+)
+
+func TestChaosJSONRoundTrip(t *testing.T) {
+	in := []ChaosResult{
+		{mon(2017, time.March), 1, "VE", 'L', "ccs01.l.root-servers.org"},
+		{mon(2017, time.March), 2, "BR", 'F', "gru1a.f.root-servers.org"},
+	}
+	var buf bytes.Buffer
+	if err := WriteChaosJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	chaos, trace, err := ParseResultsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != 0 {
+		t.Errorf("trace samples = %d, want 0", trace.Len())
+	}
+	if chaos.Len() != 2 {
+		t.Fatalf("chaos results = %d, want 2", chaos.Len())
+	}
+	got := chaos.Results()
+	if got[0] != in[0] || got[1] != in[1] {
+		t.Errorf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	in := []TraceSample{
+		{mon(2023, time.June), 7, "VE", 36.56},
+		{mon(2023, time.June), 8, "AR", 11.36},
+	}
+	var buf bytes.Buffer
+	if err := WriteTraceJSON(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	chaos, trace, err := ParseResultsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Len() != 0 {
+		t.Errorf("chaos results = %d, want 0", chaos.Len())
+	}
+	got := trace.Samples()
+	if len(got) != 2 || got[0] != in[0] || got[1] != in[1] {
+		t.Errorf("round trip = %+v, want %+v", got, in)
+	}
+}
+
+func TestMixedStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChaosJSON(&buf, []ChaosResult{
+		{mon(2020, time.January), 1, "VE", 'I', "s1.bog"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTraceJSON(&buf, []TraceSample{
+		{mon(2020, time.January), 1, "VE", 45.7},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A ping result interleaved: skipped, not an error.
+	buf.WriteString(`{"type":"ping","prb_id":9,"msm_id":1,"timestamp":1577836800}` + "\n")
+
+	chaos, trace, err := ParseResultsJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Len() != 1 || trace.Len() != 1 {
+		t.Errorf("parsed %d chaos + %d trace, want 1+1", chaos.Len(), trace.Len())
+	}
+}
+
+func TestParseRealAtlasTracerouteShape(t *testing.T) {
+	// A multi-hop traceroute with losses, as the real API delivers.
+	line := `{"fw":5080,"type":"traceroute","prb_id":12345,"msm_id":1591,` +
+		`"timestamp":1688169600,"dst_addr":"8.8.8.8","probe_cc":"VE","result":[` +
+		`{"hop":1,"result":[{"from":"192.168.1.1","rtt":1.2}]},` +
+		`{"hop":2,"result":[{"x":"*"},{"x":"*"},{"x":"*"}]},` +
+		`{"hop":3,"result":[{"from":"8.8.8.8","rtt":38.1},{"from":"8.8.8.8","rtt":36.6}]}]}`
+	_, trace, err := ParseResultsJSON(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := trace.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("samples = %v", samples)
+	}
+	// Minimum over all responding pings.
+	if samples[0].RTTms != 1.2 {
+		t.Errorf("RTT = %v (min over responses)", samples[0].RTTms)
+	}
+	if samples[0].Month != months.New(2023, time.July) {
+		t.Errorf("month = %v", samples[0].Month)
+	}
+}
+
+func TestParseAllLostTraceroute(t *testing.T) {
+	line := `{"type":"traceroute","prb_id":1,"msm_id":1591,"timestamp":1688169600,` +
+		`"result":[{"hop":1,"result":[{"x":"*"}]}]}`
+	_, trace, err := ParseResultsJSON(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != 0 {
+		t.Error("all-lost traceroute should produce no sample")
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, _, err := ParseResultsJSON(strings.NewReader("not json\n")); err == nil {
+		t.Error("want parse error")
+	}
+	if _, _, err := ParseResultsJSON(strings.NewReader(`{"type":"dns","msm_id":"x"}` + "\n")); err == nil {
+		t.Error("want field-type error")
+	}
+}
+
+func TestParseUnknownMsmIDSkipped(t *testing.T) {
+	line := `{"type":"dns","prb_id":1,"msm_id":99,"timestamp":1688169600,` +
+		`"result":{"answers":[{"TYPE":"TXT","RDATA":["x"]}]}}`
+	chaos, _, err := ParseResultsJSON(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaos.Len() != 0 {
+		t.Error("unknown measurement ID should be skipped")
+	}
+}

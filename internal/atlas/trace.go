@@ -1,0 +1,139 @@
+package atlas
+
+import (
+	"sort"
+
+	"vzlens/internal/months"
+	"vzlens/internal/series"
+	"vzlens/internal/stats"
+)
+
+// TraceSample is one traceroute RTT sample toward the campaign target
+// (Google Public DNS at 8.8.8.8 for measurement 1591).
+type TraceSample struct {
+	Month   months.Month
+	ProbeID int
+	ProbeCC string
+	RTTms   float64
+}
+
+// TraceCampaign collects the platform-wide traceroute measurements over a
+// five-day window at the start of each month.
+type TraceCampaign struct {
+	samples []TraceSample
+}
+
+// NewTraceCampaign returns an empty campaign.
+func NewTraceCampaign() *TraceCampaign { return &TraceCampaign{} }
+
+// Add records a sample.
+func (t *TraceCampaign) Add(s TraceSample) { t.samples = append(t.samples, s) }
+
+// Len returns the number of recorded samples.
+func (t *TraceCampaign) Len() int { return len(t.samples) }
+
+// Months returns the months with samples, sorted.
+func (t *TraceCampaign) Months() []months.Month {
+	seen := map[months.Month]bool{}
+	for _, s := range t.samples {
+		seen[s.Month] = true
+	}
+	out := make([]months.Month, 0, len(seen))
+	for m := range seen {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ProbeMin returns, for each probe with samples in (m, cc), the minimum
+// RTT across its samples that month. Taking the per-probe minimum first
+// removes transient congestion noise — the paper's estimator.
+func (t *TraceCampaign) ProbeMin(cc string, m months.Month) map[int]float64 {
+	mins := map[int]float64{}
+	for _, s := range t.samples {
+		if s.Month != m || s.ProbeCC != cc {
+			continue
+		}
+		if cur, ok := mins[s.ProbeID]; !ok || s.RTTms < cur {
+			mins[s.ProbeID] = s.RTTms
+		}
+	}
+	return mins
+}
+
+// CountryMedian returns the median of per-probe minimum RTTs for country
+// cc in month m; ok is false when the country has no samples.
+func (t *TraceCampaign) CountryMedian(cc string, m months.Month) (float64, bool) {
+	mins := t.ProbeMin(cc, m)
+	if len(mins) == 0 {
+		return 0, false
+	}
+	vals := make([]float64, 0, len(mins))
+	for _, v := range mins {
+		vals = append(vals, v)
+	}
+	med, err := stats.Median(vals)
+	return med, err == nil
+}
+
+// CountryMeanNaive returns the plain mean of all raw samples for (cc, m)
+// without the per-probe minimum step — the estimator the ablation
+// benchmarks compare against.
+func (t *TraceCampaign) CountryMeanNaive(cc string, m months.Month) (float64, bool) {
+	var vals []float64
+	for _, s := range t.samples {
+		if s.Month == m && s.ProbeCC == cc {
+			vals = append(vals, s.RTTms)
+		}
+	}
+	mean, err := stats.Mean(vals)
+	return mean, err == nil
+}
+
+// MedianPanel returns the per-country monthly median-RTT panel — the data
+// behind Figure 12.
+func (t *TraceCampaign) MedianPanel() *series.Panel {
+	countries := map[string]bool{}
+	for _, s := range t.samples {
+		countries[s.ProbeCC] = true
+	}
+	p := series.NewPanel()
+	for cc := range countries {
+		dst := p.Country(cc)
+		for _, m := range t.Months() {
+			if med, ok := t.CountryMedian(cc, m); ok {
+				dst.Set(m, med)
+			}
+		}
+	}
+	return p
+}
+
+// ProbeMinsWithLocation returns each probe's minimum RTT in month m for
+// country cc, keyed by probe ID — the per-vantage-point view behind
+// Figure 20's map of RTT against geography.
+func (t *TraceCampaign) ProbeMinsWithLocation(f *Fleet, cc string, m months.Month) map[int]ProbeRTT {
+	out := map[int]ProbeRTT{}
+	for id, min := range t.ProbeMin(cc, m) {
+		p, ok := f.Probe(id)
+		if !ok {
+			continue
+		}
+		out[id] = ProbeRTT{Probe: p, MinRTTms: min}
+	}
+	return out
+}
+
+// ProbeRTT pairs a probe with its minimum observed RTT.
+type ProbeRTT struct {
+	Probe    Probe
+	MinRTTms float64
+}
+
+// Samples returns a copy of all recorded samples in insertion order.
+func (t *TraceCampaign) Samples() []TraceSample {
+	out := make([]TraceSample, len(t.samples))
+	copy(out, t.samples)
+	return out
+}

@@ -1,0 +1,198 @@
+package bgp
+
+import "sort"
+
+// This file implements AS relationship inference in the style of Gao's
+// classic algorithm, the ancestor of the CAIDA serial-1 files the paper
+// downloads: given AS paths observed at route collectors, infer which
+// adjacent pairs are provider-customer and which are settlement-free
+// peers. The reproduction uses it to close the loop — the world's
+// simulated collector paths re-derive the relationship files the
+// analyses consume.
+
+// InferConfig tunes the inference.
+type InferConfig struct {
+	// PeerDegreeRatio bounds how dissimilar two ASes' degrees can be for
+	// a peer inference (Gao's R). Default 4.
+	PeerDegreeRatio float64
+	// TransitThreshold is the minimum one-sided vote count for a
+	// provider-customer verdict (Gao's L). Default 1.
+	TransitThreshold int
+}
+
+func (c InferConfig) withDefaults() InferConfig {
+	if c.PeerDegreeRatio <= 0 {
+		c.PeerDegreeRatio = 4
+	}
+	if c.TransitThreshold <= 0 {
+		c.TransitThreshold = 1
+	}
+	return c
+}
+
+// pairKey orders an AS pair canonically.
+type pairKey struct{ lo, hi ASN }
+
+func keyOf(a, b ASN) pairKey {
+	if a < b {
+		return pairKey{a, b}
+	}
+	return pairKey{b, a}
+}
+
+// InferRelationships runs the inference over observed AS paths (each a
+// collector-to-origin path, first element nearest the collector). It
+// returns the inferred relationship graph.
+//
+// Phase 1 computes node degrees. Phase 2 locates each path's "top
+// provider" (highest-degree AS, ties to the earlier position) and votes:
+// edges climbing toward the top are customer→provider, edges descending
+// from it are provider→customer. Phase 3 classifies: one-sided votes
+// make a provider-customer edge; conflicting votes between ASes of
+// comparable degree make a peer edge; conflicting votes at lopsided
+// degree resolve toward the bigger AS as provider.
+func InferRelationships(paths [][]ASN, cfg InferConfig) *Graph {
+	cfg = cfg.withDefaults()
+
+	// Phase 1: degrees over the path adjacency graph.
+	neighbors := map[ASN]map[ASN]bool{}
+	addAdj := func(a, b ASN) {
+		set, ok := neighbors[a]
+		if !ok {
+			set = map[ASN]bool{}
+			neighbors[a] = set
+		}
+		set[b] = true
+	}
+	for _, path := range paths {
+		for i := 0; i+1 < len(path); i++ {
+			if path[i] == path[i+1] {
+				continue
+			}
+			addAdj(path[i], path[i+1])
+			addAdj(path[i+1], path[i])
+		}
+	}
+	degree := func(a ASN) int { return len(neighbors[a]) }
+
+	// Phase 2: vote on edge directions.
+	type votes struct {
+		loProvHi int // lo is provider of hi
+		hiProvLo int
+	}
+	tally := map[pairKey]*votes{}
+	vote := func(provider, customer ASN) {
+		k := keyOf(provider, customer)
+		v, ok := tally[k]
+		if !ok {
+			v = &votes{}
+			tally[k] = v
+		}
+		if provider == k.lo {
+			v.loProvHi++
+		} else {
+			v.hiProvLo++
+		}
+	}
+	for _, path := range paths {
+		if len(path) < 2 {
+			continue
+		}
+		top := 0
+		for i := 1; i < len(path); i++ {
+			if degree(path[i]) > degree(path[top]) {
+				top = i
+			}
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if path[i] == path[i+1] {
+				continue
+			}
+			if i < top {
+				vote(path[i+1], path[i]) // climbing: right side provides
+			} else {
+				vote(path[i], path[i+1]) // descending: left side provides
+			}
+		}
+	}
+
+	// Phase 3: classify.
+	g := NewGraph()
+	keys := make([]pairKey, 0, len(tally))
+	for k := range tally {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].lo != keys[j].lo {
+			return keys[i].lo < keys[j].lo
+		}
+		return keys[i].hi < keys[j].hi
+	})
+	for _, k := range keys {
+		v := tally[k]
+		switch {
+		case v.loProvHi >= cfg.TransitThreshold && v.hiProvLo == 0:
+			g.AddRel(Rel{k.lo, k.hi, ProviderCustomer})
+		case v.hiProvLo >= cfg.TransitThreshold && v.loProvHi == 0:
+			g.AddRel(Rel{k.hi, k.lo, ProviderCustomer})
+		case v.loProvHi >= 3*v.hiProvLo && v.hiProvLo > 0:
+			// Dominant direction: scattered contrary votes are top-
+			// provider misidentifications, not a peering signal.
+			g.AddRel(Rel{k.lo, k.hi, ProviderCustomer})
+		case v.hiProvLo >= 3*v.loProvHi && v.loProvHi > 0:
+			g.AddRel(Rel{k.hi, k.lo, ProviderCustomer})
+		default:
+			// Conflicting votes: comparable degrees make peers; a
+			// lopsided pair resolves toward the bigger AS as provider.
+			dLo, dHi := float64(degree(k.lo)), float64(degree(k.hi))
+			ratio := dLo / dHi
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio <= cfg.PeerDegreeRatio {
+				g.AddRel(Rel{k.lo, k.hi, PeerPeer})
+			} else if dLo > dHi {
+				g.AddRel(Rel{k.lo, k.hi, ProviderCustomer})
+			} else {
+				g.AddRel(Rel{k.hi, k.lo, ProviderCustomer})
+			}
+		}
+	}
+	return g
+}
+
+// InferAccuracy compares an inferred graph against ground truth and
+// returns the fraction of ground-truth edges recovered with the correct
+// kind and orientation, over the edges whose endpoints both appear in
+// the inferred graph.
+func InferAccuracy(truth, inferred *Graph) float64 {
+	present := map[ASN]bool{}
+	for _, asn := range inferred.ASes() {
+		present[asn] = true
+	}
+	total, correct := 0, 0
+	for _, provider := range truth.ASes() {
+		for _, customer := range truth.Customers(provider) {
+			if !present[provider] || !present[customer] {
+				continue
+			}
+			total++
+			if inferred.HasProvider(customer, provider) {
+				correct++
+			}
+		}
+		for _, peer := range truth.Peers(provider) {
+			if provider > peer || !present[provider] || !present[peer] {
+				continue
+			}
+			total++
+			if containsASN(inferred.Peers(provider), peer) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/months"
+	"vzlens/internal/series"
+	"vzlens/internal/world"
+)
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+// Fig2Result reproduces Figure 2: the evolution of announced address
+// space originated by CANTV-AS8048 and Telefonica de Venezuela-AS6306,
+// both as a fraction of the national announced space and in absolute
+// addresses.
+type Fig2Result struct {
+	CANTVShare      *series.Series
+	TelefonicaShare *series.Series
+	CANTVSpace      *series.Series
+	TelefonicaSpace *series.Series
+
+	CANTVAvgShare  float64
+	CANTVPeakShare float64
+	MinGap         float64 // narrowest CANTV-Telefonica share gap pre-2014
+}
+
+// Fig2AddressSpace runs the address-space analysis over monthly RIB
+// snapshots 2008-2024.
+func Fig2AddressSpace(w *world.World) Fig2Result {
+	lo, hi := months.New(2008, time.January), months.New(2024, time.January)
+	arch := w.RIBArchive(lo, hi)
+	r := Fig2Result{
+		CANTVShare:      series.New(),
+		TelefonicaShare: series.New(),
+		CANTVSpace:      series.New(),
+		TelefonicaSpace: series.New(),
+		MinGap:          1,
+	}
+	var sum float64
+	var n int
+	for _, m := range arch.Months() {
+		rib := arch.Get(m)
+		var total int64
+		origins := map[bgp.ASN]bool{}
+		for _, p := range rib.Prefixes() {
+			origins[p.Origin] = true
+		}
+		for asn := range origins {
+			total += rib.AnnouncedSpace(asn)
+		}
+		if total == 0 {
+			continue
+		}
+		canv := rib.AnnouncedSpace(world.ASCANTV)
+		telf := rib.AnnouncedSpace(world.ASTelefonica)
+		cs := float64(canv) / float64(total)
+		ts := float64(telf) / float64(total)
+		r.CANTVShare.Set(m, cs)
+		r.TelefonicaShare.Set(m, ts)
+		r.CANTVSpace.Set(m, float64(canv))
+		r.TelefonicaSpace.Set(m, float64(telf))
+		sum += cs
+		n++
+		if cs > r.CANTVPeakShare {
+			r.CANTVPeakShare = cs
+		}
+		if m.Before(months.New(2014, time.January)) {
+			if gap := cs - ts; gap < r.MinGap {
+				r.MinGap = gap
+			}
+		}
+	}
+	if n > 0 {
+		r.CANTVAvgShare = sum / float64(n)
+	}
+	return r
+}
+
+// Table renders the headline share statistics.
+func (r Fig2Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 2: CANTV vs Telefonica announced address space",
+		Header:  []string{"statistic", "value"},
+	}
+	t.AddRow("CANTV average share", pct(r.CANTVAvgShare))
+	t.AddRow("CANTV peak share", pct(r.CANTVPeakShare))
+	t.AddRow("narrowest pre-2014 gap", pct(r.MinGap))
+	return t
+}
+
+// Fig14Result reproduces Appendix C's Figure 14: the visibility heatmap
+// of every prefix Telefonica de Venezuela announced between 2016 and
+// 2024.
+type Fig14Result struct {
+	// Visibility maps prefix -> months announced.
+	Visibility map[string][]months.Month
+	// Withdrawn lists prefixes that disappeared around June 2016.
+	Withdrawn []string
+	// Reappeared lists the larger aggregates that returned in June 2023.
+	Reappeared []string
+}
+
+// Fig14PrefixVisibility runs the prefix-visibility analysis.
+func Fig14PrefixVisibility(w *world.World) Fig14Result {
+	arch := w.RIBArchive(months.New(2016, time.January), months.New(2024, time.January))
+	r := Fig14Result{Visibility: arch.VisibilityMatrix(world.ASTelefonica)}
+	cut := months.New(2016, time.July)
+	reapp := months.New(2023, time.June)
+	for prefix, ms := range r.Visibility {
+		if len(ms) == 0 {
+			continue
+		}
+		first, last := ms[0], ms[len(ms)-1]
+		if last.Before(cut) {
+			r.Withdrawn = append(r.Withdrawn, prefix)
+		}
+		if !first.Before(reapp) {
+			r.Reappeared = append(r.Reappeared, prefix)
+		}
+	}
+	sort.Strings(r.Withdrawn)
+	sort.Strings(r.Reappeared)
+	return r
+}
+
+// Table renders the withdrawal/reappearance summary.
+func (r Fig14Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 14: Telefonica de Venezuela prefix visibility",
+		Header:  []string{"event", "prefixes"},
+	}
+	t.AddRow("withdrawn by mid-2016", itoa(len(r.Withdrawn)))
+	t.AddRow("reappeared as aggregates in 2023", itoa(len(r.Reappeared)))
+	return t
+}
+
+// Fig8Result reproduces Figure 8: CANTV's upstream and downstream counts
+// over time.
+type Fig8Result struct {
+	Upstreams   *series.Series
+	Downstreams *series.Series
+
+	PeakUpstreams     int
+	PeakUpstreamMonth months.Month
+	TroughUpstreams   int // minimum after the 2013 peak
+	TroughMonth       months.Month
+	LatestDownstreams int
+}
+
+// Fig8CANTV runs the connectivity analysis over monthly AS relationship
+// snapshots 1998-2024.
+func Fig8CANTV(w *world.World) Fig8Result {
+	lo, hi := months.New(1998, time.January), months.New(2024, time.January)
+	arch := w.ASRelArchive(lo, hi)
+	r := Fig8Result{Upstreams: series.New(), Downstreams: series.New()}
+	up := arch.UpstreamSeries(world.ASCANTV)
+	down := arch.DownstreamSeries(world.ASCANTV)
+	for m, n := range up {
+		r.Upstreams.Set(m, float64(n))
+		if n > r.PeakUpstreams || (n == r.PeakUpstreams && m.Before(r.PeakUpstreamMonth)) {
+			r.PeakUpstreams = n
+			r.PeakUpstreamMonth = m
+		}
+	}
+	for m, n := range down {
+		r.Downstreams.Set(m, float64(n))
+	}
+	r.TroughUpstreams = r.PeakUpstreams
+	for m, n := range up {
+		if m.After(r.PeakUpstreamMonth) && (n < r.TroughUpstreams || (n == r.TroughUpstreams && m.Before(r.TroughMonth))) {
+			r.TroughUpstreams = n
+			r.TroughMonth = m
+		}
+	}
+	if last, ok := r.Downstreams.Last(); ok {
+		r.LatestDownstreams = int(last.Value)
+	}
+	return r
+}
+
+// Table renders the connectivity summary.
+func (r Fig8Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 8: CANTV-AS8048 interdomain connectivity",
+		Header:  []string{"statistic", "value", "month"},
+	}
+	t.AddRow("peak upstream providers", itoa(r.PeakUpstreams), r.PeakUpstreamMonth.String())
+	t.AddRow("post-peak trough", itoa(r.TroughUpstreams), r.TroughMonth.String())
+	t.AddRow("latest downstream customers", itoa(r.LatestDownstreams), "")
+	return t
+}
+
+// Fig9Result reproduces Figure 9: the heatmap of providers serving
+// transit to CANTV for more than 12 months since 1998.
+type Fig9Result struct {
+	// History maps provider ASN -> active months.
+	History map[bgp.ASN][]months.Month
+	// USDepartures lists US-registered providers that stopped serving
+	// CANTV, with their final month.
+	USDepartures map[bgp.ASN]months.Month
+	// RemainingUS is the US provider still serving at the end (Columbus).
+	RemainingUS []bgp.ASN
+}
+
+// usRegistered marks the US-registered providers of Figure 9.
+var usRegistered = map[bgp.ASN]bool{
+	world.ASVerizon: true, world.ASSprint: true, world.ASATT: true,
+	world.ASGTT: true, world.ASnLayer: true, world.ASLevel3: true,
+	world.ASGBLX: true, world.ASColumbus: true,
+}
+
+// Fig9TransitHeatmap runs the provider-history analysis.
+func Fig9TransitHeatmap(w *world.World) Fig9Result {
+	lo, hi := months.New(1998, time.January), months.New(2024, time.January)
+	arch := w.ASRelArchive(lo, hi)
+	r := Fig9Result{
+		History:      arch.ProviderHistory(world.ASCANTV, 12/w.Config.Step+1),
+		USDepartures: map[bgp.ASN]months.Month{},
+	}
+	for asn, ms := range r.History {
+		if !usRegistered[asn] || len(ms) == 0 {
+			continue
+		}
+		last := ms[len(ms)-1]
+		if last.Before(hi) {
+			r.USDepartures[asn] = last
+		} else {
+			r.RemainingUS = append(r.RemainingUS, asn)
+		}
+	}
+	sort.Slice(r.RemainingUS, func(i, j int) bool { return r.RemainingUS[i] < r.RemainingUS[j] })
+	return r
+}
+
+// Table renders the departure timeline.
+func (r Fig9Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 9: US providers departing CANTV",
+		Header:  []string{"provider", "last month"},
+	}
+	var asns []bgp.ASN
+	for asn := range r.USDepartures {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool { return r.USDepartures[asns[i]] < r.USDepartures[asns[j]] })
+	for _, asn := range asns {
+		t.AddRow("AS"+asn.String(), r.USDepartures[asn].String())
+	}
+	for _, asn := range r.RemainingUS {
+		t.AddRow("AS"+asn.String(), "still serving")
+	}
+	return t
+}

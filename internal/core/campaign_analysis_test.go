@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+// campaignWorld runs short campaigns (single half-year windows) so the
+// campaign-backed analyses are exercised end to end without simulating
+// the full decade.
+func campaignWorld(t *testing.T) *world.World {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("campaign simulation")
+	}
+	return world.Build(world.Config{
+		TraceStart: months.New(2023, time.July), TraceEnd: months.New(2023, time.December),
+		ChaosStart: months.New(2023, time.July), ChaosEnd: months.New(2023, time.December),
+	})
+}
+
+func TestFig12OverShortCampaign(t *testing.T) {
+	w := campaignWorld(t)
+	r := Fig12GPDNS(w.TraceCampaign())
+	if r.VE2023H2 < 30 || r.VE2023H2 > 45 {
+		t.Errorf("VE H2 2023 = %.2f, want ~36.56", r.VE2023H2)
+	}
+	if r.VEOverRegion < 1.5 || r.VEOverRegion > 2.6 {
+		t.Errorf("VE/region = %.2f, want ~2.06", r.VEOverRegion)
+	}
+	if len(r.CountryH2of2023) < 25 {
+		t.Errorf("countries with data = %d", len(r.CountryH2of2023))
+	}
+	// 2016 columns are empty in a 2023-only campaign.
+	if len(r.CountryH1of2016) != 0 {
+		t.Errorf("2016 data in 2023 campaign: %v", r.CountryH1of2016)
+	}
+}
+
+func TestFig20OverShortCampaign(t *testing.T) {
+	w := campaignWorld(t)
+	tc := w.TraceCampaign()
+	r := Fig20ProbeGeo(w.Fleet, tc, months.New(2023, time.December))
+	if len(r.Probes) < 25 {
+		t.Fatalf("probes = %d", len(r.Probes))
+	}
+	if r.Under10 == 0 {
+		t.Error("no border probes under 10 ms")
+	}
+	if r.Above40+r.From20to40 < r.Under10 {
+		t.Error("most of Venezuela should sit in the slow bands")
+	}
+}
+
+func TestFig6AndFig16OverShortCampaign(t *testing.T) {
+	w := campaignWorld(t)
+	chaos := w.ChaosCampaign()
+
+	fig6 := Fig6RootDNS(chaos)
+	if got := int(fig6.PerCountry.Country("VE").At(months.New(2023, time.December))); got != 0 {
+		t.Errorf("VE replicas end-2023 = %d, want 0", got)
+	}
+	if fig6.RegionEnd < 120 {
+		t.Errorf("region replicas = %d, want ~138", fig6.RegionEnd)
+	}
+
+	fig16 := Fig16RootOrigins(chaos)
+	if len(fig16.LatestTop) == 0 {
+		t.Fatal("no origins")
+	}
+	if fig16.LatestTop[0] != "US" {
+		t.Errorf("dominant origin = %s, want US", fig16.LatestTop[0])
+	}
+}

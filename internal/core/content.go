@@ -1,0 +1,195 @@
+package core
+
+import (
+	"sort"
+
+	"vzlens/internal/mlab"
+	"vzlens/internal/months"
+	"vzlens/internal/offnet"
+	"vzlens/internal/series"
+	"vzlens/internal/webdeps"
+	"vzlens/internal/world"
+)
+
+// Fig7Result reproduces Figure 7 (and Figure 18 over all ten providers):
+// the share of each country's population in organizations hosting
+// hypergiant off-nets, per year.
+type Fig7Result struct {
+	// Coverage maps provider -> country -> year -> population share.
+	Coverage map[string]map[string]map[int]float64
+	// VEAverage is Venezuela's 2013-2021 mean coverage per provider.
+	VEAverage map[string]float64
+}
+
+// Fig7Offnets runs the off-net coverage analysis for the named providers
+// over 2013-2021, detecting hosts from the yearly certificate scans and
+// weighting by population at the organization level.
+func Fig7Offnets(w *world.World, providers []string) Fig7Result {
+	r := Fig7Result{
+		Coverage:  map[string]map[string]map[int]float64{},
+		VEAverage: map[string]float64{},
+	}
+	countries := []string{"AR", "BR", "CL", "CO", "MX", "VE"}
+	for year := 2013; year <= 2021; year++ {
+		scan := w.OffnetScan(year)
+		detected := offnet.DetectOffnets(scan, offnet.Hypergiants())
+		for _, provider := range providers {
+			hosts := detected[provider]
+			byCountry, ok := r.Coverage[provider]
+			if !ok {
+				byCountry = map[string]map[int]float64{}
+				r.Coverage[provider] = byCountry
+			}
+			for _, cc := range countries {
+				byYear, ok := byCountry[cc]
+				if !ok {
+					byYear = map[int]float64{}
+					byCountry[cc] = byYear
+				}
+				byYear[year] = offnet.Coverage(cc, hosts, w.Pop, w.Orgs)
+			}
+		}
+	}
+	for _, provider := range providers {
+		var sum float64
+		var n int
+		for _, v := range r.Coverage[provider]["VE"] {
+			sum += v
+			n++
+		}
+		if n > 0 {
+			r.VEAverage[provider] = sum / float64(n)
+		}
+	}
+	return r
+}
+
+// Table renders Venezuela's per-provider average coverage.
+func (r Fig7Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 7/18: Venezuela population in off-net hosting orgs (2013-2021 mean)",
+		Header:  []string{"provider", "VE mean coverage"},
+	}
+	var providers []string
+	for p := range r.VEAverage {
+		providers = append(providers, p)
+	}
+	sort.Strings(providers)
+	for _, p := range providers {
+		t.AddRow(p, pct(r.VEAverage[p]))
+	}
+	return t
+}
+
+// Fig11Result reproduces Figure 11: median download speed evolution.
+type Fig11Result struct {
+	Panel      *series.Panel
+	RegionMean *series.Series
+	Normalized *series.Series // VE divided by the regional mean
+
+	VEJuly2023     float64
+	PeersJuly2023  map[string]float64
+	VEOverRegion09 float64 // ~0.89 before the crisis
+	VEOverRegion23 float64 // ~0.17 a decade later
+}
+
+// Fig11Bandwidth runs the bandwidth analysis over a generated NDT
+// archive: volume-weighted monthly draws per country, aggregated to
+// month-country medians.
+func Fig11Bandwidth(seed int64, lo, hi months.Month, step int) Fig11Result {
+	gen := mlab.NewGenerator(seed)
+	ar := mlab.NewArchive()
+	for m := lo; !m.After(hi); m = m.Add(step) {
+		for _, cc := range mlab.Countries() {
+			ar.Add(gen.Draw(cc, m, mlab.MonthlyVolume(cc)))
+		}
+	}
+	r := Fig11Result{
+		Panel:         ar.MedianPanel(),
+		PeersJuly2023: map[string]float64{},
+	}
+	r.RegionMean = r.Panel.RegionalMean()
+	r.Normalized = r.Panel.NormalizeAgainst("VE", r.RegionMean)
+
+	july23 := nearestMonth(r.Panel.Country("VE"), months.MustParse("2023-07"))
+	r.VEJuly2023 = r.Panel.Country("VE").At(july23)
+	for _, cc := range []string{"UY", "BR", "CL", "AR", "MX"} {
+		r.PeersJuly2023[cc] = r.Panel.Country(cc).At(july23)
+	}
+	july09 := nearestMonth(r.Panel.Country("VE"), months.MustParse("2009-07"))
+	if v, ok := r.Normalized.Get(july09); ok {
+		r.VEOverRegion09 = v
+	}
+	if v, ok := r.Normalized.Get(july23); ok {
+		r.VEOverRegion23 = v
+	}
+	return r
+}
+
+// nearestMonth snaps a target month to the closest recorded month of s
+// (campaigns may run with a coarse step).
+func nearestMonth(s *series.Series, target months.Month) months.Month {
+	best := target
+	bestDist := 1 << 30
+	for _, p := range s.Points() {
+		d := p.Month.Sub(target)
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			bestDist = d
+			best = p.Month
+		}
+	}
+	return best
+}
+
+// Table renders the bandwidth summary.
+func (r Fig11Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 11: median download speed (Mbps)",
+		Header:  []string{"series", "July 2023"},
+	}
+	t.AddRow("VE", f2(r.VEJuly2023))
+	for _, cc := range []string{"UY", "BR", "CL", "MX", "AR"} {
+		t.AddRow(cc, f2(r.PeersJuly2023[cc]))
+	}
+	t.AddRow("VE / region (2009)", f2(r.VEOverRegion09))
+	t.AddRow("VE / region (2023)", f2(r.VEOverRegion23))
+	return t
+}
+
+// Fig19Result reproduces Appendix H's Figure 19: third-party adoption.
+type Fig19Result struct {
+	PerCountry map[string]webdeps.Rates
+	Means      webdeps.Rates
+	VE         webdeps.Rates
+}
+
+// Fig19ThirdParty runs the third-party dependency analysis over a
+// generated scraping snapshot of 1,000 sites per country.
+func Fig19ThirdParty() Fig19Result {
+	snap := webdeps.GenerateSnapshot(1000)
+	r := Fig19Result{PerCountry: map[string]webdeps.Rates{}}
+	for _, cc := range snap.Countries() {
+		if rates, ok := snap.Adoption(cc); ok {
+			r.PerCountry[cc] = rates
+		}
+	}
+	r.Means = snap.RegionalMeans()
+	r.VE = r.PerCountry["VE"]
+	return r
+}
+
+// Table renders the adoption comparison.
+func (r Fig19Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 19: third-party adoption over country-unique top sites",
+		Header:  []string{"dimension", "VE", "regional mean"},
+	}
+	t.AddRow("third-party DNS", f2(r.VE.DNS), f2(r.Means.DNS))
+	t.AddRow("third-party CA", f2(r.VE.CA), f2(r.Means.CA))
+	t.AddRow("third-party CDN", f2(r.VE.CDN), f2(r.Means.CDN))
+	t.AddRow("HTTPS", f2(r.VE.HTTPS), f2(r.Means.HTTPS))
+	return t
+}

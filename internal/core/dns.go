@@ -1,0 +1,229 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/geo"
+	"vzlens/internal/months"
+	"vzlens/internal/series"
+)
+
+// nonLACNICOrigins are the countries whose root instances count as
+// "overseas" in the origin analyses.
+var nonLACNICOrigins = map[string]bool{
+	"US": true, "GB": true, "DE": true, "FR": true, "NL": true,
+	"SE": true, "JP": true, "ZA": true, "CA": true, "RU": true,
+	"ES": true, "IT": true,
+}
+
+// Fig6Result reproduces Figure 6: root DNS replicas per country detected
+// through CHAOS TXT strings.
+type Fig6Result struct {
+	PerCountry *series.Panel
+	Region     *series.Series
+
+	RegionStart, RegionEnd int
+	VESeries               map[months.Month]int
+}
+
+// Fig6RootDNS runs the replica-count analysis over a CHAOS campaign.
+func Fig6RootDNS(c *atlas.ChaosCampaign) Fig6Result {
+	r := Fig6Result{PerCountry: series.NewPanel(), VESeries: map[months.Month]int{}}
+	for _, m := range c.Months() {
+		counts := c.SitesByCountry(m, "")
+		for _, cc := range geo.LACNICCountries() {
+			r.PerCountry.Country(cc).Set(m, float64(counts[cc]))
+		}
+		r.VESeries[m] = counts["VE"]
+	}
+	r.Region = r.PerCountry.RegionalTotal()
+	if first, ok := r.Region.First(); ok {
+		r.RegionStart = int(first.Value)
+	}
+	if last, ok := r.Region.Last(); ok {
+		r.RegionEnd = int(last.Value)
+	}
+	return r
+}
+
+// Table renders the replica summary.
+func (r Fig6Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 6: root DNS replicas per country (CHAOS TXT)",
+		Header:  []string{"series", "first", "last"},
+	}
+	t.AddRow("region total", itoa(r.RegionStart), itoa(r.RegionEnd))
+	for _, cc := range []string{"BR", "CL", "MX", "AR", "VE"} {
+		s := r.PerCountry.Country(cc)
+		first, _ := s.First()
+		last, _ := s.Last()
+		t.AddRow(cc, itoa(int(first.Value)), itoa(int(last.Value)))
+	}
+	return t
+}
+
+// Fig16Result reproduces Appendix E's Figure 16: where the root servers
+// answering Venezuelan probes are located.
+type Fig16Result struct {
+	// Origins maps month -> origin country -> replica count, restricted
+	// to responses seen by probes in Venezuela.
+	Origins map[months.Month]map[string]int
+	// LatestTop lists origin countries in the final month, descending.
+	LatestTop []string
+}
+
+// Fig16RootOrigins runs the origin analysis.
+func Fig16RootOrigins(c *atlas.ChaosCampaign) Fig16Result {
+	r := Fig16Result{Origins: map[months.Month]map[string]int{}}
+	ms := c.Months()
+	for _, m := range ms {
+		r.Origins[m] = c.SitesByCountry(m, "VE")
+	}
+	if len(ms) > 0 {
+		last := r.Origins[ms[len(ms)-1]]
+		for cc := range last {
+			r.LatestTop = append(r.LatestTop, cc)
+		}
+		sort.Slice(r.LatestTop, func(i, j int) bool {
+			if last[r.LatestTop[i]] != last[r.LatestTop[j]] {
+				return last[r.LatestTop[i]] > last[r.LatestTop[j]]
+			}
+			return r.LatestTop[i] < r.LatestTop[j]
+		})
+	}
+	return r
+}
+
+// Table renders the latest origin distribution.
+func (r Fig16Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 16: root origins serving Venezuelan probes (latest month)",
+		Header:  []string{"origin", "replicas"},
+	}
+	var lastMonth months.Month
+	for m := range r.Origins {
+		if m > lastMonth {
+			lastMonth = m
+		}
+	}
+	for _, cc := range r.LatestTop {
+		t.AddRow(cc, itoa(r.Origins[lastMonth][cc]))
+	}
+	return t
+}
+
+// Fig12Result reproduces Figure 12: median RTT to Google Public DNS.
+type Fig12Result struct {
+	Panel *series.Panel
+
+	// Half-year summary statistics (means of monthly medians).
+	VE2016H1, VE2023H2               float64
+	RegionAvg2023H2                  float64
+	VEOverRegion                     float64
+	CountryH1of2016, CountryH2of2023 map[string]float64
+}
+
+// halfWindowMean averages a country's monthly medians over six months.
+func halfWindowMean(tc *atlas.TraceCampaign, cc string, lo months.Month) (float64, bool) {
+	var sum float64
+	var n int
+	for i := 0; i < 6; i++ {
+		if v, ok := tc.CountryMedian(cc, lo.Add(i)); ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return sum / float64(n), true
+}
+
+// Fig12GPDNS runs the latency analysis over the traceroute campaign.
+func Fig12GPDNS(tc *atlas.TraceCampaign) Fig12Result {
+	r := Fig12Result{
+		Panel:           tc.MedianPanel(),
+		CountryH1of2016: map[string]float64{},
+		CountryH2of2023: map[string]float64{},
+	}
+	h1of2016 := months.New(2016, time.January)
+	h2of2023 := months.New(2023, time.July)
+	var sum float64
+	var n int
+	for _, cc := range r.Panel.Countries() {
+		if v, ok := halfWindowMean(tc, cc, h1of2016); ok {
+			r.CountryH1of2016[cc] = v
+		}
+		if v, ok := halfWindowMean(tc, cc, h2of2023); ok {
+			r.CountryH2of2023[cc] = v
+			sum += v
+			n++
+		}
+	}
+	r.VE2016H1 = r.CountryH1of2016["VE"]
+	r.VE2023H2 = r.CountryH2of2023["VE"]
+	if n > 0 {
+		r.RegionAvg2023H2 = sum / float64(n)
+	}
+	if r.RegionAvg2023H2 > 0 {
+		r.VEOverRegion = r.VE2023H2 / r.RegionAvg2023H2
+	}
+	return r
+}
+
+// Table renders the latency summary.
+func (r Fig12Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 12: median RTT to Google Public DNS (ms)",
+		Header:  []string{"series", "H1 2016", "H2 2023"},
+	}
+	for _, cc := range []string{"AR", "BR", "CL", "CO", "MX", "VE"} {
+		t.AddRow(cc, f2(r.CountryH1of2016[cc]), f2(r.CountryH2of2023[cc]))
+	}
+	t.AddRow("LACNIC average", "", f2(r.RegionAvg2023H2))
+	t.AddRow("VE / region", "", f2(r.VEOverRegion)+"x")
+	return t
+}
+
+// Fig20Result reproduces Appendix J's Figure 20: Venezuelan probe
+// locations against their minimum RTT to GPDNS.
+type Fig20Result struct {
+	Probes []atlas.ProbeRTT
+	// Bands counts probes by the figure's color bands.
+	Under10, From10to20, From20to40, Above40 int
+}
+
+// Fig20ProbeGeo runs the probe-geography analysis for one month.
+func Fig20ProbeGeo(fleet *atlas.Fleet, tc *atlas.TraceCampaign, m months.Month) Fig20Result {
+	var r Fig20Result
+	for _, pr := range tc.ProbeMinsWithLocation(fleet, "VE", m) {
+		r.Probes = append(r.Probes, pr)
+		switch {
+		case pr.MinRTTms < 10:
+			r.Under10++
+		case pr.MinRTTms < 20:
+			r.From10to20++
+		case pr.MinRTTms < 40:
+			r.From20to40++
+		default:
+			r.Above40++
+		}
+	}
+	sort.Slice(r.Probes, func(i, j int) bool { return r.Probes[i].Probe.ID < r.Probes[j].Probe.ID })
+	return r
+}
+
+// Table renders the band counts.
+func (r Fig20Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 20: Venezuelan probes by RTT band",
+		Header:  []string{"band", "probes"},
+	}
+	t.AddRow("< 10 ms (border)", itoa(r.Under10))
+	t.AddRow("10-20 ms", itoa(r.From10to20))
+	t.AddRow("20-40 ms", itoa(r.From20to40))
+	t.AddRow("> 40 ms", itoa(r.Above40))
+	return t
+}

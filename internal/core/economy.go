@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"vzlens/internal/econ"
+	"vzlens/internal/months"
+	"vzlens/internal/series"
+)
+
+// Fig1Result reproduces Figure 1: the macro indicators of the crisis with
+// the drop annotations the paper prints on each panel.
+type Fig1Result struct {
+	Oil        *series.Series
+	GDP        *series.Series
+	Inflation  *series.Series
+	Population *series.Series
+
+	OilDropPct        float64 // annotated -81.49%
+	GDPDropPct        float64 // annotated -70.90%
+	InflationPeak     float64 // annotated 32,000%
+	PopulationDropPct float64 // annotated -13.85%
+}
+
+// Fig1Economy computes the Figure 1 panels.
+func Fig1Economy() Fig1Result {
+	r := Fig1Result{
+		Oil:        econ.OilProductionVE(),
+		GDP:        econ.GDPPerCapita().Country("VE"),
+		Inflation:  econ.InflationVE(),
+		Population: econ.PopulationVE(),
+	}
+	r.OilDropPct, _ = econ.DropFromPeak(r.Oil)
+	r.GDPDropPct, _ = econ.DropFromPeak(r.GDP)
+	if peak, ok := r.Inflation.MaxPoint(); ok {
+		r.InflationPeak = peak.Value
+	}
+	r.PopulationDropPct, _ = econ.DropFromPeak(r.Population)
+	return r
+}
+
+// Table renders the annotated drops.
+func (r Fig1Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 1: Venezuela's economic collapse (annotations)",
+		Header:  []string{"indicator", "statistic", "value"},
+	}
+	t.AddRow("oil production", "drop from peak", f2(r.OilDropPct)+"%")
+	t.AddRow("GDP per capita", "drop from peak", f2(r.GDPDropPct)+"%")
+	t.AddRow("inflation", "peak", f1(r.InflationPeak)+"%")
+	t.AddRow("population", "drop from peak", f2(r.PopulationDropPct)+"%")
+	return t
+}
+
+// Fig13Result reproduces Appendix B's Figure 13: Venezuela's GDP-per-
+// capita rank across the region at five-year marks.
+type Fig13Result struct {
+	Panel *series.Panel
+	Ranks map[int]int // year -> descending rank
+	Of    int         // countries ranked
+}
+
+// Fig13GDPRank computes the rank trajectory.
+func Fig13GDPRank() Fig13Result {
+	p := econ.GDPPerCapita()
+	r := Fig13Result{Panel: p, Ranks: map[int]int{}}
+	for year := 1980; year <= 2020; year += 5 {
+		rank, of, ok := p.RankAt("VE", months.New(year, time.January))
+		if !ok {
+			continue
+		}
+		r.Ranks[year] = rank
+		r.Of = of
+	}
+	return r
+}
+
+// Table renders the rank annotations.
+func (r Fig13Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 13: Venezuela's GDP-per-capita rank in the region",
+		Header:  []string{"year", "rank", "of"},
+	}
+	for year := 1980; year <= 2020; year += 5 {
+		if rank, ok := r.Ranks[year]; ok {
+			t.AddRow(itoa(year), itoa(rank), itoa(r.Of))
+		}
+	}
+	return t
+}

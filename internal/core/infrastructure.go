@@ -1,0 +1,246 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"strings"
+
+	"vzlens/internal/geo"
+	"vzlens/internal/ipv6"
+	"vzlens/internal/months"
+	"vzlens/internal/series"
+	"vzlens/internal/world"
+)
+
+// Fig3Result reproduces Figure 3: peering facility growth across the
+// region since April 2018.
+type Fig3Result struct {
+	PerCountry *series.Panel
+	Region     *series.Series
+
+	RegionStart, RegionEnd int
+	VEFacilities           int
+}
+
+// Fig3Facilities runs the facility-growth analysis over monthly PeeringDB
+// snapshots.
+func Fig3Facilities(w *world.World) Fig3Result {
+	lo, hi := months.New(2018, time.April), months.New(2024, time.January)
+	arch := w.PeeringDBArchive(lo, hi)
+	r := Fig3Result{PerCountry: series.NewPanel()}
+	for _, m := range arch.Months() {
+		counts := arch.Get(m).FacilityCount()
+		for cc, n := range counts {
+			r.PerCountry.Country(cc).Set(m, float64(n))
+		}
+	}
+	r.Region = r.PerCountry.RegionalTotal()
+	if first, ok := r.Region.First(); ok {
+		r.RegionStart = int(first.Value)
+	}
+	if last, ok := r.Region.Last(); ok {
+		r.RegionEnd = int(last.Value)
+	}
+	r.VEFacilities = int(r.PerCountry.Country("VE").At(hi))
+	return r
+}
+
+// Table renders the growth summary.
+func (r Fig3Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 3: peering facilities in the LACNIC region",
+		Header:  []string{"series", "2018", "2024"},
+	}
+	t.AddRow("region total", itoa(r.RegionStart), itoa(r.RegionEnd))
+	for _, cc := range []string{"BR", "MX", "CL", "AR", "CR", "VE"} {
+		s := r.PerCountry.Country(cc)
+		first, _ := s.First()
+		last, _ := s.Last()
+		t.AddRow(cc, itoa(int(first.Value)), itoa(int(last.Value)))
+	}
+	return t
+}
+
+// Fig4Result reproduces Figure 4: submarine cable expansion.
+type Fig4Result struct {
+	PerCountry map[string][]int // cc -> counts at each year
+	Years      []int
+	Region     []int
+
+	RegionAt2000, RegionAt2024 int
+	VEAdditionsSince2000       []string
+}
+
+// Fig4Cables runs the submarine-connectivity analysis.
+func Fig4Cables(w *world.World) Fig4Result {
+	r := Fig4Result{PerCountry: map[string][]int{}}
+	for y := 1992; y <= 2024; y++ {
+		r.Years = append(r.Years, y)
+		r.Region = append(r.Region, w.Cables.RegionTotal(y))
+	}
+	for _, cc := range w.Cables.Countries() {
+		for _, y := range r.Years {
+			r.PerCountry[cc] = append(r.PerCountry[cc], w.Cables.CountryCount(cc, y))
+		}
+	}
+	r.RegionAt2000 = w.Cables.RegionTotal(2000)
+	r.RegionAt2024 = w.Cables.RegionTotal(2024)
+	for _, c := range w.Cables.AddedBetween("VE", 2000, 2024) {
+		r.VEAdditionsSince2000 = append(r.VEAdditionsSince2000, c.Name)
+	}
+	return r
+}
+
+// Table renders the expansion summary.
+func (r Fig4Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 4: submarine cable networks",
+		Header:  []string{"statistic", "value"},
+	}
+	t.AddRow("region 2000", itoa(r.RegionAt2000))
+	t.AddRow("region 2024", itoa(r.RegionAt2024))
+	for _, name := range r.VEAdditionsSince2000 {
+		t.AddRow("VE addition since 2000", name)
+	}
+	return t
+}
+
+// Fig5Result reproduces Figure 5: IPv6 adoption as seen by Meta.
+type Fig5Result struct {
+	Panel  *series.Panel
+	Region *series.Series
+
+	VELatest     float64
+	RegionLatest float64
+}
+
+// Fig5IPv6 runs the IPv6-rollout analysis.
+func Fig5IPv6() Fig5Result {
+	lo, hi := months.New(2018, time.January), months.New(2023, time.June)
+	ds := ipv6.Collect(ipv6.CoveredCountries(), lo, hi)
+	r := Fig5Result{Panel: ds.Panel(), Region: ds.RegionalMean()}
+	r.VELatest = ds.At("VE", hi)
+	r.RegionLatest = r.Region.At(hi)
+	return r
+}
+
+// Table renders the adoption summary.
+func (r Fig5Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 5: IPv6 adoption (percent of requests)",
+		Header:  []string{"series", "mid-2023"},
+	}
+	t.AddRow("VE", f2(r.VELatest))
+	t.AddRow("region mean", f2(r.RegionLatest))
+	for _, cc := range []string{"MX", "BR", "CL", "AR", "CO"} {
+		last, _ := r.Panel.Country(cc).Last()
+		t.AddRow(cc, f2(last.Value))
+	}
+	return t
+}
+
+// Fig17Result reproduces Appendix F's Figure 17: Atlas probe coverage.
+type Fig17Result struct {
+	PerCountry *series.Panel
+	Region     *series.Series
+
+	VE2016, VE2024 int
+	VERank         int
+}
+
+// Fig17AtlasFootprint runs the probe-coverage analysis.
+func Fig17AtlasFootprint(w *world.World) Fig17Result {
+	lo, hi := months.New(2016, time.January), months.New(2024, time.January)
+	r := Fig17Result{PerCountry: series.NewPanel()}
+	lacnic := map[string]bool{}
+	for _, cc := range geo.LACNICCountries() {
+		lacnic[cc] = true
+	}
+	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
+		for cc, n := range w.Fleet.CountByCountry(m) {
+			if lacnic[cc] {
+				r.PerCountry.Country(cc).Set(m, float64(n))
+			}
+		}
+	}
+	r.Region = r.PerCountry.RegionalTotal()
+	r.VE2016 = int(r.PerCountry.Country("VE").At(lo))
+	r.VE2024 = int(r.PerCountry.Country("VE").At(hi))
+	rank, _ := w.Fleet.CountryRank("VE", hi)
+	r.VERank = rank
+	return r
+}
+
+// Table renders the coverage summary.
+func (r Fig17Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 17: RIPE Atlas probes per country",
+		Header:  []string{"statistic", "value"},
+	}
+	t.AddRow("VE probes 2016", itoa(r.VE2016))
+	t.AddRow("VE probes 2024", itoa(r.VE2024))
+	t.AddRow("VE regional rank", itoa(r.VERank))
+	first, _ := r.Region.First()
+	last, _ := r.Region.Last()
+	t.AddRow("region probes 2016", itoa(int(first.Value)))
+	t.AddRow("region probes 2024", itoa(int(last.Value)))
+	return t
+}
+
+// Fig15Result reproduces Appendix D's Figure 15 and Table 2: network
+// presence at Venezuelan facilities.
+type Fig15Result struct {
+	Membership map[string]map[months.Month]int // facility -> month -> members
+	Latest     map[string]int
+	// Networks lists the member network names per facility in the final
+	// snapshot — the body of Table 2.
+	Networks   map[string][]string
+	TotalNames []string
+}
+
+// Fig15FacilityMembers runs the facility-membership analysis.
+func Fig15FacilityMembers(w *world.World) Fig15Result {
+	lo, hi := months.New(2021, time.November), months.New(2024, time.January)
+	arch := w.PeeringDBArchive(lo, hi)
+	r := Fig15Result{
+		Membership: map[string]map[months.Month]int{},
+		Latest:     map[string]int{},
+	}
+	archMonths := arch.Months()
+	latest := hi
+	if len(archMonths) > 0 {
+		latest = archMonths[len(archMonths)-1]
+	}
+	names := w.VEFacilityNamesAt(latest)
+	r.Networks = map[string][]string{}
+	finalSnap := arch.Get(latest)
+	for _, name := range names {
+		r.Membership[name] = arch.MembershipSeries(name)
+		if n, ok := r.Membership[name][latest]; ok {
+			r.Latest[name] = n
+		}
+		if finalSnap != nil {
+			if fac, ok := finalSnap.FacilityByName(name); ok {
+				for _, net := range finalSnap.NetworksAt(fac.ID) {
+					r.Networks[name] = append(r.Networks[name], net.Name)
+				}
+			}
+		}
+	}
+	r.TotalNames = names
+	sort.Strings(r.TotalNames)
+	return r
+}
+
+// Table renders the latest membership per facility.
+func (r Fig15Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 15/Table 2: networks at Venezuelan facilities",
+		Header:  []string{"facility", "networks", "members"},
+	}
+	for _, name := range r.TotalNames {
+		t.AddRow(name, itoa(r.Latest[name]), strings.Join(r.Networks[name], "; "))
+	}
+	return t
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"sort"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/ixp"
+	"vzlens/internal/world"
+)
+
+// Fig10Result reproduces Figure 10: the population share of each country
+// present at the largest IXP of every Latin American country.
+type Fig10Result struct {
+	Heatmap map[string]map[string]ixp.Cell // exchange -> country -> cell
+
+	ARShareAtARIX     float64
+	BRShareAtIXbr     float64
+	CLShareAtPITChile float64
+	VEPresent         bool    // whether VE appears at any of the 18 largest
+	VEAtEquinixBogota float64 // the single-network toehold
+}
+
+// Fig10IXPHeatmap runs the regional IXP analysis.
+func Fig10IXPHeatmap(w *world.World) Fig10Result {
+	members := w.IXPMembership()
+	countries := append([]string{}, w.Pop.InCountryCodes()...)
+	hm := ixp.Heatmap(members, w.Pop, ixp.LatAmExchanges(), countries)
+	r := Fig10Result{Heatmap: hm}
+	if row, ok := hm["AR-IX"]; ok {
+		r.ARShareAtARIX = row["AR"].Share
+	}
+	if row, ok := hm["IX.br (SP)"]; ok {
+		r.BRShareAtIXbr = row["BR"].Share
+	}
+	if row, ok := hm["PIT Chile (SCL)"]; ok {
+		r.CLShareAtPITChile = row["CL"].Share
+	}
+	for ex, row := range hm {
+		if ex == "Equinix Bogota" {
+			r.VEAtEquinixBogota = row["VE"].Share
+			continue
+		}
+		if _, ok := row["VE"]; ok {
+			r.VEPresent = true
+		}
+	}
+	return r
+}
+
+// Table renders the headline cells.
+func (r Fig10Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 10: population share at the largest IXP per country",
+		Header:  []string{"exchange", "country", "share"},
+	}
+	t.AddRow("AR-IX", "AR", pct(r.ARShareAtARIX))
+	t.AddRow("IX.br (SP)", "BR", pct(r.BRShareAtIXbr))
+	t.AddRow("PIT Chile (SCL)", "CL", pct(r.CLShareAtPITChile))
+	veCell := "absent"
+	if r.VEPresent {
+		veCell = "present"
+	}
+	t.AddRow("any of the 18 largest", "VE", veCell)
+	t.AddRow("Equinix Bogota", "VE", pct(r.VEAtEquinixBogota))
+	return t
+}
+
+// Fig21Result reproduces Appendix I's Figure 21: Latin American presence
+// at United States exchanges.
+type Fig21Result struct {
+	Heatmap map[string]map[string]ixp.Cell
+
+	VENetworks int
+	VEShare    float64
+	// CountriesPresent lists countries with any US IXP presence, sorted.
+	CountriesPresent []string
+}
+
+// Fig21USIXPs runs the US exchange analysis.
+func Fig21USIXPs(w *world.World) Fig21Result {
+	members := w.USIXPMembership()
+	countries := w.Pop.InCountryCodes()
+	hm := ixp.Heatmap(members, w.Pop, ixp.USExchanges(), countries)
+	r := Fig21Result{Heatmap: hm}
+	ve := ixp.CountryPresence(members, w.Pop, ixp.USExchanges(), "VE")
+	r.VENetworks = ve.Networks
+	r.VEShare = ve.Share
+	seen := map[string]bool{}
+	for _, row := range hm {
+		for cc := range row {
+			seen[cc] = true
+		}
+	}
+	for cc := range seen {
+		r.CountriesPresent = append(r.CountriesPresent, cc)
+	}
+	sort.Strings(r.CountriesPresent)
+	return r
+}
+
+// Table renders the Venezuelan summary plus the per-exchange breakdown
+// (the figure's lower panel: AS counts per exchange).
+func (r Fig21Result) Table() *Table {
+	t := &Table{
+		Caption: "Figure 21: Latin American networks at US exchanges",
+		Header:  []string{"statistic", "value"},
+	}
+	t.AddRow("VE networks", itoa(r.VENetworks))
+	t.AddRow("VE population share", pct(r.VEShare))
+	t.AddRow("countries present", itoa(len(r.CountriesPresent)))
+	var exchanges []string
+	for ex := range r.Heatmap {
+		exchanges = append(exchanges, ex)
+	}
+	sort.Strings(exchanges)
+	for _, ex := range exchanges {
+		total := 0
+		veNets := 0
+		for cc, cell := range r.Heatmap[ex] {
+			total += cell.Networks
+			if cc == "VE" {
+				veNets = cell.Networks
+			}
+		}
+		t.AddRow(ex, itoa(total)+" LatAm ASes ("+itoa(veNets)+" VE)")
+	}
+	return t
+}
+
+// Table1Result reproduces Table 1 (Appendix A): the ten largest
+// Venezuelan providers.
+type Table1Result struct {
+	Rows        []Table1Row
+	TopTenShare float64
+	CANTVShare  float64
+}
+
+// Table1Row is one provider line.
+type Table1Row struct {
+	ASN   bgp.ASN
+	Name  string
+	Users int64
+	Share float64
+}
+
+// Table1Eyeballs runs the market-composition analysis.
+func Table1Eyeballs(w *world.World) Table1Result {
+	var r Table1Result
+	var asns []bgp.ASN
+	for _, est := range w.Pop.TopN("VE", 10) {
+		r.Rows = append(r.Rows, Table1Row{
+			ASN:   est.ASN,
+			Name:  est.Name,
+			Users: est.Users,
+			Share: w.Pop.Share(est.ASN),
+		})
+		asns = append(asns, est.ASN)
+	}
+	r.TopTenShare = w.Pop.ShareOf("VE", asns)
+	r.CANTVShare = w.Pop.Share(world.ASCANTV)
+	return r
+}
+
+// Table renders the provider table.
+func (r Table1Result) Table() *Table {
+	t := &Table{
+		Caption: "Table 1: ten largest Venezuelan providers",
+		Header:  []string{"ASN", "name", "users", "share"},
+	}
+	for _, row := range r.Rows {
+		t.AddRow(row.ASN.String(), row.Name, itoa64(row.Users), pct(row.Share))
+	}
+	t.AddRow("", "top-10 total", "", pct(r.TopTenShare))
+	return t
+}
+
+func itoa64(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	// Thousands separators for readability, as in the paper's table.
+	var out []byte
+	for i, d := range digits {
+		if i > 0 && (len(digits)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, d)
+	}
+	if neg {
+		out = append([]byte{'-'}, out...)
+	}
+	return string(out)
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+func TestCrisisSignaturesRecoverTheNarrative(t *testing.T) {
+	// Without the CHAOS campaign (covered separately): the detectors
+	// must find the paper's three core structural signals.
+	r := CrisisSignatures(testWorld, nil)
+
+	// 1. A decade-scale bandwidth stagnation.
+	stag := r.Find("mlab/bandwidth")
+	if len(stag) == 0 {
+		t.Fatal("bandwidth stagnation not detected")
+	}
+	longest := stag[0]
+	for _, e := range stag {
+		if e.Months() > longest.Months() {
+			longest = e
+		}
+	}
+	if longest.Months() < 96 {
+		t.Errorf("stagnation = %d months, want >= 96", longest.Months())
+	}
+
+	// 2. The CANTV upstream contraction: a >60% collapse running through
+	// the mid-2010s and bottoming out around 2020 (the V.tal arrival in
+	// 2014 splits the decline from the absolute 2012/13 peak, so the
+	// detector reports the post-2014 leg).
+	ups := r.Find("bgp/upstreams")
+	found := false
+	for _, e := range ups {
+		if e.Start.Year() >= 2013 && e.Start.Year() <= 2016 &&
+			e.End.Year() >= 2018 && e.End.Year() <= 2021 && e.Magnitude > 0.6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("upstream collapse not found: %v", ups)
+	}
+
+	// 3. Telefonica's address-space contraction beginning mid-2016.
+	tef := r.Find("bgp/telefonica-space")
+	found = false
+	for _, e := range tef {
+		if e.Start.Year() == 2016 && e.Magnitude > 0.2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Telefonica contraction not found: %v", tef)
+	}
+
+	// 4. The divergence from the regional mean.
+	if div := r.Find("mlab/normalized"); len(div) == 0 {
+		t.Error("bandwidth divergence not detected")
+	}
+
+	if txt := r.Table().Text(); len(txt) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestCrisisSignaturesWithChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation")
+	}
+	w := world.Build(world.Config{
+		ChaosStart: months.New(2021, time.January),
+		ChaosEnd:   months.New(2023, time.June),
+		Step:       3,
+	})
+	chaos := w.ChaosCampaign()
+	r := CrisisSignatures(w, chaos)
+	roots := r.Find("dnsroot/replicas")
+	if len(roots) == 0 {
+		t.Fatal("root DNS disappearance not detected")
+	}
+	if y := roots[0].Start.Year(); y < 2022 || y > 2023 {
+		t.Errorf("disappearance at %v, want 2022 (Maracaibo withdrawal)", roots[0].Start)
+	}
+}

@@ -1,0 +1,176 @@
+// Package dnsroot models the root DNS server system as the paper measures
+// it: thirteen root letters, each operated independently and each encoding
+// the identity of its anycast instances in a different CHAOS TXT
+// hostname.bind convention. The package provides the per-letter naming
+// schemes, the regular-expression extraction of location tags from the 13
+// response formats (the methodology of Section 3.1), and the deployment
+// model of where instances exist over time.
+package dnsroot
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"vzlens/internal/geo"
+)
+
+// Letter identifies one of the thirteen root servers, 'A' through 'M'.
+type Letter byte
+
+// Letters lists all thirteen root letters in order.
+func Letters() []Letter {
+	out := make([]Letter, 13)
+	for i := range out {
+		out[i] = Letter('A' + i)
+	}
+	return out
+}
+
+// Valid reports whether l is one of the thirteen letters.
+func (l Letter) Valid() bool { return l >= 'A' && l <= 'M' }
+
+// String returns the letter as an upper-case string.
+func (l Letter) String() string { return string(rune(l)) }
+
+// Era selects a naming generation for operators that changed conventions.
+type Era int
+
+// L-root renamed its instances around 2018; other letters kept a single
+// convention over the study period.
+const (
+	EraClassic Era = iota // pre-rename conventions
+	EraModern             // post-rename conventions
+)
+
+// InstanceName returns the CHAOS TXT hostname.bind string a given
+// instance answers with. Each letter uses its operator's convention:
+//
+//	A  nnn1-ccs2                        (Verisign)
+//	B  b1-ccs                           (USC-ISI)
+//	C  ccs1b.c.root-servers.org         (Cogent)
+//	D  dtld-ccs1                        (UMD)
+//	E  e1.ccs.e.root-servers.net        (NASA)
+//	F  ccs1a.f.root-servers.org         (ISC)
+//	G  groot-ccs-1                      (DISA)
+//	H  h1.ccs.h.root-servers.org        (ARL)
+//	I  s1.ccs                           (Netnod)
+//	J  j-ccs-1                          (Verisign)
+//	K  ns1.ve-ccs.k.ripe.net            (RIPE NCC)
+//	L  ccs01.l.root-servers.org         (ICANN, classic era)
+//	L  aa.ve-ccs.l.root                 (ICANN, modern era)
+//	M  m1.ccs.m.root                    (WIDE)
+//
+// The location tag is the city's IATA code (lower-cased); K and modern L
+// additionally carry the country code.
+func InstanceName(l Letter, city geo.City, index int, era Era) string {
+	code := strings.ToLower(city.IATA)
+	cc := strings.ToLower(city.Country)
+	switch l {
+	case 'A':
+		return fmt.Sprintf("nnn1-%s%d", code, index)
+	case 'B':
+		return fmt.Sprintf("b%d-%s", index, code)
+	case 'C':
+		return fmt.Sprintf("%s%db.c.root-servers.org", code, index)
+	case 'D':
+		return fmt.Sprintf("dtld-%s%d", code, index)
+	case 'E':
+		return fmt.Sprintf("e%d.%s.e.root-servers.net", index, code)
+	case 'F':
+		return fmt.Sprintf("%s%da.f.root-servers.org", code, index)
+	case 'G':
+		return fmt.Sprintf("groot-%s-%d", code, index)
+	case 'H':
+		return fmt.Sprintf("h%d.%s.h.root-servers.org", index, code)
+	case 'I':
+		return fmt.Sprintf("s%d.%s", index, code)
+	case 'J':
+		return fmt.Sprintf("j-%s-%d", code, index)
+	case 'K':
+		return fmt.Sprintf("ns%d.%s-%s.k.ripe.net", index, cc, code)
+	case 'L':
+		if era == EraClassic {
+			return fmt.Sprintf("%s%02d.l.root-servers.org", code, index)
+		}
+		return fmt.Sprintf("%s.%s-%s.l.root", serverTag(index), cc, code)
+	case 'M':
+		return fmt.Sprintf("m%d.%s.m.root", index, code)
+	}
+	return ""
+}
+
+// serverTag renders 1 -> "aa", 2 -> "ab", ... like modern L-root names.
+func serverTag(index int) string {
+	if index < 1 {
+		index = 1
+	}
+	index--
+	return string([]byte{byte('a' + (index/26)%26), byte('a' + index%26)})
+}
+
+// Site is a root instance location extracted from a CHAOS TXT response.
+type Site struct {
+	Letter  Letter
+	City    string // city name
+	Country string // ISO code
+	IATA    string // extracted location tag, upper case
+	Raw     string // the response it was parsed from
+}
+
+// Per-letter extraction patterns. Each captures the IATA location tag;
+// K and modern L also capture the country code.
+var patterns = map[Letter][]*regexp.Regexp{
+	'A': {regexp.MustCompile(`^nnn\d+-([a-z]{3})\d*$`)},
+	'B': {regexp.MustCompile(`^b\d+-([a-z]{3})$`)},
+	'C': {regexp.MustCompile(`^([a-z]{3})\d+[a-z]\.c\.root-servers\.org$`)},
+	'D': {regexp.MustCompile(`^dtld-([a-z]{3})\d+$`)},
+	'E': {regexp.MustCompile(`^e\d+\.([a-z]{3})\.e\.root-servers\.net$`)},
+	'F': {regexp.MustCompile(`^([a-z]{3})\d+[a-z]\.f\.root-servers\.org$`)},
+	'G': {regexp.MustCompile(`^groot-([a-z]{3})-\d+$`)},
+	'H': {regexp.MustCompile(`^h\d+\.([a-z]{3})\.h\.root-servers\.org$`)},
+	'I': {regexp.MustCompile(`^s\d+\.([a-z]{3})$`)},
+	'J': {regexp.MustCompile(`^j-([a-z]{3})-\d+$`)},
+	'K': {regexp.MustCompile(`^ns\d+\.([a-z]{2})-([a-z]{3})\.k\.ripe\.net$`)},
+	'L': {
+		regexp.MustCompile(`^([a-z]{3})\d+\.l\.root-servers\.org$`),
+		regexp.MustCompile(`^[a-z]{2}\.([a-z]{2})-([a-z]{3})\.l\.root$`),
+	},
+	'M': {regexp.MustCompile(`^m\d+\.([a-z]{3})\.m\.root$`)},
+}
+
+// ParseInstance extracts the site identified by a CHAOS TXT response from
+// root letter l. It returns an error when the response does not match the
+// letter's convention or the location tag is unknown.
+func ParseInstance(l Letter, txt string) (Site, error) {
+	if !l.Valid() {
+		return Site{}, fmt.Errorf("dnsroot: invalid letter %q", l.String())
+	}
+	t := strings.ToLower(strings.TrimSpace(txt))
+	for _, re := range patterns[l] {
+		m := re.FindStringSubmatch(t)
+		if m == nil {
+			continue
+		}
+		// K and modern L capture (cc, iata); everything else just (iata).
+		iata := m[len(m)-1]
+		city, ok := geo.LookupIATA(iata)
+		if !ok {
+			return Site{}, fmt.Errorf("dnsroot: %s response %q: unknown location tag %q", l, txt, iata)
+		}
+		if len(m) == 3 {
+			if cc := strings.ToUpper(m[1]); cc != city.Country {
+				return Site{}, fmt.Errorf("dnsroot: %s response %q: country %s does not match city %s",
+					l, txt, cc, city.Name)
+			}
+		}
+		return Site{
+			Letter:  l,
+			City:    city.Name,
+			Country: city.Country,
+			IATA:    strings.ToUpper(iata),
+			Raw:     txt,
+		}, nil
+	}
+	return Site{}, fmt.Errorf("dnsroot: %s response %q does not match the operator's convention", l, txt)
+}

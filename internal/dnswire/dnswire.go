@@ -1,0 +1,282 @@
+// Package dnswire implements the small corner of the DNS wire format the
+// paper's CHAOS measurements exercise: TXT queries in class CH for names
+// like "hostname.bind", and the TXT responses root-server instances
+// answer with. It provides message encoding and decoding (RFC 1035
+// framing, including compression-pointer handling on the read path) and
+// a UDP server/client pair so the whole identification path — query on
+// the wire, operator-specific TXT answer, regular-expression extraction
+// — can be driven end to end over real sockets.
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// DNS constants used by CHAOS identification queries.
+const (
+	TypeTXT  uint16 = 16
+	ClassCH  uint16 = 3
+	ClassIN  uint16 = 1
+	FlagQR   uint16 = 1 << 15 // response
+	FlagAA   uint16 = 1 << 10 // authoritative
+	FlagRD   uint16 = 1 << 8  // recursion desired
+	RcodeOK  uint16 = 0
+	RcodeNX  uint16 = 3 // NXDOMAIN
+	RcodeRef uint16 = 5 // REFUSED
+)
+
+// HostnameBind is the conventional CHAOS identification name.
+const HostnameBind = "hostname.bind"
+
+// Errors the codec reports.
+var (
+	ErrTruncatedMessage = errors.New("dnswire: truncated message")
+	ErrBadName          = errors.New("dnswire: malformed name")
+	ErrPointerLoop      = errors.New("dnswire: compression pointer loop")
+	ErrNotResponse      = errors.New("dnswire: message is not a response")
+	ErrNoAnswer         = errors.New("dnswire: no TXT answer")
+)
+
+// Question is one query tuple.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// TXTRecord is one TXT answer.
+type TXTRecord struct {
+	Name  string
+	Class uint16
+	TTL   uint32
+	Texts []string
+}
+
+// Message is a decoded DNS message restricted to what CHAOS probing
+// needs: the header fields, one question, and TXT answers.
+type Message struct {
+	ID       uint16
+	Flags    uint16
+	Question []Question
+	Answers  []TXTRecord
+}
+
+// Rcode extracts the response code from the flags.
+func (m *Message) Rcode() uint16 { return m.Flags & 0xF }
+
+// IsResponse reports whether the QR bit is set.
+func (m *Message) IsResponse() bool { return m.Flags&FlagQR != 0 }
+
+// appendName encodes a domain name as length-prefixed labels.
+func appendName(buf []byte, name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("%w: label %q", ErrBadName, label)
+			}
+			buf = append(buf, byte(len(label)))
+			buf = append(buf, label...)
+		}
+	}
+	return append(buf, 0), nil
+}
+
+// EncodeQuery builds a single-question query message.
+func EncodeQuery(id uint16, q Question) ([]byte, error) {
+	buf := make([]byte, 12, 12+len(q.Name)+6)
+	binary.BigEndian.PutUint16(buf[0:], id)
+	binary.BigEndian.PutUint16(buf[2:], 0) // flags: standard query
+	binary.BigEndian.PutUint16(buf[4:], 1) // QDCOUNT
+	var err error
+	buf, err = appendName(buf, q.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, q.Type)
+	buf = binary.BigEndian.AppendUint16(buf, q.Class)
+	return buf, nil
+}
+
+// EncodeResponse builds a response to query q carrying the given TXT
+// strings (one character-string each) with the supplied rcode. A zero
+// rcode answers authoritatively; nonzero rcodes carry no answer records.
+func EncodeResponse(id uint16, q Question, texts []string, rcode uint16) ([]byte, error) {
+	buf := make([]byte, 12, 64)
+	binary.BigEndian.PutUint16(buf[0:], id)
+	flags := FlagQR | FlagAA | rcode
+	binary.BigEndian.PutUint16(buf[2:], flags)
+	binary.BigEndian.PutUint16(buf[4:], 1) // QDCOUNT
+	ancount := uint16(0)
+	if rcode == RcodeOK && len(texts) > 0 {
+		ancount = uint16(len(texts))
+	}
+	binary.BigEndian.PutUint16(buf[6:], ancount)
+
+	var err error
+	buf, err = appendName(buf, q.Name)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.BigEndian.AppendUint16(buf, q.Type)
+	buf = binary.BigEndian.AppendUint16(buf, q.Class)
+
+	if ancount == 0 {
+		return buf, nil
+	}
+	for _, txt := range texts {
+		if len(txt) > 255 {
+			return nil, fmt.Errorf("dnswire: TXT string exceeds 255 bytes")
+		}
+		buf, err = appendName(buf, q.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = binary.BigEndian.AppendUint16(buf, TypeTXT)
+		buf = binary.BigEndian.AppendUint16(buf, q.Class)
+		buf = binary.BigEndian.AppendUint32(buf, 0) // TTL 0: identification data
+		rdata := make([]byte, 0, len(txt)+1)
+		rdata = append(rdata, byte(len(txt)))
+		rdata = append(rdata, txt...)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(rdata)))
+		buf = append(buf, rdata...)
+	}
+	return buf, nil
+}
+
+// readName decodes a possibly-compressed name starting at off, returning
+// the name and the offset of the byte after it.
+func readName(msg []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	after := off
+	hops := 0
+	for {
+		if off >= len(msg) {
+			return "", 0, ErrTruncatedMessage
+		}
+		b := int(msg[off])
+		switch {
+		case b == 0:
+			if !jumped {
+				after = off + 1
+			}
+			return strings.Join(labels, "."), after, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			ptr := (b&0x3F)<<8 | int(msg[off+1])
+			if !jumped {
+				after = off + 2
+				jumped = true
+			}
+			hops++
+			if hops > 32 {
+				return "", 0, ErrPointerLoop
+			}
+			if ptr >= off {
+				return "", 0, fmt.Errorf("%w: forward pointer", ErrBadName)
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return "", 0, fmt.Errorf("%w: reserved label type", ErrBadName)
+		default:
+			if off+1+b > len(msg) {
+				return "", 0, ErrTruncatedMessage
+			}
+			labels = append(labels, string(msg[off+1:off+1+b]))
+			off += 1 + b
+			if len(labels) > 128 {
+				return "", 0, fmt.Errorf("%w: too many labels", ErrBadName)
+			}
+		}
+	}
+}
+
+// Decode parses a DNS message, keeping the question section and any TXT
+// answers. Non-TXT answers are skipped.
+func Decode(msg []byte) (*Message, error) {
+	if len(msg) < 12 {
+		return nil, ErrTruncatedMessage
+	}
+	out := &Message{
+		ID:    binary.BigEndian.Uint16(msg[0:]),
+		Flags: binary.BigEndian.Uint16(msg[2:]),
+	}
+	qd := int(binary.BigEndian.Uint16(msg[4:]))
+	an := int(binary.BigEndian.Uint16(msg[6:]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+4 > len(msg) {
+			return nil, ErrTruncatedMessage
+		}
+		out.Question = append(out.Question, Question{
+			Name:  name,
+			Type:  binary.BigEndian.Uint16(msg[next:]),
+			Class: binary.BigEndian.Uint16(msg[next+2:]),
+		})
+		off = next + 4
+	}
+	for i := 0; i < an; i++ {
+		name, next, err := readName(msg, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+10 > len(msg) {
+			return nil, ErrTruncatedMessage
+		}
+		rrtype := binary.BigEndian.Uint16(msg[next:])
+		class := binary.BigEndian.Uint16(msg[next+2:])
+		ttl := binary.BigEndian.Uint32(msg[next+4:])
+		rdlen := int(binary.BigEndian.Uint16(msg[next+8:]))
+		rdataStart := next + 10
+		if rdataStart+rdlen > len(msg) {
+			return nil, ErrTruncatedMessage
+		}
+		if rrtype == TypeTXT {
+			texts, err := parseTXTData(msg[rdataStart : rdataStart+rdlen])
+			if err != nil {
+				return nil, err
+			}
+			out.Answers = append(out.Answers, TXTRecord{
+				Name: name, Class: class, TTL: ttl, Texts: texts,
+			})
+		}
+		off = rdataStart + rdlen
+	}
+	return out, nil
+}
+
+// parseTXTData splits TXT RDATA into its character-strings.
+func parseTXTData(rdata []byte) ([]string, error) {
+	var out []string
+	for i := 0; i < len(rdata); {
+		n := int(rdata[i])
+		if i+1+n > len(rdata) {
+			return nil, fmt.Errorf("dnswire: truncated TXT character-string")
+		}
+		out = append(out, string(rdata[i+1:i+1+n]))
+		i += 1 + n
+	}
+	return out, nil
+}
+
+// FirstTXT extracts the first TXT string from a decoded response,
+// validating that it actually answers the question.
+func FirstTXT(m *Message) (string, error) {
+	if !m.IsResponse() {
+		return "", ErrNotResponse
+	}
+	if m.Rcode() != RcodeOK || len(m.Answers) == 0 || len(m.Answers[0].Texts) == 0 {
+		return "", fmt.Errorf("%w (rcode %d)", ErrNoAnswer, m.Rcode())
+	}
+	return m.Answers[0].Texts[0], nil
+}

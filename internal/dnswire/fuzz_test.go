@@ -1,0 +1,66 @@
+package dnswire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode feeds arbitrary datagrams through the message decoder: it
+// must never panic, and whatever decodes must re-encode consistently for
+// the supported message shapes.
+func FuzzDecode(f *testing.F) {
+	q := Question{Name: HostnameBind, Type: TypeTXT, Class: ClassCH}
+	if pkt, err := EncodeQuery(99, q); err == nil {
+		f.Add(pkt)
+	}
+	if pkt, err := EncodeResponse(1, q, []string{"ccs01.l.root-servers.org"}, RcodeOK); err == nil {
+		f.Add(pkt)
+	}
+	if pkt, err := EncodeResponse(1, q, nil, RcodeRef); err == nil {
+		f.Add(pkt)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xC0, 0x0C})
+	f.Add(bytes.Repeat([]byte{0xC0}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Decoded questions must carry well-formed names: re-encoding a
+		// single-question query must succeed or fail cleanly, never panic.
+		if len(msg.Question) == 1 && msg.Question[0].Name != "" {
+			_, _ = EncodeQuery(msg.ID, msg.Question[0])
+		}
+		_, _ = FirstTXT(msg)
+	})
+}
+
+// FuzzServerHandle feeds arbitrary datagrams through the server's
+// dispatch: it must never panic and never answer garbage (reflection
+// protection).
+func FuzzServerHandle(f *testing.F) {
+	srv := &Server{responder: func(name string) ([]string, bool) {
+		return []string{"s1.bog"}, name == HostnameBind
+	}}
+	q := Question{Name: HostnameBind, Type: TypeTXT, Class: ClassCH}
+	if pkt, err := EncodeQuery(7, q); err == nil {
+		f.Add(pkt)
+	}
+	f.Add([]byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reply := srv.handle(data)
+		if reply == nil {
+			return
+		}
+		msg, err := Decode(reply)
+		if err != nil {
+			t.Fatalf("server emitted undecodable reply: %v", err)
+		}
+		if !msg.IsResponse() {
+			t.Fatal("server emitted a non-response")
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package dnswire
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Responder computes the TXT identification strings for a CHAOS query
+// name ("hostname.bind", "id.server", ...). Returning ok=false yields a
+// REFUSED response, as real servers do for unknown CHAOS names.
+type Responder func(name string) (texts []string, ok bool)
+
+// Server is a minimal UDP DNS server answering CHAOS TXT identification
+// queries — an in-process stand-in for an anycast root instance. It
+// refuses non-CHAOS classes and non-TXT types.
+type Server struct {
+	conn      net.PacketConn
+	responder Responder
+
+	mu     sync.Mutex
+	closed bool
+	done   chan struct{}
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") with the given
+// responder. It returns once the socket is listening; handling proceeds
+// on a background goroutine until Close.
+func Serve(addr string, responder Responder) (*Server, error) {
+	if responder == nil {
+		return nil, errors.New("dnswire: nil responder")
+	}
+	conn, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnswire: listen: %w", err)
+	}
+	s := &Server{conn: conn, responder: responder, done: make(chan struct{})}
+	go s.loop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops the server and releases its socket.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.conn.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) loop() {
+	defer close(s.done)
+	buf := make([]byte, 1500)
+	for {
+		n, peer, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		reply := s.handle(buf[:n])
+		if reply != nil {
+			// Best-effort send; a lost reply is a timeout at the client,
+			// exactly as on the real network.
+			_, _ = s.conn.WriteTo(reply, peer)
+		}
+	}
+}
+
+// handle builds the reply for one datagram, or nil to drop it.
+func (s *Server) handle(pkt []byte) []byte {
+	msg, err := Decode(pkt)
+	if err != nil || msg.IsResponse() || len(msg.Question) != 1 {
+		return nil // not a well-formed query: drop, as real servers do
+	}
+	q := msg.Question[0]
+	if q.Class != ClassCH || q.Type != TypeTXT {
+		reply, _ := EncodeResponse(msg.ID, q, nil, RcodeRef)
+		return reply
+	}
+	texts, ok := s.responder(strings.ToLower(q.Name))
+	if !ok {
+		reply, _ := EncodeResponse(msg.ID, q, nil, RcodeRef)
+		return reply
+	}
+	reply, err := EncodeResponse(msg.ID, q, texts, RcodeOK)
+	if err != nil {
+		return nil
+	}
+	return reply
+}
+
+// Client issues CHAOS TXT identification queries over UDP.
+type Client struct {
+	// Timeout bounds each query round trip; zero means one second.
+	Timeout time.Duration
+	// nextID generates query IDs; overridable in tests.
+	nextID func() uint16
+}
+
+// NewClient returns a Client with the default timeout.
+func NewClient() *Client {
+	var counter uint16
+	var mu sync.Mutex
+	return &Client{
+		Timeout: time.Second,
+		nextID: func() uint16 {
+			mu.Lock()
+			defer mu.Unlock()
+			counter++
+			return counter
+		},
+	}
+}
+
+// QueryTXT sends one CH TXT query for name to addr and returns the first
+// TXT string of the answer.
+func (c *Client) QueryTXT(addr, name string) (string, error) {
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dnswire: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return "", fmt.Errorf("dnswire: deadline: %w", err)
+	}
+	id := c.nextID()
+	q := Question{Name: name, Type: TypeTXT, Class: ClassCH}
+	pkt, err := EncodeQuery(id, q)
+	if err != nil {
+		return "", err
+	}
+	if _, err := conn.Write(pkt); err != nil {
+		return "", fmt.Errorf("dnswire: send: %w", err)
+	}
+	buf := make([]byte, 1500)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return "", fmt.Errorf("dnswire: receive: %w", err)
+		}
+		msg, err := Decode(buf[:n])
+		if err != nil {
+			continue // garbled datagram: keep waiting for the real answer
+		}
+		if msg.ID != id {
+			continue // stale or spoofed: ignore
+		}
+		return FirstTXT(msg)
+	}
+}
+
+// Identify queries hostname.bind — the identification call the paper's
+// built-in measurements issue every 30 minutes.
+func (c *Client) Identify(addr string) (string, error) {
+	return c.QueryTXT(addr, HostnameBind)
+}

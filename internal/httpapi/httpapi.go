@@ -1,0 +1,202 @@
+// Package httpapi serves the reproduction's results over HTTP: one JSON
+// or CSV document per experiment, plus per-country summaries — the shape
+// an open-source release of the paper's pipeline would expose to
+// dashboards.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/core"
+	"vzlens/internal/geo"
+	"vzlens/internal/ipv6"
+	"vzlens/internal/mlab"
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+// Handler serves the API over a built world. Campaign-backed experiments
+// simulate lazily, once, on first request.
+type Handler struct {
+	w   *world.World
+	mux *http.ServeMux
+
+	traceOnce sync.Once
+	trace     *atlas.TraceCampaign
+	chaosOnce sync.Once
+	chaos     *atlas.ChaosCampaign
+}
+
+// New returns a Handler over w.
+func New(w *world.World) *Handler {
+	h := &Handler{w: w, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /healthz", h.health)
+	h.mux.HandleFunc("GET /api/experiments", h.listExperiments)
+	h.mux.HandleFunc("GET /api/experiments/{id}", h.experiment)
+	h.mux.HandleFunc("GET /api/countries/{cc}", h.country)
+	h.mux.HandleFunc("GET /api/signatures", h.signatures)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+func (h *Handler) traceCampaign() *atlas.TraceCampaign {
+	h.traceOnce.Do(func() { h.trace = h.w.TraceCampaign() })
+	return h.trace
+}
+
+func (h *Handler) chaosCampaign() *atlas.ChaosCampaign {
+	h.chaosOnce.Do(func() { h.chaos = h.w.ChaosCampaign() })
+	return h.chaos
+}
+
+// experiments maps experiment IDs to their table producers.
+func (h *Handler) experiments() map[string]func() *core.Table {
+	return map[string]func() *core.Table{
+		"fig1": func() *core.Table { return core.Fig1Economy().Table() },
+		"fig2": func() *core.Table { return core.Fig2AddressSpace(h.w).Table() },
+		"fig3": func() *core.Table { return core.Fig3Facilities(h.w).Table() },
+		"fig4": func() *core.Table { return core.Fig4Cables(h.w).Table() },
+		"fig5": func() *core.Table { return core.Fig5IPv6().Table() },
+		"fig6": func() *core.Table { return core.Fig6RootDNS(h.chaosCampaign()).Table() },
+		"fig7": func() *core.Table {
+			return core.Fig7Offnets(h.w, []string{"Google", "Akamai", "Facebook", "Netflix"}).Table()
+		},
+		"fig8":  func() *core.Table { return core.Fig8CANTV(h.w).Table() },
+		"fig9":  func() *core.Table { return core.Fig9TransitHeatmap(h.w).Table() },
+		"fig10": func() *core.Table { return core.Fig10IXPHeatmap(h.w).Table() },
+		"fig11": func() *core.Table {
+			return core.Fig11Bandwidth(h.w.Config.Seed, months.New(2007, time.July), months.New(2024, time.January), h.w.Config.Step).Table()
+		},
+		"fig12":  func() *core.Table { return core.Fig12GPDNS(h.traceCampaign()).Table() },
+		"table1": func() *core.Table { return core.Table1Eyeballs(h.w).Table() },
+		"fig13":  func() *core.Table { return core.Fig13GDPRank().Table() },
+		"fig14":  func() *core.Table { return core.Fig14PrefixVisibility(h.w).Table() },
+		"fig15":  func() *core.Table { return core.Fig15FacilityMembers(h.w).Table() },
+		"fig16":  func() *core.Table { return core.Fig16RootOrigins(h.chaosCampaign()).Table() },
+		"fig17":  func() *core.Table { return core.Fig17AtlasFootprint(h.w).Table() },
+		"fig18": func() *core.Table {
+			return core.Fig7Offnets(h.w, []string{"Microsoft", "Cloudflare", "Amazon", "Limelight", "CDNetworks", "Alibaba"}).Table()
+		},
+		"fig19": func() *core.Table { return core.Fig19ThirdParty().Table() },
+		"fig20": func() *core.Table {
+			return core.Fig20ProbeGeo(h.w.Fleet, h.traceCampaign(), months.New(2023, time.December)).Table()
+		},
+		"fig21": func() *core.Table { return core.Fig21USIXPs(h.w).Table() },
+	}
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (h *Handler) listExperiments(w http.ResponseWriter, _ *http.Request) {
+	exps := h.experiments()
+	ids := make([]string, 0, len(exps))
+	for id := range exps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": ids})
+}
+
+// tableJSON is the JSON rendering of a core.Table.
+type tableJSON struct {
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (h *Handler) experiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	wantCSV := strings.HasSuffix(id, ".csv")
+	id = strings.TrimSuffix(id, ".csv")
+	run, ok := h.experiments()[id]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown experiment %q", id)})
+		return
+	}
+	table := run()
+	if wantCSV {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		fmt.Fprint(w, table.CSV())
+		return
+	}
+	writeJSON(w, http.StatusOK, tableJSON{Caption: table.Caption, Header: table.Header, Rows: table.Rows})
+}
+
+// countrySummary is the per-country JSON document.
+type countrySummary struct {
+	Code            string  `json:"code"`
+	Name            string  `json:"name"`
+	Cables2000      int     `json:"cables_2000"`
+	Cables2024      int     `json:"cables_2024"`
+	Facilities2024  int     `json:"facilities_2024"`
+	IPv6Pct2023     float64 `json:"ipv6_pct_mid2023"`
+	MedianMbps2023  float64 `json:"median_mbps_july2023"`
+	AtlasProbes2024 int     `json:"atlas_probes_2024"`
+	InternetUsers   int64   `json:"internet_users"`
+}
+
+func (h *Handler) country(w http.ResponseWriter, r *http.Request) {
+	cc := strings.ToUpper(r.PathValue("cc"))
+	country, ok := geo.LookupCountry(cc)
+	if !ok || !country.LACNIC {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("%q is not a LACNIC country", cc)})
+		return
+	}
+	jan24 := months.New(2024, time.January)
+	writeJSON(w, http.StatusOK, countrySummary{
+		Code:            country.Code,
+		Name:            country.Name,
+		Cables2000:      h.w.Cables.CountryCount(cc, 2000),
+		Cables2024:      h.w.Cables.CountryCount(cc, 2024),
+		Facilities2024:  h.w.PeeringDBSnapshot(jan24).FacilityCount()[cc],
+		IPv6Pct2023:     ipv6.Adoption(cc, months.New(2023, time.June)),
+		MedianMbps2023:  mlab.MedianSpeed(cc, months.New(2023, time.July)),
+		AtlasProbes2024: h.w.Fleet.CountByCountry(jan24)[cc],
+		InternetUsers:   h.w.Pop.CountryUsers(cc),
+	})
+}
+
+// signatureJSON is one detected crisis signal.
+type signatureJSON struct {
+	Dataset   string  `json:"dataset"`
+	Kind      string  `json:"kind"`
+	Start     string  `json:"start"`
+	End       string  `json:"end"`
+	Magnitude float64 `json:"magnitude"`
+}
+
+func (h *Handler) signatures(w http.ResponseWriter, _ *http.Request) {
+	result := core.CrisisSignatures(h.w, nil)
+	out := make([]signatureJSON, 0, len(result.Signatures))
+	for _, s := range result.Signatures {
+		out = append(out, signatureJSON{
+			Dataset:   s.Dataset,
+			Kind:      s.Event.Kind.String(),
+			Start:     s.Event.Start.String(),
+			End:       s.Event.End.String(),
+			Magnitude: s.Event.Magnitude,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"signatures": out})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // headers are committed; nothing useful to do on error
+}

@@ -1,0 +1,91 @@
+package mlab
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vzlens/internal/months"
+)
+
+// This file implements an NDT result-row interchange format modeled on
+// M-Lab's unified views (measurement-lab.ndt.unified_downloads): one JSON
+// object per test with the date, the client's country, and the download
+// throughput — the three columns the paper's month-country aggregation
+// consumes.
+
+// wireRow mirrors one unified-view row.
+type wireRow struct {
+	Date   string     `json:"date"` // YYYY-MM-DD (test day)
+	A      wireA      `json:"a"`
+	Client wireClient `json:"client"`
+}
+
+type wireA struct {
+	MeanThroughputMbps float64 `json:"MeanThroughputMbps"`
+}
+
+type wireClient struct {
+	Geo wireGeo `json:"Geo"`
+}
+
+type wireGeo struct {
+	CountryCode string `json:"CountryCode"`
+}
+
+// WriteJSON encodes tests as unified-view JSON lines.
+func WriteJSON(w io.Writer, tests []Test) error {
+	enc := json.NewEncoder(w)
+	for _, t := range tests {
+		row := wireRow{
+			Date:   fmt.Sprintf("%s-15", t.Month), // mid-month representative day
+			A:      wireA{MeanThroughputMbps: t.DownloadMbps},
+			Client: wireClient{Geo: wireGeo{CountryCode: t.Country}},
+		}
+		if err := enc.Encode(row); err != nil {
+			return fmt.Errorf("mlab: encode row: %w", err)
+		}
+	}
+	return nil
+}
+
+// ParseJSON reads unified-view JSON lines into an Archive, aggregating
+// at month-country granularity. Rows without a country code or with a
+// non-positive throughput are skipped, as the paper's aggregation does.
+func ParseJSON(r io.Reader) (*Archive, error) {
+	ar := NewArchive()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var row wireRow
+		if err := json.Unmarshal(raw, &row); err != nil {
+			return nil, fmt.Errorf("mlab: line %d: %w", lineNo, err)
+		}
+		if row.Client.Geo.CountryCode == "" || row.A.MeanThroughputMbps <= 0 {
+			continue
+		}
+		if len(row.Date) < 7 {
+			return nil, fmt.Errorf("mlab: line %d: bad date %q", lineNo, row.Date)
+		}
+		m, err := months.Parse(row.Date[:7])
+		if err != nil {
+			return nil, fmt.Errorf("mlab: line %d: %w", lineNo, err)
+		}
+		ar.Add([]Test{{
+			Month:        m,
+			Country:      row.Client.Geo.CountryCode,
+			DownloadMbps: row.A.MeanThroughputMbps,
+		}})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mlab: read: %w", err)
+	}
+	return ar, nil
+}

@@ -1,0 +1,41 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/netip"
+	"testing"
+
+	"vzlens/internal/bgp"
+)
+
+// FuzzReader feeds arbitrary bytes through the MRT reader: it must
+// terminate (EOF or error) without panicking, and must never fabricate
+// prefixes with out-of-range lengths.
+func FuzzReader(f *testing.F) {
+	rib := bgp.NewRIB()
+	rib.Announce(bgp.Prefix{Network: netip.MustParsePrefix("200.44.0.0/16"), Origin: 8048})
+	var buf bytes.Buffer
+	if err := WriteRIB(&buf, rib, 6762, 1700000000); err == nil {
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, 12))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := NewReader(bytes.NewReader(data))
+		for i := 0; i < 1000; i++ {
+			route, err := rd.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if route.Prefix.IsValid() && (route.Prefix.Bits() < 0 || route.Prefix.Bits() > 32) {
+				t.Fatalf("fabricated prefix %v", route.Prefix)
+			}
+		}
+	})
+}

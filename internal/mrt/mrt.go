@@ -1,0 +1,344 @@
+// Package mrt implements the slice of the MRT export format (RFC 6396)
+// that the paper's addressing datasets descend from: TABLE_DUMP_V2 RIB
+// dumps as RouteViews collectors publish them. CAIDA's prefix-to-AS
+// files are digests of exactly these dumps, so vzlens can write its
+// synthetic RIBs as real .mrt files and re-derive the pfx2as view by
+// parsing them back.
+//
+// Supported records: PEER_INDEX_TABLE and RIB_IPV4_UNICAST with ORIGIN
+// and AS_PATH attributes (4-byte ASNs, as RFC 6396 §4.3.4 requires
+// inside TABLE_DUMP_V2).
+package mrt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+
+	"vzlens/internal/bgp"
+)
+
+// MRT type and subtype constants (RFC 6396).
+const (
+	typeTableDumpV2       = 13
+	subtypePeerIndexTable = 1
+	subtypeRIBIPv4Unicast = 2
+
+	attrOrigin = 1
+	attrASPath = 2
+
+	asPathSegmentSequence = 2
+
+	originIGP = 0
+)
+
+// Errors the codec reports.
+var (
+	ErrTruncated    = errors.New("mrt: truncated record")
+	ErrNoPeerTable  = errors.New("mrt: RIB entry before PEER_INDEX_TABLE")
+	ErrBadPrefixLen = errors.New("mrt: prefix length out of range")
+)
+
+// Route is one decoded RIB entry: the prefix and the AS path of its best
+// route as seen from the collector peer.
+type Route struct {
+	Prefix netip.Prefix
+	Path   []bgp.ASN
+}
+
+// Origin returns the path's origin AS (the last element).
+func (r Route) Origin() (bgp.ASN, bool) {
+	if len(r.Path) == 0 {
+		return 0, false
+	}
+	return r.Path[len(r.Path)-1], true
+}
+
+// Writer emits TABLE_DUMP_V2 records.
+type Writer struct {
+	w         io.Writer
+	timestamp uint32
+	wrotePeer bool
+	sequence  uint32
+}
+
+// NewWriter returns a Writer stamping records with the given UNIX time.
+func NewWriter(w io.Writer, timestamp int64) *Writer {
+	return &Writer{w: w, timestamp: uint32(timestamp)}
+}
+
+// writeRecord frames one MRT record.
+func (wr *Writer) writeRecord(subtype uint16, body []byte) error {
+	var hdr [12]byte
+	binary.BigEndian.PutUint32(hdr[0:], wr.timestamp)
+	binary.BigEndian.PutUint16(hdr[4:], typeTableDumpV2)
+	binary.BigEndian.PutUint16(hdr[6:], subtype)
+	binary.BigEndian.PutUint32(hdr[8:], uint32(len(body)))
+	if _, err := wr.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mrt: write header: %w", err)
+	}
+	if _, err := wr.w.Write(body); err != nil {
+		return fmt.Errorf("mrt: write body: %w", err)
+	}
+	return nil
+}
+
+// WritePeerIndexTable emits the mandatory peer table with one collector
+// peer (RouteViews-style), identified by its BGP ID, address and ASN.
+func (wr *Writer) WritePeerIndexTable(collectorASN bgp.ASN) error {
+	var body []byte
+	body = binary.BigEndian.AppendUint32(body, 0xC0000201) // collector BGP ID
+	body = binary.BigEndian.AppendUint16(body, 0)          // view name length
+	body = binary.BigEndian.AppendUint16(body, 1)          // peer count
+	// Peer entry: type (AS4 + IPv4), BGP ID, IPv4 address, AS4.
+	body = append(body, 0x02) // bit 1 = AS size 4 bytes, bit 0 clear = IPv4
+	body = binary.BigEndian.AppendUint32(body, 0xC0000202)
+	body = append(body, 192, 0, 2, 2)
+	body = binary.BigEndian.AppendUint32(body, uint32(collectorASN))
+	if err := wr.writeRecord(subtypePeerIndexTable, body); err != nil {
+		return err
+	}
+	wr.wrotePeer = true
+	return nil
+}
+
+// WriteRoute emits one RIB_IPV4_UNICAST record for the route.
+func (wr *Writer) WriteRoute(route Route) error {
+	if !wr.wrotePeer {
+		return ErrNoPeerTable
+	}
+	if !route.Prefix.Addr().Is4() {
+		return fmt.Errorf("mrt: only IPv4 unicast supported, got %v", route.Prefix)
+	}
+	if len(route.Path) == 0 {
+		return fmt.Errorf("mrt: route for %v has empty AS path", route.Prefix)
+	}
+
+	// BGP path attributes: ORIGIN and AS_PATH.
+	var attrs []byte
+	attrs = append(attrs, 0x40, attrOrigin, 1, originIGP) // well-known transitive
+	var pathBody []byte
+	pathBody = append(pathBody, asPathSegmentSequence, byte(len(route.Path)))
+	for _, asn := range route.Path {
+		pathBody = binary.BigEndian.AppendUint32(pathBody, uint32(asn))
+	}
+	attrs = append(attrs, 0x40, attrASPath, byte(len(pathBody)))
+	attrs = append(attrs, pathBody...)
+
+	var body []byte
+	wr.sequence++
+	body = binary.BigEndian.AppendUint32(body, wr.sequence)
+	bits := route.Prefix.Bits()
+	body = append(body, byte(bits))
+	addr := route.Prefix.Addr().As4()
+	body = append(body, addr[:(bits+7)/8]...)
+	body = binary.BigEndian.AppendUint16(body, 1) // entry count
+	// RIB entry: peer index, originated time, attribute length, attrs.
+	body = binary.BigEndian.AppendUint16(body, 0)
+	body = binary.BigEndian.AppendUint32(body, wr.timestamp)
+	body = binary.BigEndian.AppendUint16(body, uint16(len(attrs)))
+	body = append(body, attrs...)
+	return wr.writeRecord(subtypeRIBIPv4Unicast, body)
+}
+
+// WriteRIB dumps an entire RIB, one best route per (prefix, origin) with
+// a synthetic collector→origin path.
+func WriteRIB(w io.Writer, rib *bgp.RIB, collectorASN bgp.ASN, timestamp int64) error {
+	wr := NewWriter(w, timestamp)
+	if err := wr.WritePeerIndexTable(collectorASN); err != nil {
+		return err
+	}
+	for _, p := range rib.Prefixes() {
+		path := []bgp.ASN{collectorASN, p.Origin}
+		if collectorASN == p.Origin {
+			path = []bgp.ASN{p.Origin}
+		}
+		if err := wr.WriteRoute(Route{Prefix: p.Network, Path: path}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reader decodes TABLE_DUMP_V2 records.
+type Reader struct {
+	r         io.Reader
+	sawPeers  bool
+	peerCount int
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// Next returns the next RIB route, skipping non-RIB records. It returns
+// io.EOF at the end of the stream.
+func (rd *Reader) Next() (Route, error) {
+	for {
+		var hdr [12]byte
+		if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return Route{}, io.EOF
+			}
+			return Route{}, fmt.Errorf("mrt: read header: %w", err)
+		}
+		mrtType := binary.BigEndian.Uint16(hdr[4:])
+		subtype := binary.BigEndian.Uint16(hdr[6:])
+		length := binary.BigEndian.Uint32(hdr[8:])
+		if length > 1<<20 {
+			return Route{}, fmt.Errorf("mrt: implausible record length %d", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(rd.r, body); err != nil {
+			return Route{}, ErrTruncated
+		}
+		if mrtType != typeTableDumpV2 {
+			continue // other MRT families: skip
+		}
+		switch subtype {
+		case subtypePeerIndexTable:
+			if err := rd.parsePeerTable(body); err != nil {
+				return Route{}, err
+			}
+		case subtypeRIBIPv4Unicast:
+			if !rd.sawPeers {
+				return Route{}, ErrNoPeerTable
+			}
+			return parseRIBEntry(body)
+		default:
+			// RIB_IPV6_UNICAST etc.: skip.
+		}
+	}
+}
+
+func (rd *Reader) parsePeerTable(body []byte) error {
+	if len(body) < 8 {
+		return ErrTruncated
+	}
+	viewLen := int(binary.BigEndian.Uint16(body[4:]))
+	off := 6 + viewLen
+	if len(body) < off+2 {
+		return ErrTruncated
+	}
+	rd.peerCount = int(binary.BigEndian.Uint16(body[off:]))
+	rd.sawPeers = true
+	return nil
+}
+
+func parseRIBEntry(body []byte) (Route, error) {
+	if len(body) < 5 {
+		return Route{}, ErrTruncated
+	}
+	bits := int(body[4])
+	if bits < 0 || bits > 32 {
+		return Route{}, ErrBadPrefixLen
+	}
+	nBytes := (bits + 7) / 8
+	off := 5
+	if len(body) < off+nBytes+2 {
+		return Route{}, ErrTruncated
+	}
+	var addr [4]byte
+	copy(addr[:], body[off:off+nBytes])
+	prefix, err := netip.AddrFrom4(addr).Prefix(bits)
+	if err != nil {
+		return Route{}, fmt.Errorf("mrt: %w", err)
+	}
+	off += nBytes
+	entryCount := int(binary.BigEndian.Uint16(body[off:]))
+	off += 2
+	if entryCount == 0 {
+		return Route{Prefix: prefix}, nil
+	}
+	// First (best) entry only.
+	if len(body) < off+8 {
+		return Route{}, ErrTruncated
+	}
+	attrLen := int(binary.BigEndian.Uint16(body[off+6:]))
+	off += 8
+	if len(body) < off+attrLen {
+		return Route{}, ErrTruncated
+	}
+	path, err := parseASPath(body[off : off+attrLen])
+	if err != nil {
+		return Route{}, err
+	}
+	return Route{Prefix: prefix, Path: path}, nil
+}
+
+// parseASPath walks the BGP attribute block and extracts the AS_PATH.
+func parseASPath(attrs []byte) ([]bgp.ASN, error) {
+	off := 0
+	for off < len(attrs) {
+		if off+2 > len(attrs) {
+			return nil, ErrTruncated
+		}
+		flags := attrs[off]
+		code := attrs[off+1]
+		off += 2
+		var alen int
+		if flags&0x10 != 0 { // extended length
+			if off+2 > len(attrs) {
+				return nil, ErrTruncated
+			}
+			alen = int(binary.BigEndian.Uint16(attrs[off:]))
+			off += 2
+		} else {
+			if off+1 > len(attrs) {
+				return nil, ErrTruncated
+			}
+			alen = int(attrs[off])
+			off++
+		}
+		if off+alen > len(attrs) {
+			return nil, ErrTruncated
+		}
+		if code == attrASPath {
+			return parsePathSegments(attrs[off : off+alen])
+		}
+		off += alen
+	}
+	return nil, nil // no AS_PATH attribute
+}
+
+func parsePathSegments(seg []byte) ([]bgp.ASN, error) {
+	var path []bgp.ASN
+	off := 0
+	for off < len(seg) {
+		if off+2 > len(seg) {
+			return nil, ErrTruncated
+		}
+		count := int(seg[off+1])
+		off += 2
+		if off+4*count > len(seg) {
+			return nil, ErrTruncated
+		}
+		for i := 0; i < count; i++ {
+			path = append(path, bgp.ASN(binary.BigEndian.Uint32(seg[off:])))
+			off += 4
+		}
+	}
+	return path, nil
+}
+
+// ParseRIB reads a whole dump back into a prefix-to-AS table, taking the
+// origin (last path element) of each route — the pfx2as derivation.
+func ParseRIB(r io.Reader) (*bgp.RIB, error) {
+	rd := NewReader(r)
+	rib := bgp.NewRIB()
+	for {
+		route, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return rib, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		origin, ok := route.Origin()
+		if !ok {
+			continue
+		}
+		rib.Announce(bgp.Prefix{Network: route.Prefix, Origin: origin})
+	}
+}

@@ -1,0 +1,245 @@
+package netsim
+
+import (
+	"sort"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+// PathInfo summarizes a valley-free path to one destination.
+type PathInfo struct {
+	Hops      int     // AS-path length including both endpoints
+	LatencyMs float64 // one-way propagation along the path
+	OK        bool
+}
+
+// Resolver wraps a Topology with per-source shortest-path trees so that
+// repeated catchment computations (one per probe per anycast service per
+// month) run off a single breadth-first traversal per source AS.
+type Resolver struct {
+	topo  *Topology
+	trees map[bgp.ASN]map[bgp.ASN]PathInfo
+}
+
+// NewResolver returns a Resolver over topo.
+func NewResolver(topo *Topology) *Resolver {
+	return &Resolver{topo: topo, trees: map[bgp.ASN]map[bgp.ASN]PathInfo{}}
+}
+
+// Topology returns the underlying topology.
+func (r *Resolver) Topology() *Topology { return r.topo }
+
+// PathInfoFrom returns shortest valley-free path information from src to
+// dst, memoizing the full single-source tree on first use.
+func (r *Resolver) PathInfoFrom(src, dst bgp.ASN) PathInfo {
+	tree, ok := r.trees[src]
+	if !ok {
+		tree = r.buildTree(src)
+		r.trees[src] = tree
+	}
+	return tree[dst]
+}
+
+// treeState augments the valley-free BFS state with the accumulated
+// latency and the last located city on the path, so latency accrues
+// correctly across ASes without recorded locations.
+type treeState struct {
+	st  state
+	lat float64
+	loc *geo.City
+}
+
+// buildTree runs one valley-free BFS from src, level by level, recording
+// for every AS the fewest-hop arrival and — among equal-hop arrivals —
+// the minimum accumulated latency, matching BGP's shortest-path-first
+// with latency-aware tie-breaking.
+func (r *Resolver) buildTree(src bgp.ASN) map[bgp.ASN]PathInfo {
+	const perHopMs = 0.35
+	tree := map[bgp.ASN]PathInfo{src: {Hops: 1, LatencyMs: 0, OK: true}}
+	var srcLoc *geo.City
+	if c, ok := r.topo.Location(src); ok {
+		cc := c
+		srcLoc = &cc
+	}
+	frontier := map[state]treeState{
+		{src, phaseUp}: {st: state{src, phaseUp}, lat: 0, loc: srcLoc},
+	}
+	settled := map[state]bool{{src, phaseUp}: true}
+	hops := 1
+	for len(frontier) > 0 {
+		hops++
+		next := map[state]treeState{}
+		for _, cur := range frontier {
+			for _, ns := range r.topo.transitions(cur.st) {
+				if settled[ns] {
+					continue
+				}
+				lat := cur.lat + perHopMs
+				loc := cur.loc
+				if c, ok := r.topo.Location(ns.asn); ok {
+					if loc != nil {
+						lat += geo.PropagationDelayMs(geo.HaversineKm(loc.Lat, loc.Lon, c.Lat, c.Lon))
+					}
+					cc := c
+					loc = &cc
+				}
+				if prev, ok := next[ns]; !ok || lat < prev.lat {
+					next[ns] = treeState{st: ns, lat: lat, loc: loc}
+				}
+			}
+		}
+		for st, ts := range next {
+			settled[st] = true
+			if info, done := tree[st.asn]; !done || (info.Hops == hops && ts.lat < info.LatencyMs) {
+				tree[st.asn] = PathInfo{Hops: hops, LatencyMs: ts.lat, OK: true}
+			}
+		}
+		frontier = next
+	}
+	return tree
+}
+
+// BestPath reconstructs the concrete AS path behind PathInfoFrom's
+// answer: fewest hops, minimum latency among equal-hop paths — the path
+// the campaign latencies are computed over. It re-runs the leveled BFS
+// with parent pointers, so it costs one traversal per call; use it for
+// hop-level inspection (traceroutes), not bulk catchment.
+func (r *Resolver) BestPath(src, dst bgp.ASN) ([]bgp.ASN, bool) {
+	const perHopMs = 0.35
+	if src == dst {
+		return []bgp.ASN{src}, true
+	}
+	type node struct {
+		ts     treeState
+		parent *node
+	}
+	var srcLoc *geo.City
+	if c, ok := r.topo.Location(src); ok {
+		cc := c
+		srcLoc = &cc
+	}
+	start := &node{ts: treeState{st: state{src, phaseUp}, lat: 0, loc: srcLoc}}
+	frontier := map[state]*node{start.ts.st: start}
+	settled := map[state]bool{start.ts.st: true}
+	var best *node
+	for len(frontier) > 0 && best == nil {
+		next := map[state]*node{}
+		for _, cur := range frontier {
+			for _, ns := range r.topo.transitions(cur.ts.st) {
+				if settled[ns] {
+					continue
+				}
+				lat := cur.ts.lat + perHopMs
+				loc := cur.ts.loc
+				if c, ok := r.topo.Location(ns.asn); ok {
+					if loc != nil {
+						lat += geo.PropagationDelayMs(geo.HaversineKm(loc.Lat, loc.Lon, c.Lat, c.Lon))
+					}
+					cc := c
+					loc = &cc
+				}
+				if prev, ok := next[ns]; !ok || lat < prev.ts.lat {
+					next[ns] = &node{ts: treeState{st: ns, lat: lat, loc: loc}, parent: cur}
+				}
+			}
+		}
+		for st, n := range next {
+			settled[st] = true
+			if st.asn == dst && (best == nil || n.ts.lat < best.ts.lat) {
+				best = n
+			}
+		}
+		frontier = next
+	}
+	if best == nil {
+		return nil, false
+	}
+	var rev []bgp.ASN
+	for n := best; n != nil; n = n.parent {
+		rev = append(rev, n.ts.st.asn)
+	}
+	path := make([]bgp.ASN, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, true
+}
+
+// CatchmentFrom selects the anycast site capturing traffic from a source
+// in AS srcAS physically located at srcCity, and returns the one-way
+// latency from that location. Unlike Topology.Catchment it accounts for
+// the source's position inside its AS: the first segment runs from
+// srcCity to the AS's interconnection city (and collapses to the direct
+// city-to-replica distance when the source AS itself hosts the site).
+func (r *Resolver) CatchmentFrom(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy) (Site, float64, error) {
+	i, lat, err := r.CatchmentIndex(srcAS, srcCity, sites, policy)
+	if err != nil {
+		return Site{}, 0, err
+	}
+	return sites[i], lat, nil
+}
+
+// CatchmentIndex is CatchmentFrom returning the index of the selected
+// site within sites, for callers that keep metadata parallel to the site
+// list.
+func (r *Resolver) CatchmentIndex(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy) (int, float64, error) {
+	type candidate struct {
+		index   int
+		site    Site
+		hops    int
+		latency float64
+		distKm  float64
+	}
+	var cands []candidate
+	for i, site := range sites {
+		var hops int
+		var lat float64
+		if site.Host == srcAS {
+			hops = 1
+			lat = geo.PropagationDelayMs(geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon))
+		} else {
+			info := r.PathInfoFrom(srcAS, site.Host)
+			if !info.OK {
+				continue
+			}
+			hops = info.Hops
+			lat = info.LatencyMs
+			// First segment: the source's city to its AS's location.
+			if asCity, ok := r.topo.Location(srcAS); ok {
+				lat += geo.PropagationDelayMs(geo.HaversineKm(srcCity.Lat, srcCity.Lon, asCity.Lat, asCity.Lon))
+			}
+			// Final segment: the host AS's location to the replica city.
+			if hostCity, ok := r.topo.Location(site.Host); ok {
+				lat += geo.PropagationDelayMs(geo.HaversineKm(hostCity.Lat, hostCity.Lon, site.City.Lat, site.City.Lon))
+			}
+		}
+		dist := geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon)
+		cands = append(cands, candidate{i, site, hops, lat, dist})
+	}
+	if len(cands) == 0 {
+		return 0, 0, ErrUnreachable
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		switch policy {
+		case PolicyGeo:
+			if a.distKm != b.distKm {
+				return a.distKm < b.distKm
+			}
+		default:
+			if a.hops != b.hops {
+				return a.hops < b.hops
+			}
+			if a.latency != b.latency {
+				return a.latency < b.latency
+			}
+		}
+		if a.site.Host != b.site.Host {
+			return a.site.Host < b.site.Host
+		}
+		return a.site.City.Name < b.site.City.Name
+	})
+	best := cands[0]
+	return best.index, best.latency, nil
+}

@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"testing"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+func TestResolverPathInfoMatchesASPath(t *testing.T) {
+	top := testTopology()
+	r := NewResolver(top)
+	for _, src := range top.Graph().ASes() {
+		for _, dst := range top.Graph().ASes() {
+			path, ok := top.ASPath(src, dst)
+			info := r.PathInfoFrom(src, dst)
+			if ok != info.OK {
+				t.Fatalf("%d→%d: reachability mismatch (%v vs %v)", src, dst, ok, info.OK)
+			}
+			if ok && info.Hops != len(path) {
+				t.Errorf("%d→%d: hops = %d, path len = %d", src, dst, info.Hops, len(path))
+			}
+		}
+	}
+}
+
+func TestResolverSelfPath(t *testing.T) {
+	r := NewResolver(testTopology())
+	info := r.PathInfoFrom(201, 201)
+	if !info.OK || info.Hops != 1 || info.LatencyMs != 0 {
+		t.Errorf("self path = %+v", info)
+	}
+}
+
+func TestResolverUnreachable(t *testing.T) {
+	top := New()
+	top.AddLink(1, 2, bgp.ProviderCustomer)
+	r := NewResolver(top)
+	if info := r.PathInfoFrom(2, 99); info.OK {
+		t.Errorf("unreachable dst = %+v", info)
+	}
+}
+
+func TestCatchmentFromOwnASWins(t *testing.T) {
+	top := testTopology()
+	r := NewResolver(top)
+	bog, _ := geo.LookupIATA("BOG")
+	mia, _ := geo.LookupIATA("MIA")
+	sites := []Site{
+		{Host: 100, City: mia},
+		{Host: 201, City: bog}, // hosted inside the source AS itself
+	}
+	site, lat, err := r.CatchmentFrom(201, bog, sites, PolicyBGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if site.Host != 201 {
+		t.Errorf("caught by %d, want own AS 201", site.Host)
+	}
+	if lat != 0 {
+		t.Errorf("same-city own-AS latency = %v, want 0", lat)
+	}
+}
+
+func TestCatchmentFromAccountsForProbeCity(t *testing.T) {
+	top := testTopology()
+	r := NewResolver(top)
+	bog, _ := geo.LookupIATA("BOG")
+	mde, _ := geo.LookupIATA("MDE") // probe city differs from AS location
+	sites := []Site{{Host: 200, City: bog}}
+	_, latFromBog, err := r.CatchmentFrom(201, bog, sites, PolicyBGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, latFromMde, err := r.CatchmentFrom(201, mde, sites, PolicyBGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latFromMde <= latFromBog {
+		t.Errorf("remote probe latency %.2f should exceed capital probe latency %.2f", latFromMde, latFromBog)
+	}
+}
+
+func TestCatchmentFromVenezuelaShape(t *testing.T) {
+	// The Figure 12/20 mechanism: a Venezuelan eyeball homed to a US
+	// transit reaches the Miami replica; one homed to Colombia reaches
+	// Bogota at a fraction of the latency.
+	top := testTopology()
+	ccs, _ := geo.LookupIATA("CCS")
+	sci, _ := geo.LookupIATA("SCI")
+	// Border AS 402 buys from Colombian transit.
+	top.AddLink(200, 402, bgp.ProviderCustomer)
+	top.Locate(402, sci)
+	r := NewResolver(top)
+	bog, _ := geo.LookupIATA("BOG")
+	mia, _ := geo.LookupIATA("MIA")
+	sites := []Site{{Host: 100, City: mia}, {Host: 200, City: bog}}
+
+	_, latCANTV, err := r.CatchmentFrom(401, ccs, sites, PolicyBGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	siteBorder, latBorder, err := r.CatchmentFrom(402, sci, sites, PolicyBGP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if siteBorder.City.Name != "Bogota" {
+		t.Errorf("border AS caught by %s, want Bogota", siteBorder.City.Name)
+	}
+	if latBorder >= latCANTV/2 {
+		t.Errorf("border latency %.1f should be well under Caracas latency %.1f", latBorder, latCANTV)
+	}
+	if latBorder > 6 {
+		t.Errorf("border one-way latency = %.1f ms, want just a few ms", latBorder)
+	}
+}
+
+func TestBestPathMatchesPathInfo(t *testing.T) {
+	top := testTopology()
+	r := NewResolver(top)
+	for _, src := range top.Graph().ASes() {
+		for _, dst := range top.Graph().ASes() {
+			info := r.PathInfoFrom(src, dst)
+			path, ok := r.BestPath(src, dst)
+			if info.OK != ok {
+				t.Fatalf("%d→%d: reachability mismatch", src, dst)
+			}
+			if !ok {
+				continue
+			}
+			if len(path) != info.Hops {
+				t.Errorf("%d→%d: BestPath len %d, PathInfo hops %d", src, dst, len(path), info.Hops)
+			}
+			if path[0] != src || path[len(path)-1] != dst {
+				t.Errorf("%d→%d: endpoints %v", src, dst, path)
+			}
+			if lat := top.PathLatencyMs(path); info.Hops > 1 && absDiff(lat, info.LatencyMs) > 1e-6 {
+				t.Errorf("%d→%d: path latency %.3f, tree latency %.3f", src, dst, lat, info.LatencyMs)
+			}
+		}
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

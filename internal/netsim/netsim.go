@@ -1,0 +1,245 @@
+// Package netsim simulates interdomain paths and latencies over an
+// AS-level topology. It provides the substrate under the paper's two
+// active-measurement campaigns: RIPE Atlas traceroutes toward Google
+// Public DNS (Section 7.2) and CHAOS TXT queries toward anycast root DNS
+// (Section 5.4). Routes follow valley-free BGP semantics (customer routes
+// preferred, then peer, then provider; shortest AS path within a class),
+// and latency accrues from great-circle propagation between the cities of
+// consecutive ASes on the path.
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+// Topology is an AS-level graph annotated with AS locations.
+type Topology struct {
+	graph    *bgp.Graph
+	location map[bgp.ASN]geo.City
+}
+
+// New returns an empty Topology.
+func New() *Topology {
+	return &Topology{graph: bgp.NewGraph(), location: map[bgp.ASN]geo.City{}}
+}
+
+// FromGraph builds a topology over an existing relationship graph.
+func FromGraph(g *bgp.Graph) *Topology {
+	return &Topology{graph: g, location: map[bgp.ASN]geo.City{}}
+}
+
+// AddLink inserts a relationship edge (provider→customer or peer).
+func (t *Topology) AddLink(a, b bgp.ASN, kind bgp.RelKind) {
+	t.graph.AddRel(bgp.Rel{A: a, B: b, Kind: kind})
+}
+
+// Locate records the primary interconnection city of an AS.
+func (t *Topology) Locate(asn bgp.ASN, city geo.City) { t.location[asn] = city }
+
+// Location returns the recorded city of asn.
+func (t *Topology) Location(asn bgp.ASN) (geo.City, bool) {
+	c, ok := t.location[asn]
+	return c, ok
+}
+
+// Graph exposes the underlying relationship graph.
+func (t *Topology) Graph() *bgp.Graph { return t.graph }
+
+// routing phases for valley-free search. A path travels "up" through
+// providers, crosses at most one peer edge, then travels "down" through
+// customers.
+type phase int8
+
+const (
+	phaseUp phase = iota
+	phasePeer
+	phaseDown
+)
+
+type state struct {
+	asn bgp.ASN
+	ph  phase
+}
+
+// ASPath returns a shortest valley-free AS path from src to dst and true,
+// or nil and false when no policy-compliant path exists. The path includes
+// both endpoints.
+func (t *Topology) ASPath(src, dst bgp.ASN) ([]bgp.ASN, bool) {
+	if src == dst {
+		return []bgp.ASN{src}, true
+	}
+	start := state{src, phaseUp}
+	prev := map[state]state{start: start}
+	queue := []state{start}
+	var goal *state
+	for len(queue) > 0 && goal == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range t.transitions(cur) {
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = cur
+			if next.asn == dst {
+				g := next
+				goal = &g
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	if goal == nil {
+		return nil, false
+	}
+	var rev []bgp.ASN
+	for s := *goal; ; s = prev[s] {
+		rev = append(rev, s.asn)
+		if s == prev[s] {
+			break
+		}
+	}
+	path := make([]bgp.ASN, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path, true
+}
+
+// transitions enumerates the valley-free moves from a state, in
+// deterministic order.
+func (t *Topology) transitions(s state) []state {
+	var out []state
+	switch s.ph {
+	case phaseUp:
+		for _, p := range t.graph.Providers(s.asn) {
+			out = append(out, state{p, phaseUp})
+		}
+		for _, p := range t.graph.Peers(s.asn) {
+			out = append(out, state{p, phasePeer})
+		}
+		for _, c := range t.graph.Customers(s.asn) {
+			out = append(out, state{c, phaseDown})
+		}
+	case phasePeer, phaseDown:
+		for _, c := range t.graph.Customers(s.asn) {
+			out = append(out, state{c, phaseDown})
+		}
+	}
+	return out
+}
+
+// PathLatencyMs returns the one-way propagation latency along an AS path,
+// from the cities of consecutive ASes, plus a fixed per-hop processing
+// cost. ASes without a recorded location contribute no distance.
+func (t *Topology) PathLatencyMs(path []bgp.ASN) float64 {
+	const perHopMs = 0.35
+	total := float64(len(path)-1) * perHopMs
+	if total < 0 {
+		return 0
+	}
+	var prevCity *geo.City
+	for _, asn := range path {
+		c, ok := t.location[asn]
+		if !ok {
+			continue
+		}
+		if prevCity != nil {
+			total += geo.PropagationDelayMs(geo.HaversineKm(prevCity.Lat, prevCity.Lon, c.Lat, c.Lon))
+		}
+		cc := c
+		prevCity = &cc
+	}
+	return total
+}
+
+// Site is one anycast replica: the AS announcing the service prefix at a
+// location.
+type Site struct {
+	Host bgp.ASN
+	City geo.City
+}
+
+// ErrUnreachable is returned when no site is reachable from a source AS.
+var ErrUnreachable = fmt.Errorf("netsim: no reachable anycast site")
+
+// CatchmentPolicy selects which reachable anycast site captures a source.
+type CatchmentPolicy int
+
+const (
+	// PolicyBGP picks the shortest AS path, breaking ties by latency —
+	// how anycast actually routes.
+	PolicyBGP CatchmentPolicy = iota
+	// PolicyGeo picks the geographically nearest reachable site — the
+	// naive baseline the ablation benchmarks compare against.
+	PolicyGeo
+)
+
+// Catchment returns the anycast site that captures traffic from src under
+// the policy, together with the one-way path latency to it.
+func (t *Topology) Catchment(src bgp.ASN, sites []Site, policy CatchmentPolicy) (Site, float64, error) {
+	type candidate struct {
+		site    Site
+		hops    int
+		latency float64
+		distKm  float64
+	}
+	var cands []candidate
+	srcCity, hasSrcCity := t.location[src]
+	for _, site := range sites {
+		path, ok := t.ASPath(src, site.Host)
+		if !ok {
+			continue
+		}
+		lat := t.PathLatencyMs(path)
+		// The final segment runs from the host AS's recorded city to the
+		// replica city.
+		if hostCity, ok := t.location[site.Host]; ok {
+			lat += geo.PropagationDelayMs(geo.HaversineKm(hostCity.Lat, hostCity.Lon, site.City.Lat, site.City.Lon))
+		}
+		dist := 0.0
+		if hasSrcCity {
+			dist = geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon)
+		}
+		cands = append(cands, candidate{site, len(path), lat, dist})
+	}
+	if len(cands) == 0 {
+		return Site{}, 0, ErrUnreachable
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		switch policy {
+		case PolicyGeo:
+			if a.distKm != b.distKm {
+				return a.distKm < b.distKm
+			}
+		default:
+			if a.hops != b.hops {
+				return a.hops < b.hops
+			}
+			if a.latency != b.latency {
+				return a.latency < b.latency
+			}
+		}
+		// Stable final tiebreak.
+		if a.site.Host != b.site.Host {
+			return a.site.Host < b.site.Host
+		}
+		return a.site.City.Name < b.site.City.Name
+	})
+	best := cands[0]
+	return best.site, best.latency, nil
+}
+
+// RTT converts a one-way latency into a round-trip sample, adding last-
+// mile access delay and random queueing jitter drawn from rng. accessMs
+// models the probe's access technology (a few ms on fiber, tens on
+// congested DSL).
+func RTT(oneWayMs, accessMs float64, rng *rand.Rand) float64 {
+	jitter := rng.ExpFloat64() * 2.0 // congestion tail
+	return 2*(oneWayMs+accessMs) + jitter
+}

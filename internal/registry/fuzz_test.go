@@ -1,0 +1,48 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord feeds arbitrary lines through the delegation-record
+// parser: it must never panic, and anything it accepts must round-trip
+// through String back to an equal record.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("lacnic|VE|ipv4|200.44.0.0|65536|20001207|allocated|ORG-CANV")
+	f.Add("2|lacnic|20240101|12345")
+	f.Add("lacnic|*|ipv4|*|12345|summary")
+	f.Add("")
+	f.Add("|||||||")
+	f.Add("lacnic|VE|asn|8048|1|19980101|allocated|ORG-CANV")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, ok, err := ParseRecord(line)
+		if err != nil || !ok {
+			return
+		}
+		rendered := rec.String()
+		rec2, ok2, err2 := ParseRecord(rendered)
+		if err2 != nil || !ok2 {
+			t.Fatalf("accepted %q but rendered form %q fails: %v", line, rendered, err2)
+		}
+		if rec2 != rec {
+			t.Fatalf("round trip changed record: %+v vs %+v", rec, rec2)
+		}
+	})
+}
+
+// FuzzParse feeds arbitrary multi-line inputs through the file parser.
+func FuzzParse(f *testing.F) {
+	f.Add("2|lacnic|x|1\nlacnic|VE|ipv4|200.44.0.0|65536|20001207|allocated|ORG-CANV\n")
+	f.Add("# nothing\n\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tab, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if tab.Len() < 0 {
+			t.Fatal("negative length")
+		}
+	})
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+func TestGenerateWithoutCampaigns(t *testing.T) {
+	w := world.Build(world.Config{Step: 6})
+	var buf strings.Builder
+	if err := Generate(&buf, w, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"# Ten years of the Venezuelan crisis",
+		"## The crisis in macro numbers (Figure 1)",
+		"## Submarine connectivity (Figure 4)",
+		"ALBA-1",
+		"## The eyeball market (Table 1)",
+		"4,330,868",
+		"## Automated crisis signatures",
+		"| --- |",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+	// Campaign sections absent without the flag.
+	if strings.Contains(doc, "Figure 12") {
+		t.Error("campaign section present without IncludeCampaigns")
+	}
+}
+
+func TestGenerateWithCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation")
+	}
+	w := world.Build(world.Config{
+		TraceStart: months.New(2023, time.July), TraceEnd: months.New(2023, time.December),
+		ChaosStart: months.New(2023, time.July), ChaosEnd: months.New(2023, time.December),
+		Step: 3,
+	})
+	var buf strings.Builder
+	if err := Generate(&buf, w, Options{IncludeCampaigns: true}); err != nil {
+		t.Fatal(err)
+	}
+	doc := buf.String()
+	for _, want := range []string{
+		"## Latency to Google Public DNS (Figure 12)",
+		"## Root origins serving Venezuela (Figure 16)",
+		"VE / region",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownTableEscapesPipes(t *testing.T) {
+	w := world.Build(world.Config{Step: 6})
+	var buf strings.Builder
+	if err := Generate(&buf, w, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Every table line must have balanced pipes (no raw cell pipes).
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "|") && !strings.HasSuffix(line, "|") {
+			t.Errorf("unbalanced table row: %q", line)
+		}
+	}
+}

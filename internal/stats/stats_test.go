@@ -1,0 +1,166 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMedianOdd(t *testing.T) {
+	m, err := Median([]float64{3, 1, 2})
+	if err != nil || !almost(m, 2) {
+		t.Errorf("Median = %v, %v", m, err)
+	}
+}
+
+func TestMedianEven(t *testing.T) {
+	m, err := Median([]float64{4, 1, 3, 2})
+	if err != nil || !almost(m, 2.5) {
+		t.Errorf("Median = %v, %v", m, err)
+	}
+}
+
+func TestMedianSingle(t *testing.T) {
+	m, err := Median([]float64{7.5})
+	if err != nil || !almost(m, 7.5) {
+		t.Errorf("Median = %v, %v", m, err)
+	}
+}
+
+func TestEmptyErrors(t *testing.T) {
+	if _, err := Median(nil); err != ErrEmpty {
+		t.Error("Median(nil): want ErrEmpty")
+	}
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Error("Mean(nil): want ErrEmpty")
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Error("Min(nil): want ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Error("Max(nil): want ErrEmpty")
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Error("Percentile(nil): want ErrEmpty")
+	}
+	if _, err := PercentileSorted(nil, 50); err != ErrEmpty {
+		t.Error("PercentileSorted(nil): want ErrEmpty")
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if p, _ := Percentile(xs, 0); !almost(p, 10) {
+		t.Errorf("p0 = %v", p)
+	}
+	if p, _ := Percentile(xs, 100); !almost(p, 40) {
+		t.Errorf("p100 = %v", p)
+	}
+	// out-of-range p values clamp
+	if p, _ := Percentile(xs, -5); !almost(p, 10) {
+		t.Errorf("p-5 = %v", p)
+	}
+	if p, _ := Percentile(xs, 120); !almost(p, 40) {
+		t.Errorf("p120 = %v", p)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if p, _ := Percentile(xs, 25); !almost(p, 2.5) {
+		t.Errorf("p25 = %v, want 2.5", p)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestMeanMinMaxSum(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if m, _ := Mean(xs); !almost(m, 4) {
+		t.Errorf("Mean = %v", m)
+	}
+	if m, _ := Min(xs); !almost(m, 2) {
+		t.Errorf("Min = %v", m)
+	}
+	if m, _ := Max(xs); !almost(m, 6) {
+		t.Errorf("Max = %v", m)
+	}
+	if s := Sum(xs); !almost(s, 12) {
+		t.Errorf("Sum = %v", s)
+	}
+	if s := Sum(nil); s != 0 {
+		t.Errorf("Sum(nil) = %v", s)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	v, f := CDF([]float64{3, 1, 2})
+	if len(v) != 3 || !sort.Float64sAreSorted(v) {
+		t.Fatalf("values = %v", v)
+	}
+	if !almost(f[2], 1) {
+		t.Errorf("last fraction = %v, want 1", f[2])
+	}
+	if v2, f2 := CDF(nil); v2 != nil || f2 != nil {
+		t.Error("CDF(nil) should be nil,nil")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Error("Clamp broken")
+	}
+}
+
+// Property: median lies between min and max.
+func TestQuickMedianBounded(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(n)%50 + 1
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		med, _ := Median(xs)
+		lo, _ := Min(xs)
+		hi, _ := Max(xs)
+		return med >= lo-1e-9 && med <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(seed int64, n uint8, a, b uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(n)%40 + 2
+		xs := make([]float64, k)
+		for i := range xs {
+			xs[i] = r.Float64() * 1000
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, _ := Percentile(xs, pa)
+		vb, _ := Percentile(xs, pb)
+		return va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

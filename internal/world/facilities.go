@@ -1,0 +1,240 @@
+package world
+
+import (
+	"fmt"
+	"time"
+
+	"vzlens/internal/ixp"
+	"vzlens/internal/months"
+	"vzlens/internal/peeringdb"
+)
+
+// facilityGrowth pins per-country facility counts at April 2018 (the
+// start of PeeringDB's v2 schema) and January 2024, calibrated to
+// Figure 3: the region triples from ~180 to ~552 facilities, Brazil grows
+// 102 to 311, Mexico 11 to 45, Chile 18 to 45, and Costa Rica — despite
+// its dominant state-owned ICE — 3 to 8. Venezuela is handled explicitly.
+var facilityGrowth = []struct {
+	cc           string
+	n2018, n2024 int
+}{
+	{"BR", 102, 311}, {"MX", 11, 45}, {"CL", 18, 45}, {"AR", 15, 38},
+	{"CO", 8, 22}, {"PE", 5, 13}, {"EC", 4, 10}, {"UY", 3, 8},
+	{"PA", 4, 9}, {"CR", 3, 8}, {"DO", 3, 6}, {"GT", 2, 5},
+	{"BO", 1, 4}, {"PY", 1, 4}, {"TT", 2, 3}, {"HN", 1, 2},
+	{"NI", 1, 2}, {"SV", 1, 2}, {"CW", 2, 3}, {"SX", 1, 1},
+	{"GF", 1, 1}, {"HT", 0, 1}, {"CU", 0, 1}, {"GY", 0, 1},
+	{"SR", 0, 1}, {"BZ", 0, 1}, {"BQ", 0, 1},
+}
+
+// veFacility is one Venezuelan facility with its PeeringDB registration
+// window and name history (Lumen's Latin American unit became Cirion in
+// 2022 after the Stonepeak sale, renaming the La Urbina facility).
+type veFacility struct {
+	id    int
+	names []struct {
+		name string
+		from months.Month
+	}
+	city       string
+	registered months.Month
+}
+
+var veFacilities = []veFacility{
+	{
+		id: 9001,
+		names: []struct {
+			name string
+			from months.Month
+		}{
+			{"Lumen La Urbina", mm(2021, time.November)},
+			{"Cirion La Urbina", mm(2022, time.August)},
+		},
+		city:       "Caracas",
+		registered: mm(2021, time.November),
+	},
+	{
+		id: 9002,
+		names: []struct {
+			name string
+			from months.Month
+		}{{"Daycohost - Caracas", mm(2021, time.November)}},
+		city:       "Caracas",
+		registered: mm(2021, time.November),
+	},
+	{
+		id: 9003,
+		names: []struct {
+			name string
+			from months.Month
+		}{{"GigaPOP Maracaibo", mm(2023, time.January)}},
+		city:       "Maracaibo",
+		registered: mm(2023, time.January),
+	},
+	{
+		id: 9004,
+		names: []struct {
+			name string
+			from months.Month
+		}{{"Globenet Maiquetia", mm(2023, time.January)}},
+		city:       "Maiquetia",
+		registered: mm(2023, time.January),
+	},
+}
+
+func (f veFacility) nameAt(m months.Month) string {
+	name := f.names[0].name
+	for _, n := range f.names {
+		if !m.Before(n.from) {
+			name = n.name
+		}
+	}
+	return name
+}
+
+// veFacilityNetworks encodes Table 2 and Figure 15: which Venezuelan
+// networks report presence at each facility, and since when. The La
+// Urbina site accumulates eleven networks; Daycohost stays at two to
+// three; GigaPOP attracts none; Globenet Maiquetia gains two in 2023.
+var veFacilityNetworks = map[int][]struct {
+	asn   uint32
+	name  string
+	since months.Month
+}{
+	9001: {
+		{8053, "IFX Venezuela", mm(2021, time.November)},
+		{265641, "CIX BROADBAND", mm(2022, time.February)},
+		{269832, "MDSTELECOM", mm(2022, time.May)},
+		{23379, "Blackburn Technologies II", mm(2022, time.August)},
+		{270042, "RED DOT TECHNOLOGIES", mm(2022, time.November)},
+		{269738, "Chircalnet Telecom", mm(2023, time.February)},
+		{267809, "360NET", mm(2023, time.April)},
+		{19978, "Cirion - VE", mm(2023, time.June)},
+		{21826, "Corporacion Telemic Network", mm(2023, time.August)},
+		{21980, "Dayco Telecom", mm(2023, time.October)},
+		{269918, "SISTEMAS TELCORP, C.A.", mm(2023, time.November)},
+	},
+	9002: {
+		{8053, "IFX Venezuela", mm(2021, time.November)},
+		{269832, "MDSTELECOM", mm(2022, time.March)},
+		{270042, "RED DOT TECHNOLOGIES", mm(2022, time.September)},
+	},
+	9003: {},
+	9004: {
+		{272102, "BESSER SOLUTIONS", mm(2023, time.July)},
+		{21826, "Corporacion Telemic Network", mm(2023, time.September)},
+	},
+}
+
+// PeeringDBSnapshot synthesizes the database state at month m.
+func (w *World) PeeringDBSnapshot(m months.Month) *peeringdb.Snapshot {
+	s := &peeringdb.Snapshot{}
+	start := mm(2018, time.April)
+	end := mm(2024, time.January)
+	window := end.Sub(start)
+	elapsed := m.Sub(start)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if elapsed > window {
+		elapsed = window
+	}
+	id := 1
+	for _, g := range facilityGrowth {
+		count := g.n2018 + (g.n2024-g.n2018)*elapsed/window
+		for k := 0; k < count; k++ {
+			s.Facilities = append(s.Facilities, peeringdb.Facility{
+				ID:      id + k,
+				Name:    fmt.Sprintf("%s Facility %d", g.cc, k+1),
+				City:    capitalOf(g.cc).Name,
+				Country: g.cc,
+			})
+		}
+		id += g.n2024 + 1
+	}
+
+	netIDs := map[uint32]int{}
+	nextNet := 50000
+	ensureNet := func(asn uint32, name, cc string) int {
+		if nid, ok := netIDs[asn]; ok {
+			return nid
+		}
+		nextNet++
+		netIDs[asn] = nextNet
+		s.Networks = append(s.Networks, peeringdb.Network{
+			ID: nextNet, ASN: asn, Name: name, Country: cc,
+		})
+		return nextNet
+	}
+	for _, f := range veFacilities {
+		if m.Before(f.registered) {
+			continue
+		}
+		s.Facilities = append(s.Facilities, peeringdb.Facility{
+			ID: f.id, Name: f.nameAt(m), City: f.city, Country: "VE",
+		})
+		for _, member := range veFacilityNetworks[f.id] {
+			if m.Before(member.since) {
+				continue
+			}
+			nid := ensureNet(member.asn, member.name, "VE")
+			s.NetFacs = append(s.NetFacs, peeringdb.NetFac{NetID: nid, FacID: f.id})
+		}
+	}
+
+	// Exchanges and their membership, from the 2024 regional and US
+	// pictures. PeeringDB's IX coverage in the region only matured late
+	// in the study window, so dumps before 2020 omit it.
+	if !m.Before(mm(2020, time.January)) {
+		ixID := 80000
+		addMembership := func(members *ixp.Membership, exchanges []ixp.Exchange) {
+			byName := map[string]ixp.Exchange{}
+			for _, ex := range exchanges {
+				byName[ex.Name] = ex
+			}
+			for _, exName := range members.Exchanges() {
+				ex, ok := byName[exName]
+				if !ok {
+					continue
+				}
+				ixID++
+				s.IXs = append(s.IXs, peeringdb.IX{
+					ID: ixID, Name: ex.Name, City: ex.City, Country: ex.Country,
+				})
+				for _, asn := range members.Members(exName) {
+					name := "AS" + asn.String()
+					cc := ""
+					if est, ok := w.Pop.Lookup(asn); ok {
+						name, cc = est.Name, est.Country
+					}
+					nid := ensureNet(uint32(asn), name, cc)
+					s.NetIXLans = append(s.NetIXLans, peeringdb.NetIXLan{NetID: nid, IXID: ixID})
+				}
+			}
+		}
+		addMembership(w.IXPMembership(), ixp.LatAmExchanges())
+		addMembership(w.USIXPMembership(), ixp.USExchanges())
+	}
+	return s
+}
+
+// PeeringDBArchive exports monthly snapshots over [lo, hi] (stepped).
+func (w *World) PeeringDBArchive(lo, hi months.Month) *peeringdb.Archive {
+	a := peeringdb.NewArchive()
+	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
+		a.Put(m, w.PeeringDBSnapshot(m))
+	}
+	return a
+}
+
+// VEFacilityNamesAt returns the Venezuelan facility names registered at
+// month m, in ID order.
+func (w *World) VEFacilityNamesAt(m months.Month) []string {
+	var out []string
+	for _, f := range veFacilities {
+		if !m.Before(f.registered) {
+			out = append(out, f.nameAt(m))
+		}
+	}
+	return out
+}

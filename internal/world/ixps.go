@@ -1,0 +1,118 @@
+package world
+
+import (
+	"vzlens/internal/bgp"
+	"vzlens/internal/ixp"
+)
+
+// domesticIXPJoins selects which of a country's eyeball networks (by
+// market-share rank, 0 = largest) peer at its largest IXP. Subsets are
+// chosen so the covered population share lands on Figure 10's cells:
+// AR-IX 62.4%, IX.br 45.53%, PIT Chile 49.57%, NAP.CO 63.68%, and the
+// near-total coverage of the small single-IXP markets.
+var domesticIXPJoins = map[string][]int{
+	"AR-IX":           {0, 1, 5},       // 34+22+7  ≈ 62.4% of AR
+	"IX.br (SP)":      {0, 3},          // 34+12    ≈ 45.5% of BR
+	"PIT Chile (SCL)": {0, 2},          // 34+16    ≈ 49.6% of CL
+	"NAP.CO":          {0, 1, 5},       // ≈ 63.7% of CO
+	"AMS-IX (CW)":     {0, 1, 2, 3, 4}, // ≈ 92.6% of CW
+	"NAP.EC - UIO":    {0, 1, 2, 4},    // ≈ 81% of EC
+	"Peru IX":         {0, 2},          // ≈ 49.4% of PE
+	"PIT.BO":          {0, 1, 2, 3, 4, 5},
+	"IXpy":            {0, 1, 2, 3, 4, 5},
+	"GTIX":            {0},
+	"TTIX":            {0, 1},
+	"IXP-HN":          {0, 1, 2, 3, 4},
+	"Guyanix":         {0, 1, 2, 3},
+	"SUR-IX":          {0, 1, 2, 3, 4, 5},
+	"CRIX":            {1, 2},
+	"InteRed (PA)":    {3},
+	"IXSY":            {0, 1, 2, 3, 4},
+	"OCIX":            {0, 1, 2, 3, 4},
+}
+
+// IXPMembership assembles the regional exchange membership of 2024:
+// domestic joins per the table above, Uruguay's international peering at
+// four foreign exchanges (its state incumbent left no domestic IXP), and
+// Venezuela's single toehold — Viginet at Equinix Bogota, roughly 4% of
+// the country's users.
+func (w *World) IXPMembership() *ixp.Membership {
+	m := ixp.NewMembership()
+	exchanges := ixp.LatAmExchanges()
+	for _, ex := range exchanges {
+		ranks, ok := domesticIXPJoins[ex.Name]
+		if !ok {
+			continue
+		}
+		net := w.Nets[ex.Country]
+		for _, r := range ranks {
+			if r < len(net.Eyeballs) {
+				m.Join(ex.Name, net.Eyeballs[r])
+			}
+		}
+	}
+	// Uruguay travels abroad to peer.
+	uy := w.Nets["UY"]
+	for _, exName := range []string{"AR-IX", "IX.br (SP)", "IXpy", "PIT Chile (SCL)"} {
+		m.Join(exName, uy.Eyeballs[0])
+		m.Join(exName, uy.Eyeballs[1])
+	}
+	// Venezuela: a single network at Equinix Bogota (~4% of users).
+	m.Join("Equinix Bogota", 263703)
+	return m
+}
+
+// usIXPPresence places Latin American networks at US exchanges per
+// Appendix I: Brazilian and Mexican networks appear across most
+// exchanges, Uruguayan networks concentrate at three, and exactly seven
+// small Venezuelan networks reach ~7% of the country's users.
+var veUSNetworks = []bgp.ASN{
+	269918, // SISTEMAS TELCORP
+	21980,  // Dayco Telecom
+	272102, // BESSER SOLUTIONS
+	264703, // UFINET VE
+	262999, // GalaNet
+	263237, // Lifetel
+	264774, // NetVision VE
+}
+
+// USIXPMembership assembles the United States exchange membership.
+func (w *World) USIXPMembership() *ixp.Membership {
+	m := ixp.NewMembership()
+	us := ixp.USExchanges()
+	// Brazil and Mexico: top-3 networks across most exchanges.
+	for i, ex := range us {
+		for _, cc := range []string{"BR", "MX"} {
+			net := w.Nets[cc]
+			for r := 0; r < 3; r++ {
+				if (i+r)%2 == 0 { // spread, not exhaustive
+					m.Join(ex.Name, net.Eyeballs[r])
+				}
+			}
+		}
+	}
+	// Uruguay at the Miami/Ashburn triangle.
+	uy := w.Nets["UY"]
+	for _, exName := range []string{"FL-IX", "Equinix Miami", "Equinix Ashburn"} {
+		m.Join(exName, uy.Eyeballs[0])
+		m.Join(exName, uy.Eyeballs[1])
+	}
+	// Scattered single-network presences.
+	m.Join("FL-IX", w.Nets["AR"].Eyeballs[1])
+	m.Join("Equinix Miami", w.Nets["CL"].Eyeballs[1])
+	m.Join("FL-IX", w.Nets["CO"].Eyeballs[1])
+	m.Join("DE-CIX New York", w.Nets["DO"].Eyeballs[0])
+	m.Join("MEX-IX McAllen", w.Nets["MX"].Eyeballs[0])
+	// Venezuela's seven small networks, mostly around Miami.
+	for i, asn := range veUSNetworks {
+		switch {
+		case i < 4:
+			m.Join("FL-IX", asn)
+		case i < 6:
+			m.Join("Equinix Miami", asn)
+		default:
+			m.Join("DE-CIX New York", asn)
+		}
+	}
+	return m
+}

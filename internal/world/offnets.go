@@ -1,0 +1,157 @@
+package world
+
+import (
+	"fmt"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/offnet"
+)
+
+// coverageAnchor pins a hypergiant's population-coverage target in a
+// country at a year; targets interpolate linearly between anchors.
+type coverageAnchor struct {
+	year   int
+	target float64 // fraction of the country's users, 0-1
+}
+
+// offnetTargets encodes Figures 7 and 18: Google and Akamai established
+// off-nets in Venezuela (including CANTV) before the crisis and then
+// stalled; Facebook and Netflix, expanding later, largely skipped it;
+// the remaining hypergiants barely touch Latin America and never deploy
+// in Venezuela.
+var offnetTargets = map[string]map[string][]coverageAnchor{
+	"Google": {
+		"AR": {{2013, 0.55}, {2017, 0.80}, {2021, 0.92}},
+		"BR": {{2013, 0.60}, {2017, 0.85}, {2021, 0.95}},
+		"CL": {{2013, 0.50}, {2017, 0.78}, {2021, 0.90}},
+		"CO": {{2013, 0.45}, {2017, 0.75}, {2021, 0.90}},
+		"MX": {{2013, 0.50}, {2017, 0.78}, {2021, 0.92}},
+		"VE": {{2013, 0.45}, {2016, 0.55}, {2021, 0.56}},
+	},
+	"Akamai": {
+		"AR": {{2013, 0.35}, {2021, 0.75}},
+		"BR": {{2013, 0.40}, {2021, 0.80}},
+		"CL": {{2013, 0.30}, {2021, 0.70}},
+		"CO": {{2013, 0.28}, {2021, 0.68}},
+		"MX": {{2013, 0.30}, {2021, 0.72}},
+		"VE": {{2013, 0.33}, {2016, 0.34}, {2021, 0.34}},
+	},
+	"Facebook": {
+		"AR": {{2014, 0.05}, {2018, 0.45}, {2021, 0.75}},
+		"BR": {{2014, 0.08}, {2018, 0.50}, {2021, 0.80}},
+		"CL": {{2014, 0.04}, {2018, 0.40}, {2021, 0.70}},
+		"CO": {{2014, 0.04}, {2018, 0.38}, {2021, 0.68}},
+		"MX": {{2014, 0.05}, {2018, 0.42}, {2021, 0.72}},
+		"VE": {{2015, 0.12}, {2018, 0.30}, {2021, 0.35}},
+	},
+	"Netflix": {
+		"AR": {{2014, 0.15}, {2018, 0.55}, {2021, 0.82}},
+		"BR": {{2014, 0.20}, {2018, 0.60}, {2021, 0.85}},
+		"CL": {{2014, 0.12}, {2018, 0.50}, {2021, 0.78}},
+		"CO": {{2014, 0.10}, {2018, 0.48}, {2021, 0.76}},
+		"MX": {{2014, 0.12}, {2018, 0.52}, {2021, 0.80}},
+		"VE": {{2019, 0.12}, {2020, 0.13}, {2021, 0.34}},
+	},
+	"Microsoft":  {"BR": {{2018, 0.05}, {2021, 0.20}}, "MX": {{2018, 0.04}, {2021, 0.15}}},
+	"Cloudflare": {"BR": {{2017, 0.08}, {2021, 0.25}}, "MX": {{2017, 0.05}, {2021, 0.18}}, "AR": {{2018, 0.05}, {2021, 0.15}}},
+	"Amazon":     {"BR": {{2019, 0.04}, {2021, 0.12}}},
+	"Limelight":  {"BR": {{2016, 0.03}, {2021, 0.08}}, "MX": {{2016, 0.03}, {2021, 0.08}}},
+	"CDNetworks": {"MX": {{2017, 0.02}, {2021, 0.05}}},
+	"Alibaba":    {"BR": {{2020, 0.02}, {2021, 0.04}}},
+}
+
+func coverageTarget(anchors []coverageAnchor, year int) float64 {
+	if len(anchors) == 0 || year < anchors[0].year {
+		return 0
+	}
+	last := anchors[len(anchors)-1]
+	if year >= last.year {
+		return last.target
+	}
+	for i := 0; i < len(anchors)-1; i++ {
+		lo, hi := anchors[i], anchors[i+1]
+		if year < lo.year || year >= hi.year {
+			continue
+		}
+		frac := float64(year-lo.year) / float64(hi.year-lo.year)
+		return lo.target*(1-frac) + hi.target*frac
+	}
+	return last.target
+}
+
+// OffnetHosts returns the ASes hosting an off-net of the named provider
+// in country cc during the given year: the country's largest eyeballs,
+// greedily, until the coverage target is met — honoring the documented
+// Venezuelan constraints (Facebook never inside CANTV; Netflix inside
+// CANTV only from 2021; Telefonica's shrinking network attracts no new
+// deployments after 2016).
+func (w *World) OffnetHosts(provider, cc string, year int) []bgp.ASN {
+	anchors := offnetTargets[provider][cc]
+	target := coverageTarget(anchors, year)
+	if target <= 0 {
+		return nil
+	}
+	var hosts []bgp.ASN
+	covered := 0.0
+	for _, est := range w.Pop.InCountry(cc) {
+		if covered >= target {
+			break
+		}
+		if cc == "VE" && !veDeploymentAllowed(provider, est.ASN, year) {
+			continue
+		}
+		hosts = append(hosts, est.ASN)
+		covered += w.Pop.Share(est.ASN)
+	}
+	return hosts
+}
+
+// veDeploymentAllowed applies the paper's Venezuelan deployment facts.
+func veDeploymentAllowed(provider string, asn bgp.ASN, year int) bool {
+	switch provider {
+	case "Facebook":
+		return asn != ASCANTV
+	case "Netflix":
+		if asn == ASCANTV {
+			return year >= 2021
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// OffnetScan synthesizes the TLS certificate scan for one year: every
+// off-net host serves its hypergiant's certificate, hypergiants serve
+// their own on-net certificates, and unrelated enterprise certificates
+// provide negatives.
+func (w *World) OffnetScan(year int) *offnet.Scan {
+	s := offnet.NewScan()
+	for _, hg := range offnet.Hypergiants() {
+		// On-net control record.
+		s.Add(offnet.CertRecord{ASN: hg.ASN, Names: []string{exampleName(hg)}})
+		for cc := range offnetTargets[hg.Name] {
+			for _, asn := range w.OffnetHosts(hg.Name, cc, year) {
+				s.Add(offnet.CertRecord{ASN: asn, Names: []string{exampleName(hg)}})
+			}
+		}
+	}
+	// Negatives: national bank certificates.
+	for i, cc := range sortedCountries(w.Nets) {
+		s.Add(offnet.CertRecord{
+			ASN:   w.Nets[cc].Transit,
+			Names: []string{fmt.Sprintf("banco%d.example.%s", i, cc)},
+		})
+	}
+	return s
+}
+
+// exampleName materializes a concrete certificate name from the
+// hypergiant's first fingerprint.
+func exampleName(hg offnet.Hypergiant) string {
+	fp := hg.Domains[0]
+	if len(fp) > 2 && fp[:2] == "*." {
+		return "edge." + fp[2:]
+	}
+	return fp
+}

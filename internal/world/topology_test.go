@@ -1,0 +1,132 @@
+package world
+
+import (
+	"testing"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/netsim"
+)
+
+func TestAccessDelayTrajectories(t *testing.T) {
+	// Venezuela's access delay only improves with the 2022 fiber plans.
+	early := AccessDelayMs("VE", mm(2016, time.January))
+	late := AccessDelayMs("VE", mm(2023, time.December))
+	if late >= early {
+		t.Errorf("VE access delay %v -> %v, want improvement", early, late)
+	}
+	// Brazil's fiber boom cuts access latency by more than half.
+	br14 := AccessDelayMs("BR", mm(2014, time.January))
+	br23 := AccessDelayMs("BR", mm(2023, time.December))
+	if br23 > br14/2 {
+		t.Errorf("BR access delay %v -> %v", br14, br23)
+	}
+	// Unknown countries take the default.
+	if got := AccessDelayMs("ZZ", mm(2020, time.January)); got != defaultAccessMs {
+		t.Errorf("default access = %v", got)
+	}
+	// Clamping outside the anchor range.
+	if AccessDelayMs("VE", mm(2010, time.January)) != AccessDelayMs("VE", mm(2014, time.January)) {
+		t.Error("pre-range access should clamp to the first anchor")
+	}
+}
+
+func TestGPDNSSitesGrowOverTime(t *testing.T) {
+	n2014 := len(testWorld.GPDNSSitesAt(mm(2014, time.June)))
+	n2023 := len(testWorld.GPDNSSitesAt(mm(2023, time.June)))
+	if n2014 >= n2023 {
+		t.Errorf("GPDNS sites %d -> %d, want growth", n2014, n2023)
+	}
+	// Never a Venezuelan site.
+	for _, m := range []int{0, 60, 118} {
+		for _, site := range testWorld.GPDNSSitesAt(mm(2014, time.January).Add(m)) {
+			if site.City.Country == "VE" {
+				t.Fatalf("GPDNS site in Venezuela at offset %d", m)
+			}
+		}
+	}
+}
+
+func TestRootSitesHostAssignment(t *testing.T) {
+	m := mm(2017, time.March)
+	sitesL, instsL := testWorld.RootSitesAt('L', m)
+	if len(sitesL) != len(instsL) || len(sitesL) == 0 {
+		t.Fatalf("L sites = %d, insts = %d", len(sitesL), len(instsL))
+	}
+	foundCaracas := false
+	for i, inst := range instsL {
+		if inst.City.Country == "VE" && inst.City.Name == "Caracas" {
+			foundCaracas = true
+			if sitesL[i].Host != ASCANTV {
+				t.Errorf("Caracas L root hosted by %d, want CANTV", sitesL[i].Host)
+			}
+		}
+	}
+	if !foundCaracas {
+		t.Error("Caracas L root missing in 2017")
+	}
+	// The Maracaibo replacement sits inside Airtek.
+	m2 := mm(2021, time.January)
+	sites2, insts2 := testWorld.RootSitesAt('L', m2)
+	for i, inst := range insts2 {
+		if inst.City.Name == "Maracaibo" && sites2[i].Host != 61461 {
+			t.Errorf("Maracaibo L root hosted by %d, want Airtek 61461", sites2[i].Host)
+		}
+	}
+}
+
+func TestLocalizeSites(t *testing.T) {
+	gru := mustCity("GRU")
+	mia := mustCity("MIA")
+	sites := []netsim.Site{
+		{Host: 4230, City: gru},
+		{Host: ASGoogle, City: mia},
+	}
+	brProbe := atlas.Probe{Country: "BR", ASN: 265123}
+	local := localizeSites(sites, brProbe)
+	if local[0].Host != brProbe.ASN {
+		t.Errorf("domestic site host = %d, want probe AS", local[0].Host)
+	}
+	if local[1].Host != ASGoogle {
+		t.Errorf("foreign site host rewritten to %d", local[1].Host)
+	}
+	// The original slice is untouched.
+	if sites[0].Host != 4230 {
+		t.Error("localizeSites mutated its input")
+	}
+	// A probe with no domestic sites gets the original slice back.
+	veProbe := atlas.Probe{Country: "VE", ASN: ASCANTV}
+	if got := localizeSites(sites, veProbe); &got[0] != &sites[0] {
+		t.Error("no-rewrite case should return the input slice")
+	}
+}
+
+func TestTopologyCacheReuse(t *testing.T) {
+	w := Build(Config{})
+	a := w.TopologyAt(mm(2020, time.June))
+	b := w.TopologyAt(mm(2020, time.June))
+	if a != b {
+		t.Error("monthly topology not cached")
+	}
+	c := w.TopologyAt(mm(2020, time.July))
+	if a == c {
+		t.Error("distinct months share a topology")
+	}
+}
+
+func TestRootSitesEveryLetterResolvable(t *testing.T) {
+	m := mm(2023, time.June)
+	resolver := testWorld.TopologyAt(m)
+	probe := testWorld.Fleet.ActiveIn("VE", m)[0]
+	for _, letter := range dnsroot.Letters() {
+		sites, _ := testWorld.RootSitesAt(letter, m)
+		if len(sites) == 0 {
+			t.Errorf("%s: no instances deployed", letter)
+			continue
+		}
+		if _, _, err := resolver.CatchmentIndex(probe.ASN, probe.City, sites, netsim.PolicyBGP); err != nil {
+			t.Errorf("%s: catchment failed: %v", letter, err)
+		}
+	}
+}

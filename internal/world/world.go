@@ -1,0 +1,321 @@
+package world
+
+import (
+	"math/rand"
+	"time"
+
+	"vzlens/internal/aspop"
+	"vzlens/internal/atlas"
+	"vzlens/internal/bgp"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/months"
+	"vzlens/internal/netsim"
+	"vzlens/internal/registry"
+	"vzlens/internal/telegeo"
+)
+
+// Config parameterizes world construction. Zero fields take defaults.
+type Config struct {
+	Seed            int64        // RNG seed for measurement noise
+	TraceStart      months.Month // traceroute campaign start (default 2014-03)
+	TraceEnd        months.Month // campaign end (default 2024-01)
+	ChaosStart      months.Month // CHAOS campaign start (default 2016-01)
+	ChaosEnd        months.Month // campaign end (default 2024-01)
+	Step            int          // months between snapshots (default 1)
+	SamplesPerProbe int          // traceroute samples per probe-month (default 3)
+	// Policy selects the anycast catchment model for both campaigns;
+	// the default (PolicyBGP) is how anycast actually routes, PolicyGeo
+	// is the naive baseline the ablation benchmarks compare against.
+	Policy netsim.CatchmentPolicy
+	// FleetScale multiplies every country's probe counts (default 1).
+	// Values below 1 implement the Section 8 coverage-bias sensitivity
+	// experiment: fewer vantage points see fewer anycast instances.
+	FleetScale float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 20240804 // the paper's presentation date at SIGCOMM
+	}
+	if c.TraceStart.IsZero() {
+		c.TraceStart = mm(2014, time.March)
+	}
+	if c.TraceEnd.IsZero() {
+		c.TraceEnd = mm(2024, time.January)
+	}
+	if c.ChaosStart.IsZero() {
+		c.ChaosStart = mm(2016, time.January)
+	}
+	if c.ChaosEnd.IsZero() {
+		c.ChaosEnd = mm(2024, time.January)
+	}
+	if c.Step <= 0 {
+		c.Step = 1
+	}
+	if c.SamplesPerProbe <= 0 {
+		c.SamplesPerProbe = 3
+	}
+	if c.FleetScale <= 0 {
+		c.FleetScale = 1
+	}
+	return c
+}
+
+// World is one coherent synthetic Latin-American Internet.
+type World struct {
+	Config Config
+
+	Nets   map[string]CountryNet
+	Pop    *aspop.Estimates
+	Orgs   *bgp.OrgMap
+	Roots  *dnsroot.Deployment
+	Fleet  *atlas.Fleet
+	Cables *telegeo.Map
+
+	topoCache map[months.Month]*netsim.Resolver
+}
+
+// Build assembles a World.
+func Build(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	nets := buildNets()
+	pop := buildPopulations(nets)
+	w := &World{
+		Config:    cfg,
+		Nets:      nets,
+		Pop:       pop,
+		Orgs:      buildOrgs(nets, pop),
+		Roots:     dnsroot.DefaultDeployment(),
+		Cables:    telegeo.LatinAmerica(),
+		topoCache: map[months.Month]*netsim.Resolver{},
+	}
+	w.Fleet = buildFleet(nets, cfg.FleetScale)
+	return w
+}
+
+// fleetAnchors drives non-Venezuelan probe counts, calibrated to
+// Appendix F (Figure 17): the region grows from roughly 300 to 450+
+// probes, led by Brazil.
+var fleetAnchors = map[string][4]int{ // counts at 2014, 2016, 2022, 2024
+	"BR": {100, 120, 150, 170}, "AR": {35, 40, 60, 70}, "CL": {25, 30, 42, 50},
+	"MX": {20, 25, 38, 45}, "CO": {15, 20, 32, 40}, "UY": {6, 8, 11, 12},
+	"PE": {5, 6, 10, 12}, "EC": {4, 5, 8, 10}, "CR": {3, 4, 7, 8},
+	"PA": {2, 3, 5, 6}, "PY": {2, 3, 5, 6}, "BO": {2, 2, 4, 5},
+	"DO": {2, 2, 4, 5}, "GT": {1, 2, 3, 4}, "TT": {1, 2, 3, 4},
+	"HN": {1, 1, 2, 2}, "NI": {1, 1, 2, 2}, "CU": {0, 0, 1, 1},
+	"HT": {0, 0, 1, 1}, "SR": {1, 1, 2, 2}, "GY": {1, 1, 2, 2},
+	"BZ": {0, 0, 1, 1}, "SV": {1, 1, 2, 2}, "CW": {1, 2, 3, 3},
+	"GF": {1, 1, 1, 1}, "BQ": {0, 1, 1, 1}, "SX": {0, 1, 1, 1},
+}
+
+// veProbeSpec places Venezuela's probes explicitly: 30 by 2024, only 8 of
+// them inside CANTV, with the low-latency vantage points in Airtek
+// (Maracaibo) and Viginet (San Cristobal) networks near the Colombian
+// border — the geography of Figure 20.
+var veProbeSpec = []struct {
+	asn   bgp.ASN
+	iata  string
+	since months.Month
+}{
+	{ASCANTV, "CCS", mm(2014, time.March)},
+	{ASCANTV, "CCS", mm(2014, time.March)},
+	{ASCANTV, "CCS", mm(2014, time.June)},
+	{ASCANTV, "VLN", mm(2014, time.June)},
+	{21826, "CCS", mm(2014, time.March)},
+	{21826, "VLN", mm(2014, time.June)},
+	{ASTelefonica, "CCS", mm(2014, time.June)},
+	{11562, "CCS", mm(2014, time.September)},
+	{ASMovilnet, "CCS", mm(2015, time.March)},
+	{ASTelefonica, "CCS", mm(2015, time.June)},
+	{61461, "MAR", mm(2018, time.January)},
+	{263703, "SCI", mm(2019, time.January)},
+	{ASCANTV, "CCS", mm(2020, time.January)},
+	{11562, "VLN", mm(2020, time.June)},
+	{21826, "VLN", mm(2021, time.June)},
+	{ASCANTV, "CCS", mm(2022, time.January)},
+	{ASCANTV, "MAR", mm(2022, time.January)},
+	{264731, "CCS", mm(2022, time.March)},
+	{264731, "CCS", mm(2022, time.March)},
+	{264628, "CCS", mm(2022, time.June)},
+	{264628, "CCS", mm(2022, time.June)},
+	{61461, "MAR", mm(2022, time.June)},
+	{61461, "MAR", mm(2022, time.September)},
+	{61461, "SCI", mm(2023, time.January)},
+	{263703, "SCI", mm(2023, time.January)},
+	{263703, "MAR", mm(2023, time.March)},
+	{264628, "MAR", mm(2023, time.March)},
+	{272809, "CCS", mm(2023, time.June)},
+	{272809, "CCS", mm(2023, time.June)},
+	{ASCANTV, "VLN", mm(2023, time.June)},
+}
+
+// buildFleet materializes the regional probe fleet, scaling every
+// country's counts by scale (Venezuela's explicit probes are sampled
+// proportionally, keeping their AS and city mix).
+func buildFleet(nets map[string]CountryNet, scale float64) *atlas.Fleet {
+	scaled := func(n int) int {
+		v := int(float64(n)*scale + 0.5)
+		if n > 0 && v < 1 {
+			v = 1
+		}
+		return v
+	}
+	var plans []atlas.CountryPlan
+	for _, cc := range sortedCountries(nets) {
+		if cc == "VE" {
+			continue
+		}
+		counts, ok := fleetAnchors[cc]
+		if !ok {
+			continue
+		}
+		net := nets[cc]
+		plans = append(plans, atlas.CountryPlan{
+			CC: cc,
+			Anchors: []atlas.CountAnchor{
+				{Month: mm(2014, time.March), Count: scaled(counts[0])},
+				{Month: mm(2016, time.January), Count: scaled(counts[1])},
+				{Month: mm(2022, time.January), Count: scaled(counts[2])},
+				{Month: mm(2024, time.January), Count: scaled(counts[3])},
+			},
+			ASNs: append([]bgp.ASN{net.Transit}, net.Eyeballs...),
+		})
+	}
+	f := atlas.BuildFleet(plans)
+	id := 1
+	keep := scaled(len(veProbeSpec))
+	stride := float64(len(veProbeSpec)) / float64(keep)
+	for k := 0; k < keep; k++ {
+		spec := veProbeSpec[int(float64(k)*stride)]
+		f.Add(atlas.Probe{
+			ID:        id,
+			Country:   "VE",
+			City:      mustCity(spec.iata),
+			ASN:       spec.asn,
+			Connected: spec.since,
+		})
+		id++
+	}
+	return f
+}
+
+// campaignMonths expands a [lo, hi] window with the configured step.
+func (w *World) campaignMonths(lo, hi months.Month) []months.Month {
+	var out []months.Month
+	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
+		out = append(out, m)
+	}
+	return out
+}
+
+// TraceCampaign simulates the platform-wide traceroute campaign toward
+// Google Public DNS (measurement 1591): every active probe measures
+// SamplesPerProbe times per monthly snapshot, and the RTT combines the
+// anycast catchment path, the country's access delay, and exponential
+// queueing jitter.
+func (w *World) TraceCampaign() *atlas.TraceCampaign {
+	rng := rand.New(rand.NewSource(w.Config.Seed))
+	tc := atlas.NewTraceCampaign()
+	for _, m := range w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd) {
+		resolver := w.TopologyAt(m)
+		sites := w.GPDNSSitesAt(m)
+		for _, p := range w.Fleet.ActiveAt(m) {
+			local := localizeSites(sites, p)
+			_, oneWay, err := resolver.CatchmentFrom(p.ASN, p.City, local, w.Config.Policy)
+			if err != nil {
+				continue
+			}
+			access := AccessDelayMs(p.Country, m)
+			for s := 0; s < w.Config.SamplesPerProbe; s++ {
+				tc.Add(atlas.TraceSample{
+					Month:   m,
+					ProbeID: p.ID,
+					ProbeCC: p.Country,
+					RTTms:   netsim.RTT(oneWay, access, rng),
+				})
+			}
+		}
+	}
+	return tc
+}
+
+// ChaosCampaign simulates the built-in CHAOS TXT measurements toward all
+// thirteen root letters from every active probe in each monthly snapshot.
+func (w *World) ChaosCampaign() *atlas.ChaosCampaign {
+	cc := atlas.NewChaosCampaign()
+	for _, m := range w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd) {
+		resolver := w.TopologyAt(m)
+		for _, letter := range dnsroot.Letters() {
+			sites, insts := w.RootSitesAt(letter, m)
+			if len(sites) == 0 {
+				continue
+			}
+			for _, p := range w.Fleet.ActiveAt(m) {
+				local := localizeSites(sites, p)
+				idx, _, err := resolver.CatchmentIndex(p.ASN, p.City, local, w.Config.Policy)
+				if err != nil {
+					continue
+				}
+				cc.Add(atlas.ChaosResult{
+					Month:   m,
+					ProbeID: p.ID,
+					ProbeCC: p.Country,
+					Letter:  letter,
+					TXT:     insts[idx].ChaosName(m),
+				})
+			}
+		}
+	}
+	return cc
+}
+
+// localizeSites returns the probe's view of an anycast site list:
+// replicas deployed in the probe's own country are reachable over the
+// domestic peering fabric, modeled as hosting inside the probe's AS (one
+// hop, direct city-to-city distance). Cross-border replicas keep their
+// interdomain path.
+func localizeSites(sites []netsim.Site, p atlas.Probe) []netsim.Site {
+	var out []netsim.Site
+	rewritten := false
+	for _, s := range sites {
+		if s.City.Country == p.Country {
+			if !rewritten {
+				out = make([]netsim.Site, len(sites))
+				copy(out, sites)
+				rewritten = true
+			}
+		}
+	}
+	if !rewritten {
+		return sites
+	}
+	for i, s := range out {
+		if s.City.Country == p.Country {
+			out[i].Host = p.ASN
+		}
+	}
+	return out
+}
+
+// ASRelArchive exports the monthly AS relationship files over [lo, hi]
+// (stepped), mirroring the CAIDA serial-1 archive back to 1998.
+func (w *World) ASRelArchive(lo, hi months.Month) *bgp.Archive {
+	a := bgp.NewArchive()
+	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
+		a.Put(m, w.TopologyAt(m).Topology().Graph())
+	}
+	return a
+}
+
+// RIBArchive exports monthly Venezuelan prefix-to-AS snapshots over
+// [lo, hi] (stepped), mirroring the RouteViews pfx2as archive.
+func (w *World) RIBArchive(lo, hi months.Month) *bgp.RIBArchive {
+	a := bgp.NewRIBArchive()
+	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
+		a.Put(m, buildVERIB(m))
+	}
+	return a
+}
+
+// Registry exports the LACNIC delegation table for Venezuela.
+func (w *World) Registry() *registry.Table { return buildVERegistry() }

@@ -1,0 +1,11 @@
+package world
+
+import (
+	"vzlens/internal/bgp"
+	"vzlens/internal/offnet"
+)
+
+// offnetDetect runs the offnet detection pipeline over a scan.
+func offnetDetect(scan *offnet.Scan) map[string][]bgp.ASN {
+	return offnet.DetectOffnets(scan, offnet.Hypergiants())
+}
