@@ -33,9 +33,18 @@ var (
 	benchChaos *atlas.ChaosCampaign
 )
 
+// mustBuild is the bench-only panicking form of world.Build.
+func mustBuild(cfg world.Config) *world.World {
+	w, err := world.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 func setup() {
 	benchOnce.Do(func() {
-		benchW = world.Build(world.Config{Step: 3})
+		benchW = mustBuild(world.Config{Step: 3})
 		benchTrace = benchW.TraceCampaign()
 		benchChaos = benchW.ChaosCampaign()
 	})
@@ -362,7 +371,7 @@ func BenchmarkCrisisSignatures(b *testing.B) {
 // BenchmarkWorldBuild times constructing the synthetic region.
 func BenchmarkWorldBuild(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		_ = world.Build(world.Config{Step: 3})
+		_ = mustBuild(world.Config{Step: 3})
 	}
 }
 
@@ -370,7 +379,7 @@ func BenchmarkWorldBuild(b *testing.B) {
 // traceroute campaign (every probe, catchment plus samples).
 func BenchmarkTraceCampaignMonth(b *testing.B) {
 	m := months.New(2023, time.July)
-	w := world.Build(world.Config{TraceStart: m, TraceEnd: m})
+	w := mustBuild(world.Config{TraceStart: m, TraceEnd: m})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.TraceCampaign()
@@ -381,7 +390,7 @@ func BenchmarkTraceCampaignMonth(b *testing.B) {
 // CHAOS measurements (every probe, all thirteen letters).
 func BenchmarkChaosCampaignMonth(b *testing.B) {
 	m := months.New(2023, time.July)
-	w := world.Build(world.Config{ChaosStart: m, ChaosEnd: m})
+	w := mustBuild(world.Config{ChaosStart: m, ChaosEnd: m})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = w.ChaosCampaign()

@@ -28,7 +28,10 @@ func main() {
 	if *quick {
 		cfg.Step = 3
 	}
-	w := world.Build(cfg)
+	w, err := world.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.SetFlags(0)
 	log.SetPrefix("vzfigs: ")
 

@@ -33,7 +33,10 @@ func main() {
 	step := flag.Int("step", 3, "months between archive snapshots")
 	flag.Parse()
 
-	w := world.Build(world.Config{Seed: *seed, Step: *step})
+	w, err := world.Build(world.Config{Seed: *seed, Step: *step})
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.SetFlags(0)
 	log.SetPrefix("vzgen: ")
 
@@ -125,11 +128,14 @@ func main() {
 
 	// One month of RIPE Atlas style measurement results.
 	writeFile("atlas/results-2023-07.jsonl", func(f io.Writer) error {
-		mw := world.Build(world.Config{
+		mw, err := world.Build(world.Config{
 			Seed:       w.Config.Seed,
 			TraceStart: months.New(2023, time.July), TraceEnd: months.New(2023, time.July),
 			ChaosStart: months.New(2023, time.July), ChaosEnd: months.New(2023, time.July),
 		})
+		if err != nil {
+			return err
+		}
 		if err := atlas.WriteTraceJSON(f, mw.TraceCampaign().Samples()); err != nil {
 			return err
 		}

@@ -35,7 +35,11 @@ func main() {
 	if *quick {
 		cfg.Step = 3
 	}
-	w := world.Build(cfg)
+	w, err := world.Build(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vzreport: %v\n", err)
+		os.Exit(1)
+	}
 
 	if *markdown != "" {
 		f, err := os.Create(*markdown)

@@ -1,15 +1,19 @@
 // Command vzserve exposes the reproduction over HTTP: JSON and CSV
 // documents for every experiment and per-country summaries.
 //
-//	vzserve [-addr :8080] [-quick]
+//	vzserve [-addr :8080] [-quick] [-drain 30s] [-timeout 5m]
 //
-//	GET /healthz
+//	GET /healthz                     (liveness)
+//	GET /readyz                      (readiness + degradation report)
 //	GET /api/experiments
 //	GET /api/experiments/{id}        (fig1..fig21, table1; append .csv)
 //	GET /api/countries/{cc}
 //
 // Campaign-backed experiments (fig6, fig12, fig16, fig20) simulate on
-// first request and are cached for the life of the process.
+// first request and are cached for the life of the process; a failed
+// simulation returns 503 with Retry-After and is retried on the next
+// request rather than cached. SIGINT/SIGTERM drain in-flight requests
+// for up to -drain before the process exits.
 package main
 
 import (
@@ -26,6 +30,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quick := flag.Bool("quick", true, "quarterly campaign resolution")
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout (0 = none)")
 	flag.Parse()
 
 	cfg := world.Config{Seed: *seed}
@@ -33,15 +39,23 @@ func main() {
 		cfg.Step = 3
 	}
 	log.Printf("vzserve: building world (seed %d, step %d months)", cfg.Seed, cfg.Step)
-	h := httpapi.New(world.Build(cfg))
+	w, err := world.Build(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := httpapi.NewWithOptions(w, httpapi.Options{RequestTimeout: *timeout})
 
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
-		// Campaign simulation on a cold cache can take tens of seconds.
-		WriteTimeout: 5 * time.Minute,
+		// Campaign simulation on a cold cache can take tens of seconds;
+		// the request-level timeout above is the effective bound.
+		WriteTimeout: *timeout + time.Minute,
 	}
 	log.Printf("vzserve: listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	if err := httpapi.ListenAndServeGraceful(srv, *drain); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("vzserve: drained cleanly, exiting")
 }

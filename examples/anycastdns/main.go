@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"vzlens/internal/dnsroot"
@@ -33,7 +34,10 @@ func main() {
 
 	// 2. Catchment from a Venezuelan probe, before and after the
 	// withdrawal of the Caracas instances.
-	w := world.Build(world.Config{})
+	w, err := world.Build(world.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	ccs, _ := geo.LookupIATA("CCS")
 	for _, snapshot := range []months.Month{
 		months.New(2017, time.March),

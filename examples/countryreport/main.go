@@ -27,7 +27,10 @@ func main() {
 	if !ok || !country.LACNIC {
 		log.Fatalf("countryreport: %q is not a LACNIC country", *cc)
 	}
-	w := world.Build(world.Config{Step: 3})
+	w, err := world.Build(world.Config{Step: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Printf("=== %s (%s) ===\n\n", country.Name, country.Code)
 

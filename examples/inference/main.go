@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
 	"vzlens/internal/bgp"
@@ -18,7 +19,10 @@ import (
 )
 
 func main() {
-	w := world.Build(world.Config{})
+	w, err := world.Build(world.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	collectors := w.DefaultCollectors()
 
 	// Origins: every access network in the region — the richer the

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"vzlens/internal/core"
 	"vzlens/internal/world"
@@ -14,7 +15,10 @@ import (
 func main() {
 	// A World is one coherent synthetic Latin-American Internet,
 	// 1998-2024, from which every dataset in the study derives.
-	w := world.Build(world.Config{})
+	w, err := world.Build(world.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Table 1: the composition of Venezuela's eyeball market.
 	fmt.Println(core.Table1Eyeballs(w).Table().Text())

@@ -20,7 +20,10 @@ import (
 )
 
 func main() {
-	w := world.Build(world.Config{})
+	w, err := world.Build(world.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	m := months.New(2023, time.December)
 	resolver := w.TopologyAt(m)
 	sites := w.GPDNSSitesAt(m)

@@ -16,7 +16,7 @@ func campaignWorld(t *testing.T) *world.World {
 	if testing.Short() {
 		t.Skip("campaign simulation")
 	}
-	return world.Build(world.Config{
+	return mustBuild(world.Config{
 		TraceStart: months.New(2023, time.July), TraceEnd: months.New(2023, time.December),
 		ChaosStart: months.New(2023, time.July), ChaosEnd: months.New(2023, time.December),
 	})

@@ -10,8 +10,17 @@ import (
 	"vzlens/internal/world"
 )
 
+// mustBuild is the test-only panicking form of world.Build.
+func mustBuild(cfg world.Config) *world.World {
+	w, err := world.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // testWorld is shared across the analysis tests.
-var testWorld = world.Build(world.Config{})
+var testWorld = mustBuild(world.Config{})
 
 func TestFig1Economy(t *testing.T) {
 	r := Fig1Economy()

@@ -70,7 +70,7 @@ func TestCrisisSignaturesWithChaos(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign simulation")
 	}
-	w := world.Build(world.Config{
+	w := mustBuild(world.Config{
 		ChaosStart: months.New(2021, time.January),
 		ChaosEnd:   months.New(2023, time.June),
 		Step:       3,

@@ -2,102 +2,238 @@
 // or CSV document per experiment, plus per-country summaries — the shape
 // an open-source release of the paper's pipeline would expose to
 // dashboards.
+//
+// The handler is hardened for unattended serving: campaign simulations
+// cache through an error-aware lazy cell (a failure is retried on the
+// next request, never cached), every request runs under panic recovery
+// and an optional per-request timeout, and /healthz (liveness) is split
+// from /readyz (readiness plus the per-axis degradation report).
 package httpapi
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"vzlens/internal/atlas"
 	"vzlens/internal/core"
 	"vzlens/internal/geo"
 	"vzlens/internal/ipv6"
-	"vzlens/internal/mlab"
 	"vzlens/internal/months"
+	"vzlens/internal/resilience"
 	"vzlens/internal/world"
 )
 
-// Handler serves the API over a built world. Campaign-backed experiments
-// simulate lazily, once, on first request.
-type Handler struct {
-	w   *world.World
-	mux *http.ServeMux
-
-	traceOnce sync.Once
-	trace     *atlas.TraceCampaign
-	chaosOnce sync.Once
-	chaos     *atlas.ChaosCampaign
+// Options tunes the hardened handler. The zero value serves with panic
+// recovery, no per-request timeout, and the world's own simulators.
+type Options struct {
+	// TraceCampaign and ChaosCampaign override the campaign
+	// simulators; tests inject failures here, tools can inject
+	// precomputed campaigns. Nil uses the world's simulation.
+	TraceCampaign func() (*atlas.TraceCampaign, error)
+	ChaosCampaign func() (*atlas.ChaosCampaign, error)
+	// RequestTimeout bounds every request; requests over it receive
+	// 503. Zero disables the timeout (campaign simulation on a cold
+	// cache can take tens of seconds, so don't set this too low).
+	RequestTimeout time.Duration
 }
 
-// New returns a Handler over w.
-func New(w *world.World) *Handler {
-	h := &Handler{w: w, mux: http.NewServeMux()}
+// Handler serves the API over a built world. Campaign-backed
+// experiments simulate lazily on first request; a failed simulation is
+// reported to that request (503, Retry-After) and retried on the next —
+// it is never cached.
+type Handler struct {
+	w    *world.World
+	mux  *http.ServeMux
+	root http.Handler
+	opts Options
+
+	trace resilience.LazyResult[*atlas.TraceCampaign]
+	chaos resilience.LazyResult[*atlas.ChaosCampaign]
+}
+
+// New returns a Handler over w with default Options.
+func New(w *world.World) *Handler { return NewWithOptions(w, Options{}) }
+
+// NewWithOptions returns a Handler over w.
+func NewWithOptions(w *world.World, opts Options) *Handler {
+	h := &Handler{w: w, mux: http.NewServeMux(), opts: opts}
 	h.mux.HandleFunc("GET /healthz", h.health)
+	h.mux.HandleFunc("GET /readyz", h.ready)
 	h.mux.HandleFunc("GET /api/experiments", h.listExperiments)
 	h.mux.HandleFunc("GET /api/experiments/{id}", h.experiment)
 	h.mux.HandleFunc("GET /api/countries/{cc}", h.country)
 	h.mux.HandleFunc("GET /api/signatures", h.signatures)
+	var root http.Handler = h.mux
+	if opts.RequestTimeout > 0 {
+		root = http.TimeoutHandler(root, opts.RequestTimeout,
+			`{"error": "request timed out"}`)
+	}
+	h.root = recoverMiddleware(root)
 	return h
 }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	h.root.ServeHTTP(w, r)
 }
 
-func (h *Handler) traceCampaign() *atlas.TraceCampaign {
-	h.traceOnce.Do(func() { h.trace = h.w.TraceCampaign() })
-	return h.trace
+// recoverMiddleware converts handler panics into 500s instead of
+// tearing down the connection (and, under some servers, the process).
+func recoverMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					panic(rec) // deliberate connection abort
+				}
+				log.Printf("httpapi: panic serving %s: %v", r.URL.Path, rec)
+				writeJSON(w, http.StatusInternalServerError,
+					map[string]string{"error": "internal error"})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
-func (h *Handler) chaosCampaign() *atlas.ChaosCampaign {
-	h.chaosOnce.Do(func() { h.chaos = h.w.ChaosCampaign() })
-	return h.chaos
+// simulate runs one campaign simulation, converting panics into errors
+// so a poisoned input cannot take down the server and the failure is
+// retried on the next request.
+func simulate[T any](fn func() (T, error)) (val T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("campaign simulation panicked: %v", rec)
+		}
+	}()
+	return fn()
 }
 
-// experiments maps experiment IDs to their table producers.
-func (h *Handler) experiments() map[string]func() *core.Table {
-	return map[string]func() *core.Table{
-		"fig1": func() *core.Table { return core.Fig1Economy().Table() },
-		"fig2": func() *core.Table { return core.Fig2AddressSpace(h.w).Table() },
-		"fig3": func() *core.Table { return core.Fig3Facilities(h.w).Table() },
-		"fig4": func() *core.Table { return core.Fig4Cables(h.w).Table() },
-		"fig5": func() *core.Table { return core.Fig5IPv6().Table() },
-		"fig6": func() *core.Table { return core.Fig6RootDNS(h.chaosCampaign()).Table() },
-		"fig7": func() *core.Table {
+func (h *Handler) traceCampaign() (*atlas.TraceCampaign, error) {
+	return h.trace.Get(func() (*atlas.TraceCampaign, error) {
+		return simulate(func() (*atlas.TraceCampaign, error) {
+			if h.opts.TraceCampaign != nil {
+				return h.opts.TraceCampaign()
+			}
+			return h.w.TraceCampaign(), nil
+		})
+	})
+}
+
+func (h *Handler) chaosCampaign() (*atlas.ChaosCampaign, error) {
+	return h.chaos.Get(func() (*atlas.ChaosCampaign, error) {
+		return simulate(func() (*atlas.ChaosCampaign, error) {
+			if h.opts.ChaosCampaign != nil {
+				return h.opts.ChaosCampaign()
+			}
+			return h.w.ChaosCampaign(), nil
+		})
+	})
+}
+
+// tbl lifts an infallible table producer into the fallible form the
+// experiment map uses.
+func tbl(fn func() *core.Table) func() (*core.Table, error) {
+	return func() (*core.Table, error) { return fn(), nil }
+}
+
+// experiments maps experiment IDs to their table producers. Campaign-
+// backed experiments (fig6, fig12, fig16, fig20) can fail transiently
+// and surface errors instead of panicking or caching failure.
+func (h *Handler) experiments() map[string]func() (*core.Table, error) {
+	return map[string]func() (*core.Table, error){
+		"fig1": tbl(func() *core.Table { return core.Fig1Economy().Table() }),
+		"fig2": tbl(func() *core.Table { return core.Fig2AddressSpace(h.w).Table() }),
+		"fig3": tbl(func() *core.Table { return core.Fig3Facilities(h.w).Table() }),
+		"fig4": tbl(func() *core.Table { return core.Fig4Cables(h.w).Table() }),
+		"fig5": tbl(func() *core.Table { return core.Fig5IPv6().Table() }),
+		"fig6": func() (*core.Table, error) {
+			cc, err := h.chaosCampaign()
+			if err != nil {
+				return nil, err
+			}
+			return core.Fig6RootDNS(cc).Table(), nil
+		},
+		"fig7": tbl(func() *core.Table {
 			return core.Fig7Offnets(h.w, []string{"Google", "Akamai", "Facebook", "Netflix"}).Table()
-		},
-		"fig8":  func() *core.Table { return core.Fig8CANTV(h.w).Table() },
-		"fig9":  func() *core.Table { return core.Fig9TransitHeatmap(h.w).Table() },
-		"fig10": func() *core.Table { return core.Fig10IXPHeatmap(h.w).Table() },
-		"fig11": func() *core.Table {
+		}),
+		"fig8":  tbl(func() *core.Table { return core.Fig8CANTV(h.w).Table() }),
+		"fig9":  tbl(func() *core.Table { return core.Fig9TransitHeatmap(h.w).Table() }),
+		"fig10": tbl(func() *core.Table { return core.Fig10IXPHeatmap(h.w).Table() }),
+		"fig11": tbl(func() *core.Table {
 			return core.Fig11Bandwidth(h.w.Config.Seed, months.New(2007, time.July), months.New(2024, time.January), h.w.Config.Step).Table()
+		}),
+		"fig12": func() (*core.Table, error) {
+			tc, err := h.traceCampaign()
+			if err != nil {
+				return nil, err
+			}
+			return core.Fig12GPDNS(tc).Table(), nil
 		},
-		"fig12":  func() *core.Table { return core.Fig12GPDNS(h.traceCampaign()).Table() },
-		"table1": func() *core.Table { return core.Table1Eyeballs(h.w).Table() },
-		"fig13":  func() *core.Table { return core.Fig13GDPRank().Table() },
-		"fig14":  func() *core.Table { return core.Fig14PrefixVisibility(h.w).Table() },
-		"fig15":  func() *core.Table { return core.Fig15FacilityMembers(h.w).Table() },
-		"fig16":  func() *core.Table { return core.Fig16RootOrigins(h.chaosCampaign()).Table() },
-		"fig17":  func() *core.Table { return core.Fig17AtlasFootprint(h.w).Table() },
-		"fig18": func() *core.Table {
+		"table1": tbl(func() *core.Table { return core.Table1Eyeballs(h.w).Table() }),
+		"fig13":  tbl(func() *core.Table { return core.Fig13GDPRank().Table() }),
+		"fig14":  tbl(func() *core.Table { return core.Fig14PrefixVisibility(h.w).Table() }),
+		"fig15":  tbl(func() *core.Table { return core.Fig15FacilityMembers(h.w).Table() }),
+		"fig16": func() (*core.Table, error) {
+			cc, err := h.chaosCampaign()
+			if err != nil {
+				return nil, err
+			}
+			return core.Fig16RootOrigins(cc).Table(), nil
+		},
+		"fig17": tbl(func() *core.Table { return core.Fig17AtlasFootprint(h.w).Table() }),
+		"fig18": tbl(func() *core.Table {
 			return core.Fig7Offnets(h.w, []string{"Microsoft", "Cloudflare", "Amazon", "Limelight", "CDNetworks", "Alibaba"}).Table()
+		}),
+		"fig19": tbl(func() *core.Table { return core.Fig19ThirdParty().Table() }),
+		"fig20": func() (*core.Table, error) {
+			tc, err := h.traceCampaign()
+			if err != nil {
+				return nil, err
+			}
+			return core.Fig20ProbeGeo(h.w.Fleet, tc, months.New(2023, time.December)).Table(), nil
 		},
-		"fig19": func() *core.Table { return core.Fig19ThirdParty().Table() },
-		"fig20": func() *core.Table {
-			return core.Fig20ProbeGeo(h.w.Fleet, h.traceCampaign(), months.New(2023, time.December)).Table()
-		},
-		"fig21": func() *core.Table { return core.Fig21USIXPs(h.w).Table() },
+		"fig21": tbl(func() *core.Table { return core.Fig21USIXPs(h.w).Table() }),
 	}
 }
 
+// health is the liveness probe: the process is up.
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readiness is the /readyz document.
+type readiness struct {
+	// Status is "ok", or "degraded" when any ingestion axis fell back
+	// to its synthetic substitute.
+	Status string `json:"status"`
+	// Axes is the per-axis ingestion report (absent for a fully
+	// synthetic world built without sources).
+	Axes []world.AxisStatus `json:"axes,omitempty"`
+	// Campaigns reports which lazy campaign caches are warm.
+	Campaigns map[string]bool `json:"campaigns"`
+}
+
+// ready is the readiness probe: the world is built and serving, with
+// the degradation report attached. A degraded world still serves (the
+// synthetic substitutes answer), so the status stays 200; operators
+// alert on the "degraded" status string.
+func (h *Handler) ready(w http.ResponseWriter, _ *http.Request) {
+	doc := readiness{
+		Status: "ok",
+		Axes:   h.w.AxisStatuses(),
+		Campaigns: map[string]bool{
+			"trace": h.trace.Ready(),
+			"chaos": h.chaos.Ready(),
+		},
+	}
+	if h.w.Degraded() {
+		doc.Status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (h *Handler) listExperiments(w http.ResponseWriter, _ *http.Request) {
@@ -126,7 +262,16 @@ func (h *Handler) experiment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown experiment %q", id)})
 		return
 	}
-	table := run()
+	table, err := run()
+	if err != nil {
+		// Transient: the failed simulation was not cached, so the
+		// client should simply retry.
+		log.Printf("httpapi: experiment %s: %v", id, err)
+		w.Header().Set("Retry-After", "5")
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]string{"error": fmt.Sprintf("experiment %s temporarily unavailable: %v", id, err)})
+		return
+	}
 	if wantCSV {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
 		fmt.Fprint(w, table.CSV())
@@ -163,7 +308,7 @@ func (h *Handler) country(w http.ResponseWriter, r *http.Request) {
 		Cables2024:      h.w.Cables.CountryCount(cc, 2024),
 		Facilities2024:  h.w.PeeringDBSnapshot(jan24).FacilityCount()[cc],
 		IPv6Pct2023:     ipv6.Adoption(cc, months.New(2023, time.June)),
-		MedianMbps2023:  mlab.MedianSpeed(cc, months.New(2023, time.July)),
+		MedianMbps2023:  h.w.MedianSpeed(cc, months.New(2023, time.July)),
 		AtlasProbes2024: h.w.Fleet.CountByCountry(jan24)[cc],
 		InternetUsers:   h.w.Pop.CountryUsers(cc),
 	})

@@ -10,7 +10,15 @@ import (
 	"vzlens/internal/world"
 )
 
-var testHandler = New(world.Build(world.Config{Step: 6}))
+func mustBuild(cfg world.Config) *world.World {
+	w, err := world.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+var testHandler = New(mustBuild(world.Config{Step: 6}))
 
 func get(t *testing.T, path string) *httptest.ResponseRecorder {
 	t.Helper()

@@ -1,0 +1,163 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/world"
+)
+
+func getFrom(t *testing.T, h *Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestReadyz(t *testing.T) {
+	rec := get(t, "/readyz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var doc struct {
+		Status    string             `json:"status"`
+		Campaigns map[string]bool    `json:"campaigns"`
+		Axes      []world.AxisStatus `json:"axes"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Status != "ok" {
+		t.Errorf("status = %q (synthetic world must not report degraded)", doc.Status)
+	}
+	if _, ok := doc.Campaigns["trace"]; !ok {
+		t.Error("campaigns report missing trace cache")
+	}
+}
+
+// TestCampaignFailureReturns503ThenRecovers drives the lazy campaign
+// cache through a transient failure: the first request gets 503 with
+// Retry-After, and because the failure is not cached the next request
+// simulates again and succeeds.
+func TestCampaignFailureReturns503ThenRecovers(t *testing.T) {
+	w := mustBuild(world.Config{Step: 6})
+	calls := 0
+	h := NewWithOptions(w, Options{
+		ChaosCampaign: func() (*atlas.ChaosCampaign, error) {
+			calls++
+			if calls == 1 {
+				return nil, errors.New("upstream archive unreachable")
+			}
+			return w.ChaosCampaign(), nil
+		},
+	})
+
+	rec := getFrom(t, h, "/api/experiments/fig6")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("first request status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "temporarily unavailable") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+
+	rec = getFrom(t, h, "/api/experiments/fig6")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("retry status = %d, want 200: %s", rec.Code, rec.Body.String())
+	}
+	if calls != 2 {
+		t.Errorf("simulator calls = %d, want 2", calls)
+	}
+
+	// The success IS cached: further requests don't re-simulate.
+	getFrom(t, h, "/api/experiments/fig16")
+	if calls != 2 {
+		t.Errorf("simulator calls after cache warm = %d, want 2", calls)
+	}
+	rec = getFrom(t, h, "/readyz")
+	if !strings.Contains(rec.Body.String(), `"chaos": true`) {
+		t.Errorf("readyz does not report warm chaos cache: %s", rec.Body.String())
+	}
+}
+
+// TestCampaignPanicBecomes503 ensures a panicking simulation is
+// converted to a 503, not a torn-down connection.
+func TestCampaignPanicBecomes503(t *testing.T) {
+	w := mustBuild(world.Config{Step: 6})
+	h := NewWithOptions(w, Options{
+		TraceCampaign: func() (*atlas.TraceCampaign, error) { panic("poisoned input") },
+	})
+	rec := getFrom(t, h, "/api/experiments/fig12")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "temporarily unavailable") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+// TestRecoverMiddleware ensures a handler panic surfaces as a 500 JSON
+// document instead of propagating to the server.
+func TestRecoverMiddleware(t *testing.T) {
+	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	rec := httptest.NewRecorder()
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				t.Fatalf("panic escaped middleware: %v", p)
+			}
+		}()
+		recoverMiddleware(inner).ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "internal error") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+// TestRecoverMiddlewarePreservesAbort: http.ErrAbortHandler is the
+// sanctioned way to drop a connection and must pass through.
+func TestRecoverMiddlewarePreservesAbort(t *testing.T) {
+	inner := http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	})
+	defer func() {
+		if p := recover(); p != http.ErrAbortHandler {
+			t.Fatalf("recovered %v, want http.ErrAbortHandler", p)
+		}
+	}()
+	recoverMiddleware(inner).ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	t.Fatal("abort panic swallowed")
+}
+
+// TestRequestTimeout ensures slow handlers are cut off with 503.
+func TestRequestTimeout(t *testing.T) {
+	w := mustBuild(world.Config{Step: 6})
+	h := NewWithOptions(w, Options{
+		RequestTimeout: 10 * time.Millisecond,
+		TraceCampaign: func() (*atlas.TraceCampaign, error) {
+			time.Sleep(200 * time.Millisecond)
+			return w.TraceCampaign(), nil
+		},
+	})
+	rec := getFrom(t, h, "/api/experiments/fig12")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503 from TimeoutHandler", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "timed out") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}

@@ -1,0 +1,63 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ServeGraceful serves srv on ln until one of the given signals arrives
+// (SIGINT/SIGTERM when none are given), then stops accepting connections
+// and drains in-flight requests for up to drain before forcing the
+// remainder closed. It returns nil after a clean drain, the serve error
+// if the listener fails first, and a drain error when the deadline
+// expires with requests still in flight.
+func ServeGraceful(srv *http.Server, ln net.Listener, drain time.Duration, signals ...os.Signal) error {
+	if len(signals) == 0 {
+		signals = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, signals...)
+	defer signal.Stop(sigc)
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil // Shutdown was called elsewhere
+		}
+		return err
+	case <-sigc:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		return fmt.Errorf("httpapi: drain incomplete after %v: %w", drain, err)
+	}
+	<-errc // Serve has returned ErrServerClosed
+	return nil
+}
+
+// ListenAndServeGraceful is ServeGraceful over a fresh TCP listener on
+// srv.Addr (":http" when empty).
+func ListenAndServeGraceful(srv *http.Server, drain time.Duration, signals ...os.Signal) error {
+	addr := srv.Addr
+	if addr == "" {
+		addr = ":http"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeGraceful(srv, ln, drain, signals...)
+}

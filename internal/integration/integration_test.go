@@ -24,7 +24,16 @@ import (
 	"vzlens/internal/world"
 )
 
-var testWorld = world.Build(world.Config{Step: 6})
+// mustBuild is the test-only panicking form of world.Build.
+func mustBuild(cfg world.Config) *world.World {
+	w, err := world.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+var testWorld = mustBuild(world.Config{Step: 6})
 
 func mm(y int, mo time.Month) months.Month { return months.New(y, mo) }
 
@@ -203,7 +212,7 @@ func TestAtlasResultsRoundTrip(t *testing.T) {
 		t.Skip("campaign simulation")
 	}
 	// A one-month world keeps this fast.
-	w := world.Build(world.Config{
+	w := mustBuild(world.Config{
 		TraceStart: mm(2023, time.July), TraceEnd: mm(2023, time.July),
 		ChaosStart: mm(2023, time.July), ChaosEnd: mm(2023, time.July),
 	})

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"sort"
+	"sync"
 
 	"vzlens/internal/bgp"
 	"vzlens/internal/geo"
@@ -16,9 +17,13 @@ type PathInfo struct {
 
 // Resolver wraps a Topology with per-source shortest-path trees so that
 // repeated catchment computations (one per probe per anycast service per
-// month) run off a single breadth-first traversal per source AS.
+// month) run off a single breadth-first traversal per source AS. It is
+// safe for concurrent use: campaign simulations triggered by concurrent
+// API requests share the per-month resolvers.
 type Resolver struct {
-	topo  *Topology
+	topo *Topology
+
+	mu    sync.Mutex
 	trees map[bgp.ASN]map[bgp.ASN]PathInfo
 }
 
@@ -30,15 +35,23 @@ func NewResolver(topo *Topology) *Resolver {
 // Topology returns the underlying topology.
 func (r *Resolver) Topology() *Topology { return r.topo }
 
-// PathInfoFrom returns shortest valley-free path information from src to
-// dst, memoizing the full single-source tree on first use.
-func (r *Resolver) PathInfoFrom(src, dst bgp.ASN) PathInfo {
+// treeFor returns the memoized single-source tree for src, building it
+// under the resolver lock on first use. Trees are immutable once built.
+func (r *Resolver) treeFor(src bgp.ASN) map[bgp.ASN]PathInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	tree, ok := r.trees[src]
 	if !ok {
 		tree = r.buildTree(src)
 		r.trees[src] = tree
 	}
-	return tree[dst]
+	return tree
+}
+
+// PathInfoFrom returns shortest valley-free path information from src to
+// dst, memoizing the full single-source tree on first use.
+func (r *Resolver) PathInfoFrom(src, dst bgp.ASN) PathInfo {
+	return r.treeFor(src)[dst]
 }
 
 // treeState augments the valley-free BFS state with the accumulated

@@ -9,8 +9,17 @@ import (
 	"vzlens/internal/world"
 )
 
+// mustBuild is the test-only panicking form of world.Build.
+func mustBuild(cfg world.Config) *world.World {
+	w, err := world.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 func TestGenerateWithoutCampaigns(t *testing.T) {
-	w := world.Build(world.Config{Step: 6})
+	w := mustBuild(world.Config{Step: 6})
 	var buf strings.Builder
 	if err := Generate(&buf, w, Options{}); err != nil {
 		t.Fatal(err)
@@ -40,7 +49,7 @@ func TestGenerateWithCampaigns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("campaign simulation")
 	}
-	w := world.Build(world.Config{
+	w := mustBuild(world.Config{
 		TraceStart: months.New(2023, time.July), TraceEnd: months.New(2023, time.December),
 		ChaosStart: months.New(2023, time.July), ChaosEnd: months.New(2023, time.December),
 		Step: 3,
@@ -62,7 +71,7 @@ func TestGenerateWithCampaigns(t *testing.T) {
 }
 
 func TestMarkdownTableEscapesPipes(t *testing.T) {
-	w := world.Build(world.Config{Step: 6})
+	w := mustBuild(world.Config{Step: 6})
 	var buf strings.Builder
 	if err := Generate(&buf, w, Options{}); err != nil {
 		t.Fatal(err)

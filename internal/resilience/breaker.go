@@ -1,0 +1,97 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Do while the circuit is open and the
+// cooldown has not elapsed; callers should fall back rather than wait.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// Breaker is a three-state circuit breaker. Closed passes calls through
+// and counts consecutive failures; Threshold consecutive failures open
+// the circuit, which rejects calls with ErrOpen until Cooldown elapses;
+// the first call after the cooldown probes half-open — success closes
+// the circuit, failure re-opens it.
+type Breaker struct {
+	// Threshold is the number of consecutive failures that opens the
+	// circuit (default 5).
+	Threshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// probe (default 30s).
+	Cooldown time.Duration
+	// Now is injectable for tests; nil uses time.Now.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	open     bool
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold <= 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown <= 0 {
+		return 30 * time.Second
+	}
+	return b.Cooldown
+}
+
+// State reports the current state as "closed", "open", or "half-open".
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return "closed"
+	}
+	if b.now().Sub(b.openedAt) >= b.cooldown() {
+		return "half-open"
+	}
+	return "open"
+}
+
+// Do runs fn unless the circuit is open. fn's error (or nil) feeds the
+// failure count.
+func (b *Breaker) Do(fn func() error) error {
+	b.mu.Lock()
+	if b.open {
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			b.mu.Unlock()
+			return fmt.Errorf("%w (retry in %v)", ErrOpen, b.cooldown()-b.now().Sub(b.openedAt))
+		}
+		// Half-open: let this call probe.
+	}
+	b.mu.Unlock()
+
+	err := fn()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.open = false
+		return nil
+	}
+	b.failures++
+	if b.open || b.failures >= b.threshold() {
+		b.open = true
+		b.openedAt = b.now()
+	}
+	return err
+}

@@ -1,0 +1,28 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// WithDeadline runs fn under ctx bounded by timeout. fn receives the
+// derived context and should honor its cancellation; if it does not,
+// WithDeadline still returns when the deadline passes (the fn goroutine
+// is abandoned — acceptable for read-mostly loaders, and the reason fn
+// must not hold locks the caller needs).
+func WithDeadline(ctx context.Context, timeout time.Duration, fn func(ctx context.Context) error) error {
+	if timeout <= 0 {
+		return fn(ctx)
+	}
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- fn(dctx) }()
+	select {
+	case err := <-done:
+		return err
+	case <-dctx.Done():
+		return fmt.Errorf("resilience: deadline %v exceeded: %w", timeout, dctx.Err())
+	}
+}

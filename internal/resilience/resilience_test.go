@@ -1,0 +1,256 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+var errBoom = errors.New("boom")
+
+// fakeSleep records requested delays and never actually waits.
+func fakeSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var delays []time.Duration
+	p := DefaultPolicy()
+	p.Sleep = fakeSleep(&delays)
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry = %v", err)
+	}
+	if calls != 3 || len(delays) != 2 {
+		t.Errorf("calls = %d, sleeps = %d; want 3, 2", calls, len(delays))
+	}
+	if delays[1] <= delays[0] {
+		t.Errorf("backoff not increasing: %v", delays)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxAttempts: 3, Sleep: fakeSleep(&delays)}
+	calls := 0
+	err := Retry(context.Background(), p, func(context.Context) error { calls++; return errBoom })
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want wrapped errBoom", err)
+	}
+	if calls != 3 || len(delays) != 2 {
+		t.Errorf("calls = %d, sleeps = %d; want 3, 2", calls, len(delays))
+	}
+}
+
+func TestRetryPermanentStopsImmediately(t *testing.T) {
+	calls := 0
+	p := Policy{MaxAttempts: 5, Sleep: fakeSleep(new([]time.Duration))}
+	err := Retry(context.Background(), p, func(context.Context) error {
+		calls++
+		return Permanent(errBoom)
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+	if !IsPermanent(Permanent(errBoom)) || IsPermanent(errBoom) {
+		t.Error("IsPermanent misclassifies")
+	}
+}
+
+func TestRetryHonorsContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Retry(ctx, DefaultPolicy(), func(context.Context) error { calls++; return errBoom })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Errorf("calls = %d, want 0 (cancelled before first attempt)", calls)
+	}
+}
+
+func TestDelayDeterministicJitter(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2, Jitter: 0.5}
+	a := p.Delay(3, rand.New(rand.NewSource(7)))
+	b := p.Delay(3, rand.New(rand.NewSource(7)))
+	if a != b {
+		t.Errorf("same seed, different delays: %v vs %v", a, b)
+	}
+	base := p.Delay(3, nil)
+	if base != 400*time.Millisecond {
+		t.Errorf("unjittered delay(3) = %v, want 400ms", base)
+	}
+	if a < base || a > base+base/2 {
+		t.Errorf("jittered delay %v outside [%v, %v]", a, base, base+base/2)
+	}
+	if p.Delay(10, nil) != time.Second {
+		t.Errorf("delay(10) = %v, want capped at 1s", p.Delay(10, nil))
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	b := &Breaker{Threshold: 2, Cooldown: time.Minute, Now: func() time.Time { return clock }}
+	fail := func() error { return errBoom }
+	ok := func() error { return nil }
+
+	if err := b.Do(fail); !errors.Is(err, errBoom) {
+		t.Fatalf("first failure = %v", err)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after 1 failure = %s", got)
+	}
+	if err := b.Do(fail); !errors.Is(err, errBoom) {
+		t.Fatalf("second failure = %v", err)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after threshold = %s", got)
+	}
+	if err := b.Do(ok); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open circuit admitted a call: %v", err)
+	}
+
+	clock = clock.Add(2 * time.Minute)
+	if got := b.State(); got != "half-open" {
+		t.Fatalf("state after cooldown = %s", got)
+	}
+	if err := b.Do(ok); err != nil {
+		t.Fatalf("half-open probe = %v", err)
+	}
+	if got := b.State(); got != "closed" {
+		t.Fatalf("state after probe success = %s", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := time.Unix(1700000000, 0)
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute, Now: func() time.Time { return clock }}
+	if err := b.Do(func() error { return errBoom }); !errors.Is(err, errBoom) {
+		t.Fatal(err)
+	}
+	clock = clock.Add(61 * time.Second)
+	if err := b.Do(func() error { return errBoom }); !errors.Is(err, errBoom) {
+		t.Fatalf("probe = %v", err)
+	}
+	if got := b.State(); got != "open" {
+		t.Fatalf("state after failed probe = %s", got)
+	}
+}
+
+func TestLazyResultCachesSuccess(t *testing.T) {
+	var l LazyResult[int]
+	calls := 0
+	for i := 0; i < 3; i++ {
+		v, err := l.Get(func() (int, error) { calls++; return 42, nil })
+		if err != nil || v != 42 {
+			t.Fatalf("Get = %d, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+	if !l.Ready() {
+		t.Error("Ready = false after success")
+	}
+}
+
+func TestLazyResultRetriesAfterFailure(t *testing.T) {
+	var l LazyResult[string]
+	calls := 0
+	_, err := l.Get(func() (string, error) { calls++; return "", errBoom })
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("first Get = %v", err)
+	}
+	if l.Ready() {
+		t.Fatal("failure was cached")
+	}
+	v, err := l.Get(func() (string, error) { calls++; return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("second Get = %q, %v", v, err)
+	}
+	if calls != 2 {
+		t.Errorf("fn ran %d times, want 2", calls)
+	}
+}
+
+func TestLazyResultSingleFlight(t *testing.T) {
+	var l LazyResult[int]
+	var mu sync.Mutex
+	calls := 0
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := l.Get(func() (int, error) {
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				<-release
+				return 7, nil
+			})
+			if err != nil || v != 7 {
+				t.Errorf("Get = %d, %v", v, err)
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // let the goroutines pile up
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("fn ran %d times under contention, want 1", calls)
+	}
+}
+
+func TestWithDeadlineCompletes(t *testing.T) {
+	err := WithDeadline(context.Background(), time.Second, func(ctx context.Context) error {
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("WithDeadline = %v", err)
+	}
+}
+
+func TestWithDeadlineTimesOut(t *testing.T) {
+	start := time.Now()
+	err := WithDeadline(context.Background(), 20*time.Millisecond, func(ctx context.Context) error {
+		<-ctx.Done() // cooperative: stop when told
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("deadline did not bound the call")
+	}
+}
+
+func TestWithDeadlineAbandonsStalledFn(t *testing.T) {
+	blocked := make(chan struct{})
+	err := WithDeadline(context.Background(), 20*time.Millisecond, func(ctx context.Context) error {
+		<-blocked // ignores ctx entirely
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	close(blocked)
+}

@@ -1,0 +1,161 @@
+// Package resilience supplies the fault-handling primitives the pipeline
+// uses to survive the realities of decade-scale archival data: mirrors
+// stall, dumps truncate, and APIs rate-limit. It provides retry with
+// exponential backoff and deterministic jitter, a circuit breaker for
+// persistently failing dependencies, deadline-wrapped execution, and an
+// error-aware lazy cache that — unlike sync.Once — does not poison itself
+// on a transient first failure.
+//
+// Everything is deterministic under test: jitter draws from a seedable
+// RNG and sleeping is injectable.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy parameterizes Retry. The zero value is not useful; start from
+// DefaultPolicy and override fields.
+type Policy struct {
+	// MaxAttempts is the total number of tries (first call included).
+	MaxAttempts int
+	// BaseDelay is the wait after the first failure; each subsequent
+	// wait multiplies by Multiplier up to MaxDelay.
+	BaseDelay  time.Duration
+	MaxDelay   time.Duration
+	Multiplier float64
+	// Jitter is the fraction of each delay drawn uniformly at random
+	// and added to it (0 disables jitter, 0.5 adds up to +50%).
+	Jitter float64
+	// Seed makes the jitter sequence reproducible. Zero selects a
+	// fixed default so that identical policies retry identically.
+	Seed int64
+	// Sleep replaces the context-aware wait between attempts; tests
+	// inject a recorder here. Nil uses a real timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// DefaultPolicy is the retry policy the ingestion loaders use: four
+// attempts spanning roughly seven seconds of backoff.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts: 4,
+		BaseDelay:   250 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Multiplier:  2,
+		Jitter:      0.2,
+	}
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 250 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Seed == 0 {
+		p.Seed = 20240804
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// Delay returns the backoff before attempt n (n = 1 is the wait after
+// the first failure), jittered by rng when non-nil.
+func (p Policy) Delay(n int, rng *rand.Rand) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.BaseDelay)
+	for i := 1; i < n; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			d = float64(p.MaxDelay)
+			break
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	if p.Jitter > 0 && rng != nil {
+		d += d * p.Jitter * rng.Float64()
+	}
+	return time.Duration(d)
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry stops immediately instead of burning the
+// remaining attempts; parse errors on corrupt archives are permanent,
+// short reads from a stalled mirror are not.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err}
+}
+
+// IsPermanent reports whether err was marked with Permanent.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, the
+// context is done, or MaxAttempts is exhausted. The returned error wraps
+// the last failure and records the attempt count.
+func Retry(ctx context.Context, p Policy, fn func(ctx context.Context) error) error {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("resilience: retry aborted before attempt %d: %w", attempt, err)
+		}
+		last = fn(ctx)
+		if last == nil {
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(last, &pe) {
+			return fmt.Errorf("resilience: permanent failure on attempt %d: %w", attempt, pe.err)
+		}
+		if attempt == p.MaxAttempts {
+			break
+		}
+		if err := p.Sleep(ctx, p.Delay(attempt, rng)); err != nil {
+			return fmt.Errorf("resilience: retry aborted after attempt %d: %w (last error: %v)", attempt, err, last)
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, last)
+}
+
+// sleepCtx waits d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -94,7 +94,7 @@ func TestProbeGeographyFigure20(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full campaign simulation")
 	}
-	w := Build(Config{TraceStart: mm(2023, time.December), TraceEnd: mm(2023, time.December)})
+	w := mustBuild(Config{TraceStart: mm(2023, time.December), TraceEnd: mm(2023, time.December)})
 	tc := w.TraceCampaign()
 	m := mm(2023, time.December)
 	probes := tc.ProbeMinsWithLocation(w.Fleet, "VE", m)

@@ -24,11 +24,11 @@ func TestCoverageBiasSensitivity(t *testing.T) {
 	m := mm(2017, time.March) // both Caracas roots still alive
 	cfg := Config{ChaosStart: m, ChaosEnd: m}
 
-	full := Build(cfg)
+	full := mustBuild(cfg)
 	fullSeen := full.ChaosCampaign().SitesByCountry(m, "")
 
 	// The same world with Venezuela's probes removed.
-	blind := Build(cfg)
+	blind := mustBuild(cfg)
 	pruned := atlas.NewFleet()
 	for _, p := range blind.Fleet.ActiveAt(m) {
 		if p.Country != "VE" {
@@ -70,8 +70,8 @@ func TestCoverageBiasSensitivity(t *testing.T) {
 
 // TestFleetScaleBounds checks the knob's arithmetic.
 func TestFleetScaleBounds(t *testing.T) {
-	full := Build(Config{})
-	half := Build(Config{FleetScale: 0.5})
+	full := mustBuild(Config{})
+	half := mustBuild(Config{FleetScale: 0.5})
 	m := mm(2024, time.January)
 	fullVE := full.Fleet.CountByCountry(m)["VE"]
 	halfVE := half.Fleet.CountByCountry(m)["VE"]

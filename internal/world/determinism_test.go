@@ -17,8 +17,8 @@ func TestWorldDeterministic(t *testing.T) {
 		ChaosStart: mm(2023, time.January), ChaosEnd: mm(2023, time.June),
 		Step: 3,
 	}
-	w1 := Build(cfg)
-	w2 := Build(cfg)
+	w1 := mustBuild(cfg)
+	w2 := mustBuild(cfg)
 
 	// Registry bytes.
 	var r1, r2 bytes.Buffer
@@ -77,7 +77,7 @@ func TestSeedChangesJitterOnly(t *testing.T) {
 	}
 	cfgB := cfg
 	cfgB.Seed = 99
-	w1, w2 := Build(cfg), Build(cfgB)
+	w1, w2 := mustBuild(cfg), mustBuild(cfgB)
 
 	s1, s2 := w1.TraceCampaign().Samples(), w2.TraceCampaign().Samples()
 	if len(s1) != len(s2) {
@@ -105,7 +105,7 @@ func TestGeoPolicyChangesCatchment(t *testing.T) {
 	}
 	cfgGeo := cfg
 	cfgGeo.Policy = netsim.PolicyGeo
-	bgpWorld, geoWorld := Build(cfg), Build(cfgGeo)
+	bgpWorld, geoWorld := mustBuild(cfg), mustBuild(cfgGeo)
 
 	vb, ok1 := bgpWorld.TraceCampaign().CountryMedian("VE", mm(2023, time.June))
 	vg, ok2 := geoWorld.TraceCampaign().CountryMedian("VE", mm(2023, time.June))

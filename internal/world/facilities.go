@@ -126,8 +126,14 @@ var veFacilityNetworks = map[int][]struct {
 	},
 }
 
-// PeeringDBSnapshot synthesizes the database state at month m.
+// PeeringDBSnapshot returns the database state at month m: an ingested
+// archive snapshot when one covers m, else the synthetic model.
 func (w *World) PeeringDBSnapshot(m months.Month) *peeringdb.Snapshot {
+	if w.ext.pdb != nil {
+		if s := w.ext.pdb.Get(m); s != nil {
+			return s
+		}
+	}
 	s := &peeringdb.Snapshot{}
 	start := mm(2018, time.April)
 	end := mm(2024, time.January)

@@ -1,6 +1,7 @@
 package world
 
 import (
+	"fmt"
 	"time"
 
 	"vzlens/internal/bgp"
@@ -53,17 +54,31 @@ var veOwnTransitASes = map[bgp.ASN]bgp.ASN{
 	ASTelefonica: ASTelxius,  // Telefonica's backbone is Telxius
 }
 
-func mustCity(iata string) geo.City {
+// lookupCity resolves an IATA code, reporting unknown codes as errors;
+// Build validates every static table through it so that the hot paths
+// below can use cityAt without a panic fallback.
+func lookupCity(iata string) (geo.City, error) {
 	c, ok := geo.LookupIATA(iata)
 	if !ok {
-		panic("world: unknown IATA " + iata)
+		return geo.City{}, fmt.Errorf("world: unknown IATA %q", iata)
 	}
+	return c, nil
+}
+
+// cityAt resolves an IATA code already validated at build time. Unknown
+// codes (impossible after validation) degrade to the zero City rather
+// than panicking.
+func cityAt(iata string) geo.City {
+	c, _ := geo.LookupIATA(iata)
 	return c
 }
 
 // TopologyAt assembles the interdomain topology for month m. Results are
-// cached on the World.
+// cached on the World; the cache is lock-protected because concurrent
+// API requests can trigger different campaigns over the same months.
 func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
+	w.topoMu.Lock()
+	defer w.topoMu.Unlock()
 	if r, ok := w.topoCache[m]; ok {
 		return r
 	}
@@ -72,7 +87,7 @@ func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
 	// Global transit core: full peer mesh among tier-1s plus Google.
 	var tier1s []bgp.ASN
 	for asn, iata := range tier1Locations {
-		t.Locate(asn, mustCity(iata))
+		t.Locate(asn, cityAt(iata))
 		tier1s = append(tier1s, asn)
 	}
 	sortASNs(tier1s)
@@ -81,7 +96,7 @@ func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
 			t.AddLink(a, b, bgp.PeerPeer)
 		}
 	}
-	t.Locate(ASGoogle, mustCity("MIA"))
+	t.Locate(ASGoogle, cityAt("MIA"))
 	for _, a := range tier1s {
 		t.AddLink(ASGoogle, a, bgp.PeerPeer)
 	}
@@ -134,7 +149,7 @@ func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
 // independent internationally-connected networks, and the border ASes
 // homed to Colombia.
 func (w *World) wireVenezuela(t *netsim.Topology, m months.Month) {
-	ccs := mustCity("CCS")
+	ccs := cityAt("CCS")
 	t.Locate(ASCANTV, ccs)
 	for _, p := range CANTVProvidersAt(m) {
 		t.AddLink(p, ASCANTV, bgp.ProviderCustomer)
@@ -149,7 +164,7 @@ func (w *World) wireVenezuela(t *netsim.Topology, m months.Month) {
 			continue
 		}
 		if iata, ok := veBorderASes[eb]; ok {
-			t.Locate(eb, mustCity(iata))
+			t.Locate(eb, cityAt(iata))
 			t.AddLink(w.Nets["CO"].Transit, eb, bgp.ProviderCustomer)
 			continue
 		}
@@ -226,7 +241,7 @@ func (w *World) GPDNSSitesAt(m months.Month) []netsim.Site {
 		if s.host != "google" {
 			host = w.Nets[s.host].Transit
 		}
-		out = append(out, netsim.Site{Host: host, City: mustCity(s.iata)})
+		out = append(out, netsim.Site{Host: host, City: cityAt(s.iata)})
 	}
 	return out
 }

@@ -77,8 +77,8 @@ func TestRootSitesHostAssignment(t *testing.T) {
 }
 
 func TestLocalizeSites(t *testing.T) {
-	gru := mustCity("GRU")
-	mia := mustCity("MIA")
+	gru := cityAt("GRU")
+	mia := cityAt("MIA")
 	sites := []netsim.Site{
 		{Host: 4230, City: gru},
 		{Host: ASGoogle, City: mia},
@@ -103,7 +103,7 @@ func TestLocalizeSites(t *testing.T) {
 }
 
 func TestTopologyCacheReuse(t *testing.T) {
-	w := Build(Config{})
+	w := mustBuild(Config{})
 	a := w.TopologyAt(mm(2020, time.June))
 	b := w.TopologyAt(mm(2020, time.June))
 	if a != b {

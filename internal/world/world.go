@@ -1,15 +1,19 @@
 package world
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"vzlens/internal/aspop"
 	"vzlens/internal/atlas"
 	"vzlens/internal/bgp"
 	"vzlens/internal/dnsroot"
+	"vzlens/internal/mlab"
 	"vzlens/internal/months"
 	"vzlens/internal/netsim"
+	"vzlens/internal/peeringdb"
 	"vzlens/internal/registry"
 	"vzlens/internal/telegeo"
 )
@@ -72,13 +76,113 @@ type World struct {
 	Fleet  *atlas.Fleet
 	Cables *telegeo.Map
 
+	// ext holds externally ingested archives loaded by BuildWithSources;
+	// nil fields fall back to the synthetic substitutes.
+	ext struct {
+		pdb   *peeringdb.Archive
+		ribs  *bgp.RIBArchive
+		reg   *registry.Table
+		mlab  *mlab.Archive
+		chaos *atlas.ChaosCampaign
+		trace *atlas.TraceCampaign
+	}
+	axes []AxisStatus
+
+	topoMu    sync.Mutex
 	topoCache map[months.Month]*netsim.Resolver
 }
 
-// Build assembles a World.
-func Build(cfg Config) *World {
+// validate rejects configurations the pipeline cannot honor. It runs on
+// the raw config so that explicitly negative knobs are surfaced rather
+// than silently defaulted away.
+func (c Config) validate() error {
+	if c.Step < 0 {
+		return fmt.Errorf("world: negative snapshot step %d", c.Step)
+	}
+	if c.SamplesPerProbe < 0 {
+		return fmt.Errorf("world: negative samples per probe %d", c.SamplesPerProbe)
+	}
+	if c.FleetScale < 0 {
+		return fmt.Errorf("world: negative fleet scale %v", c.FleetScale)
+	}
+	d := c.withDefaults()
+	if d.TraceEnd.Before(d.TraceStart) {
+		return fmt.Errorf("world: trace window inverted (%v after %v)", d.TraceStart, d.TraceEnd)
+	}
+	if d.ChaosEnd.Before(d.ChaosStart) {
+		return fmt.Errorf("world: chaos window inverted (%v after %v)", d.ChaosStart, d.ChaosEnd)
+	}
+	return nil
+}
+
+// validateTables checks every static placement table against the geo
+// database, so the topology code below can assume all IATA codes and
+// country references resolve — the errors earlier versions deferred to
+// panics deep inside TopologyAt surface here, at build time.
+func validateTables(nets map[string]CountryNet) error {
+	check := func(table, iata string) error {
+		if _, err := lookupCity(iata); err != nil {
+			return fmt.Errorf("%w (in %s)", err, table)
+		}
+		return nil
+	}
+	for _, iata := range []string{"MIA", "CCS"} {
+		if err := check("core anchors", iata); err != nil {
+			return err
+		}
+	}
+	for _, iata := range tier1Locations {
+		if err := check("tier1Locations", iata); err != nil {
+			return err
+		}
+	}
+	for _, iata := range veBorderASes {
+		if err := check("veBorderASes", iata); err != nil {
+			return err
+		}
+	}
+	for _, s := range gpdnsRollout {
+		if err := check("gpdnsRollout", s.iata); err != nil {
+			return err
+		}
+		if s.since.IsZero() {
+			return fmt.Errorf("world: gpdnsRollout %s: zero month", s.iata)
+		}
+		if s.host != "google" {
+			if _, ok := nets[s.host]; !ok {
+				return fmt.Errorf("world: gpdnsRollout %s: unknown host country %q", s.iata, s.host)
+			}
+		}
+	}
+	for _, spec := range veProbeSpec {
+		if err := check("veProbeSpec", spec.iata); err != nil {
+			return err
+		}
+	}
+	for cc, via := range regionalUpstreams {
+		if _, ok := nets[cc]; !ok {
+			return fmt.Errorf("world: regionalUpstreams: unknown country %q", cc)
+		}
+		if _, ok := nets[via]; !ok {
+			return fmt.Errorf("world: regionalUpstreams[%s]: unknown upstream %q", cc, via)
+		}
+	}
+	return nil
+}
+
+// Build assembles a World from the synthetic substitutes. It validates
+// the configuration and every static placement table up front and
+// returns an error — earlier versions panicked from deep inside the
+// topology code instead.
+func Build(cfg Config) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	nets := buildNets()
+	if err := validateTables(nets); err != nil {
+		return nil, err
+	}
 	pop := buildPopulations(nets)
 	w := &World{
 		Config:    cfg,
@@ -90,7 +194,7 @@ func Build(cfg Config) *World {
 		topoCache: map[months.Month]*netsim.Resolver{},
 	}
 	w.Fleet = buildFleet(nets, cfg.FleetScale)
-	return w
+	return w, nil
 }
 
 // fleetAnchors drives non-Venezuelan probe counts, calibrated to
@@ -190,7 +294,7 @@ func buildFleet(nets map[string]CountryNet, scale float64) *atlas.Fleet {
 		f.Add(atlas.Probe{
 			ID:        id,
 			Country:   "VE",
-			City:      mustCity(spec.iata),
+			City:      cityAt(spec.iata),
 			ASN:       spec.asn,
 			Connected: spec.since,
 		})
@@ -214,6 +318,9 @@ func (w *World) campaignMonths(lo, hi months.Month) []months.Month {
 // anycast catchment path, the country's access delay, and exponential
 // queueing jitter.
 func (w *World) TraceCampaign() *atlas.TraceCampaign {
+	if w.ext.trace != nil {
+		return w.ext.trace
+	}
 	rng := rand.New(rand.NewSource(w.Config.Seed))
 	tc := atlas.NewTraceCampaign()
 	for _, m := range w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd) {
@@ -242,6 +349,9 @@ func (w *World) TraceCampaign() *atlas.TraceCampaign {
 // ChaosCampaign simulates the built-in CHAOS TXT measurements toward all
 // thirteen root letters from every active probe in each monthly snapshot.
 func (w *World) ChaosCampaign() *atlas.ChaosCampaign {
+	if w.ext.chaos != nil {
+		return w.ext.chaos
+	}
 	cc := atlas.NewChaosCampaign()
 	for _, m := range w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd) {
 		resolver := w.TopologyAt(m)
@@ -308,8 +418,12 @@ func (w *World) ASRelArchive(lo, hi months.Month) *bgp.Archive {
 }
 
 // RIBArchive exports monthly Venezuelan prefix-to-AS snapshots over
-// [lo, hi] (stepped), mirroring the RouteViews pfx2as archive.
+// [lo, hi] (stepped), mirroring the RouteViews pfx2as archive. When an
+// external RouteViews archive was ingested, it is served as-is.
 func (w *World) RIBArchive(lo, hi months.Month) *bgp.RIBArchive {
+	if w.ext.ribs != nil {
+		return w.ext.ribs
+	}
 	a := bgp.NewRIBArchive()
 	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
 		a.Put(m, buildVERIB(m))
@@ -318,4 +432,21 @@ func (w *World) RIBArchive(lo, hi months.Month) *bgp.RIBArchive {
 }
 
 // Registry exports the LACNIC delegation table for Venezuela.
-func (w *World) Registry() *registry.Table { return buildVERegistry() }
+func (w *World) Registry() *registry.Table {
+	if w.ext.reg != nil {
+		return w.ext.reg
+	}
+	return buildVERegistry()
+}
+
+// MedianSpeed returns the NDT median download speed for country cc at
+// month m, preferring an ingested M-Lab archive over the synthetic
+// trajectory model.
+func (w *World) MedianSpeed(cc string, m months.Month) float64 {
+	if w.ext.mlab != nil {
+		if v, ok := w.ext.mlab.Median(cc, m); ok {
+			return v
+		}
+	}
+	return mlab.MedianSpeed(cc, m)
+}

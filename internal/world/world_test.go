@@ -9,8 +9,17 @@ import (
 	"vzlens/internal/months"
 )
 
+// mustBuild is the test-only panicking form of Build.
+func mustBuild(cfg Config) *World {
+	w, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
 // testWorld builds one shared world for the calibration tests.
-var testWorld = Build(Config{})
+var testWorld = mustBuild(Config{})
 
 func TestCANTVUpstreamTimeline(t *testing.T) {
 	// Figure 8: steady rise to 11 upstreams by 2013, decline to 3 by
