@@ -397,6 +397,40 @@ func BenchmarkChaosCampaignMonth(b *testing.B) {
 	}
 }
 
+// campaignWorkerCounts are the pool sizes the full-campaign benchmarks
+// sweep; the workers=1 row is the sequential baseline the parallel rows
+// are judged against.
+var campaignWorkerCounts = []int{1, 4, 8}
+
+// BenchmarkTraceCampaignFull times the complete multi-year traceroute
+// campaign (2014-03..2024-01, quarterly) at several worker-pool sizes.
+// Each iteration builds a fresh world so no topology or tree cache
+// carries over between pool sizes.
+func BenchmarkTraceCampaignFull(b *testing.B) {
+	for _, workers := range campaignWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := mustBuild(world.Config{Step: 3, Workers: workers})
+				_ = w.TraceCampaign()
+			}
+		})
+	}
+}
+
+// BenchmarkChaosCampaignFull times the complete multi-year CHAOS sweep
+// (2016-01..2024-01, quarterly, thirteen letters) at several worker-pool
+// sizes.
+func BenchmarkChaosCampaignFull(b *testing.B) {
+	for _, workers := range campaignWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := mustBuild(world.Config{Step: 3, Workers: workers})
+				_ = w.ChaosCampaign()
+			}
+		})
+	}
+}
+
 // BenchmarkValleyFreeTree times one single-source valley-free
 // shortest-path tree over the full topology.
 func BenchmarkValleyFreeTree(b *testing.B) {

@@ -1,7 +1,7 @@
 // Command vzserve exposes the reproduction over HTTP: JSON and CSV
 // documents for every experiment and per-country summaries.
 //
-//	vzserve [-addr :8080] [-quick] [-drain 30s] [-timeout 5m]
+//	vzserve [-addr :8080] [-quick] [-workers N] [-warm] [-drain 30s] [-timeout 5m]
 //
 //	GET /healthz                     (liveness)
 //	GET /readyz                      (readiness + degradation report)
@@ -12,8 +12,10 @@
 // Campaign-backed experiments (fig6, fig12, fig16, fig20) simulate on
 // first request and are cached for the life of the process; a failed
 // simulation returns 503 with Retry-After and is retried on the next
-// request rather than cached. SIGINT/SIGTERM drain in-flight requests
-// for up to -drain before the process exits.
+// request rather than cached. By default the caches pre-warm in the
+// background at startup (-warm=false disables), with monthly snapshots
+// fanned out over -workers goroutines. SIGINT/SIGTERM drain in-flight
+// requests for up to -drain before the process exits.
 package main
 
 import (
@@ -30,11 +32,13 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	quick := flag.Bool("quick", true, "quarterly campaign resolution")
 	seed := flag.Int64("seed", 0, "world seed (0 = default)")
+	workers := flag.Int("workers", 0, "campaign worker pool size (0 = GOMAXPROCS)")
+	warm := flag.Bool("warm", true, "pre-warm campaign caches in the background")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout (0 = none)")
 	flag.Parse()
 
-	cfg := world.Config{Seed: *seed}
+	cfg := world.Config{Seed: *seed, Workers: *workers}
 	if *quick {
 		cfg.Step = 3
 	}
@@ -44,6 +48,15 @@ func main() {
 		log.Fatal(err)
 	}
 	h := httpapi.NewWithOptions(w, httpapi.Options{RequestTimeout: *timeout})
+	if *warm {
+		// Campaign results are deterministic for the seed, so warming
+		// early changes nothing but the first requests' latency.
+		go func() {
+			start := time.Now()
+			h.Warm()
+			log.Printf("vzserve: campaign caches warm after %v", time.Since(start).Round(time.Millisecond))
+		}()
+	}
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -29,6 +29,10 @@ func NewChaosCampaign() *ChaosCampaign { return &ChaosCampaign{} }
 // Add records a result.
 func (c *ChaosCampaign) Add(r ChaosResult) { c.results = append(c.results, r) }
 
+// AddAll records a batch of results in order — the merge step of the
+// parallel campaign engine's per-month fragments.
+func (c *ChaosCampaign) AddAll(rs []ChaosResult) { c.results = append(c.results, rs...) }
+
 // Len returns the number of recorded results.
 func (c *ChaosCampaign) Len() int { return len(c.results) }
 

@@ -29,6 +29,10 @@ func NewTraceCampaign() *TraceCampaign { return &TraceCampaign{} }
 // Add records a sample.
 func (t *TraceCampaign) Add(s TraceSample) { t.samples = append(t.samples, s) }
 
+// AddAll records a batch of samples in order — the merge step of the
+// parallel campaign engine's per-month fragments.
+func (t *TraceCampaign) AddAll(ss []TraceSample) { t.samples = append(t.samples, ss...) }
+
 // Len returns the number of recorded samples.
 func (t *TraceCampaign) Len() int { return len(t.samples) }
 

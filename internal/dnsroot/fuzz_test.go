@@ -1,0 +1,52 @@
+package dnsroot
+
+import (
+	"strings"
+	"testing"
+
+	"vzlens/internal/geo"
+)
+
+// FuzzParseInstance drives the 13-convention CHAOS TXT extractor with
+// arbitrary letter bytes and response strings. ParseInstance must never
+// panic, and every accepted response must carry a coherent site: a known
+// IATA tag whose city matches the reported country, round-tripping
+// through the letter's own naming convention.
+func FuzzParseInstance(f *testing.F) {
+	for _, l := range Letters() {
+		ccs, _ := geo.LookupIATA("CCS")
+		f.Add(byte(l), InstanceName(l, ccs, 1, EraClassic))
+		f.Add(byte(l), InstanceName(l, ccs, 2, EraModern))
+	}
+	f.Add(byte('L'), "ccs01.l.root-servers.org")
+	f.Add(byte('K'), "ns1.ve-ccs.k.ripe.net")
+	f.Add(byte('K'), "ns1.br-ccs.k.ripe.net") // country/city mismatch
+	f.Add(byte('I'), "s1.bog")
+	f.Add(byte('Z'), "not-a-letter")
+	f.Add(byte('A'), "nnn1-zzz9") // unknown location tag
+	f.Add(byte('M'), strings.Repeat("m1.", 1000)+"ccs.m.root")
+
+	f.Fuzz(func(t *testing.T, letter byte, txt string) {
+		site, err := ParseInstance(Letter(letter), txt)
+		if err != nil {
+			return
+		}
+		if !Letter(letter).Valid() {
+			t.Fatalf("accepted response %q for invalid letter %q", txt, letter)
+		}
+		if site.Letter != Letter(letter) {
+			t.Fatalf("parsed letter %v from a %q response", site.Letter, letter)
+		}
+		city, ok := geo.LookupIATA(site.IATA)
+		if !ok {
+			t.Fatalf("accepted unknown location tag %q from %q", site.IATA, txt)
+		}
+		if city.Country != site.Country || city.Name != site.City {
+			t.Fatalf("tag %q resolves to %s/%s but site says %s/%s",
+				site.IATA, city.Name, city.Country, site.City, site.Country)
+		}
+		if site.Raw != txt {
+			t.Fatalf("raw response mangled: %q → %q", txt, site.Raw)
+		}
+	})
+}

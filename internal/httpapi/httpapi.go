@@ -17,6 +17,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"vzlens/internal/atlas"
@@ -121,6 +122,20 @@ func (h *Handler) traceCampaign() (*atlas.TraceCampaign, error) {
 			return h.w.TraceCampaign(), nil
 		})
 	})
+}
+
+// Warm primes both lazy campaign caches and blocks until they are warm
+// (or failed; a failure is not cached and the next request retries).
+// The two campaigns run concurrently, and each fans its monthly
+// snapshots out over the world's Workers pool, so /readyz reports warm
+// campaigns proportionally sooner on multicore. Call it from a goroutine
+// at startup to pre-warm without delaying the listener.
+func (h *Handler) Warm() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _, _ = h.traceCampaign() }()
+	go func() { defer wg.Done(); _, _ = h.chaosCampaign() }()
+	wg.Wait()
 }
 
 func (h *Handler) chaosCampaign() (*atlas.ChaosCampaign, error) {

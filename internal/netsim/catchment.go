@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"sort"
 	"sync"
 
 	"vzlens/internal/bgp"
@@ -17,100 +16,82 @@ type PathInfo struct {
 
 // Resolver wraps a Topology with per-source shortest-path trees so that
 // repeated catchment computations (one per probe per anycast service per
-// month) run off a single breadth-first traversal per source AS. It is
-// safe for concurrent use: campaign simulations triggered by concurrent
-// API requests share the per-month resolvers.
+// month) run off a single breadth-first traversal per source AS. Trees
+// are computed over the topology's dense index-based view ([]PathInfo
+// indexed by interned AS, not maps) with pooled scratch buffers, so a
+// traversal allocates only its result slice. It is safe for concurrent
+// use: campaign simulations triggered by concurrent API requests share
+// the per-month resolvers.
 type Resolver struct {
 	topo *Topology
 
 	mu    sync.Mutex
-	trees map[bgp.ASN]map[bgp.ASN]PathInfo
+	d     *denseTopo
+	trees [][]PathInfo // by source dense index; nil until built
 }
 
 // NewResolver returns a Resolver over topo.
 func NewResolver(topo *Topology) *Resolver {
-	return &Resolver{topo: topo, trees: map[bgp.ASN]map[bgp.ASN]PathInfo{}}
+	return &Resolver{topo: topo}
 }
 
 // Topology returns the underlying topology.
 func (r *Resolver) Topology() *Topology { return r.topo }
 
-// treeFor returns the memoized single-source tree for src, building it
-// under the resolver lock on first use. Trees are immutable once built.
-func (r *Resolver) treeFor(src bgp.ASN) map[bgp.ASN]PathInfo {
+// treeFor returns the memoized single-source tree for src (indexed by
+// dense AS index) and the dense view it is defined over, building both
+// under the resolver lock on first use. The tree is nil when src is
+// unknown to the topology. Trees are immutable once built.
+func (r *Resolver) treeFor(src bgp.ASN) ([]PathInfo, *denseTopo) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	tree, ok := r.trees[src]
-	if !ok {
-		tree = r.buildTree(src)
-		r.trees[src] = tree
+	if r.d == nil {
+		r.d = r.topo.dense()
+		r.trees = make([][]PathInfo, len(r.d.asns))
 	}
-	return tree
+	si, ok := r.d.index[src]
+	if !ok {
+		return nil, r.d
+	}
+	if r.trees[si] == nil {
+		r.trees[si] = r.d.buildTree(si)
+	}
+	return r.trees[si], r.d
 }
 
 // PathInfoFrom returns shortest valley-free path information from src to
 // dst, memoizing the full single-source tree on first use.
 func (r *Resolver) PathInfoFrom(src, dst bgp.ASN) PathInfo {
-	return r.treeFor(src)[dst]
+	if src == dst {
+		return PathInfo{Hops: 1, LatencyMs: 0, OK: true}
+	}
+	tree, d := r.treeFor(src)
+	if tree == nil {
+		return PathInfo{}
+	}
+	di, ok := d.index[dst]
+	if !ok {
+		return PathInfo{}
+	}
+	return tree[di]
 }
 
-// treeState augments the valley-free BFS state with the accumulated
-// latency and the last located city on the path, so latency accrues
-// correctly across ASes without recorded locations.
-type treeState struct {
-	st  state
-	lat float64
-	loc *geo.City
-}
-
-// buildTree runs one valley-free BFS from src, level by level, recording
-// for every AS the fewest-hop arrival and — among equal-hop arrivals —
-// the minimum accumulated latency, matching BGP's shortest-path-first
-// with latency-aware tie-breaking.
-func (r *Resolver) buildTree(src bgp.ASN) map[bgp.ASN]PathInfo {
-	const perHopMs = 0.35
-	tree := map[bgp.ASN]PathInfo{src: {Hops: 1, LatencyMs: 0, OK: true}}
-	var srcLoc *geo.City
-	if c, ok := r.topo.Location(src); ok {
-		cc := c
-		srcLoc = &cc
+// Tree returns the full single-source tree for src as an ASN-keyed map —
+// the pre-dense-index API shape, kept as a thin adapter for inspection
+// and tests. Bulk callers should prefer PathInfoFrom, which avoids
+// materializing the map.
+func (r *Resolver) Tree(src bgp.ASN) map[bgp.ASN]PathInfo {
+	tree, d := r.treeFor(src)
+	out := map[bgp.ASN]PathInfo{}
+	if tree == nil {
+		return out
 	}
-	frontier := map[state]treeState{
-		{src, phaseUp}: {st: state{src, phaseUp}, lat: 0, loc: srcLoc},
-	}
-	settled := map[state]bool{{src, phaseUp}: true}
-	hops := 1
-	for len(frontier) > 0 {
-		hops++
-		next := map[state]treeState{}
-		for _, cur := range frontier {
-			for _, ns := range r.topo.transitions(cur.st) {
-				if settled[ns] {
-					continue
-				}
-				lat := cur.lat + perHopMs
-				loc := cur.loc
-				if c, ok := r.topo.Location(ns.asn); ok {
-					if loc != nil {
-						lat += geo.PropagationDelayMs(geo.HaversineKm(loc.Lat, loc.Lon, c.Lat, c.Lon))
-					}
-					cc := c
-					loc = &cc
-				}
-				if prev, ok := next[ns]; !ok || lat < prev.lat {
-					next[ns] = treeState{st: ns, lat: lat, loc: loc}
-				}
-			}
+	for i, info := range tree {
+		if info.OK {
+			out[d.asns[i]] = info
 		}
-		for st, ts := range next {
-			settled[st] = true
-			if info, done := tree[st.asn]; !done || (info.Hops == hops && ts.lat < info.LatencyMs) {
-				tree[st.asn] = PathInfo{Hops: hops, LatencyMs: ts.lat, OK: true}
-			}
-		}
-		frontier = next
 	}
-	return tree
+	return out
 }
 
 // BestPath reconstructs the concrete AS path behind PathInfoFrom's
@@ -119,64 +100,19 @@ func (r *Resolver) buildTree(src bgp.ASN) map[bgp.ASN]PathInfo {
 // with parent pointers, so it costs one traversal per call; use it for
 // hop-level inspection (traceroutes), not bulk catchment.
 func (r *Resolver) BestPath(src, dst bgp.ASN) ([]bgp.ASN, bool) {
-	const perHopMs = 0.35
 	if src == dst {
 		return []bgp.ASN{src}, true
 	}
-	type node struct {
-		ts     treeState
-		parent *node
-	}
-	var srcLoc *geo.City
-	if c, ok := r.topo.Location(src); ok {
-		cc := c
-		srcLoc = &cc
-	}
-	start := &node{ts: treeState{st: state{src, phaseUp}, lat: 0, loc: srcLoc}}
-	frontier := map[state]*node{start.ts.st: start}
-	settled := map[state]bool{start.ts.st: true}
-	var best *node
-	for len(frontier) > 0 && best == nil {
-		next := map[state]*node{}
-		for _, cur := range frontier {
-			for _, ns := range r.topo.transitions(cur.ts.st) {
-				if settled[ns] {
-					continue
-				}
-				lat := cur.ts.lat + perHopMs
-				loc := cur.ts.loc
-				if c, ok := r.topo.Location(ns.asn); ok {
-					if loc != nil {
-						lat += geo.PropagationDelayMs(geo.HaversineKm(loc.Lat, loc.Lon, c.Lat, c.Lon))
-					}
-					cc := c
-					loc = &cc
-				}
-				if prev, ok := next[ns]; !ok || lat < prev.ts.lat {
-					next[ns] = &node{ts: treeState{st: ns, lat: lat, loc: loc}, parent: cur}
-				}
-			}
-		}
-		for st, n := range next {
-			settled[st] = true
-			if st.asn == dst && (best == nil || n.ts.lat < best.ts.lat) {
-				best = n
-			}
-		}
-		frontier = next
-	}
-	if best == nil {
+	d := r.topo.dense()
+	si, ok := d.index[src]
+	if !ok {
 		return nil, false
 	}
-	var rev []bgp.ASN
-	for n := best; n != nil; n = n.parent {
-		rev = append(rev, n.ts.st.asn)
+	di, ok := d.index[dst]
+	if !ok {
+		return nil, false
 	}
-	path := make([]bgp.ASN, 0, len(rev))
-	for i := len(rev) - 1; i >= 0; i-- {
-		path = append(path, rev[i])
-	}
-	return path, true
+	return d.bestPath(si, di)
 }
 
 // CatchmentFrom selects the anycast site capturing traffic from a source
@@ -193,18 +129,45 @@ func (r *Resolver) CatchmentFrom(srcAS bgp.ASN, srcCity geo.City, sites []Site, 
 	return sites[i], lat, nil
 }
 
+// catchCand is one reachable site under consideration by CatchmentIndex.
+type catchCand struct {
+	index   int
+	site    Site
+	hops    int
+	latency float64
+	distKm  float64
+}
+
+// better reports whether a beats b under the policy's preference order —
+// the comparison the pre-rewrite sort used, applied as a single-pass
+// minimum so site selection allocates nothing.
+func (a catchCand) better(b catchCand, policy CatchmentPolicy) bool {
+	switch policy {
+	case PolicyGeo:
+		if a.distKm != b.distKm {
+			return a.distKm < b.distKm
+		}
+	default:
+		if a.hops != b.hops {
+			return a.hops < b.hops
+		}
+		if a.latency != b.latency {
+			return a.latency < b.latency
+		}
+	}
+	// Stable final tiebreak.
+	if a.site.Host != b.site.Host {
+		return a.site.Host < b.site.Host
+	}
+	return a.site.City.Name < b.site.City.Name
+}
+
 // CatchmentIndex is CatchmentFrom returning the index of the selected
 // site within sites, for callers that keep metadata parallel to the site
 // list.
 func (r *Resolver) CatchmentIndex(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy) (int, float64, error) {
-	type candidate struct {
-		index   int
-		site    Site
-		hops    int
-		latency float64
-		distKm  float64
-	}
-	var cands []candidate
+	var best catchCand
+	found := false
 	for i, site := range sites {
 		var hops int
 		var lat float64
@@ -227,32 +190,17 @@ func (r *Resolver) CatchmentIndex(srcAS bgp.ASN, srcCity geo.City, sites []Site,
 				lat += geo.PropagationDelayMs(geo.HaversineKm(hostCity.Lat, hostCity.Lon, site.City.Lat, site.City.Lon))
 			}
 		}
-		dist := geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon)
-		cands = append(cands, candidate{i, site, hops, lat, dist})
+		cand := catchCand{
+			index: i, site: site, hops: hops, latency: lat,
+			distKm: geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon),
+		}
+		if !found || cand.better(best, policy) {
+			best = cand
+			found = true
+		}
 	}
-	if len(cands) == 0 {
+	if !found {
 		return 0, 0, ErrUnreachable
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		switch policy {
-		case PolicyGeo:
-			if a.distKm != b.distKm {
-				return a.distKm < b.distKm
-			}
-		default:
-			if a.hops != b.hops {
-				return a.hops < b.hops
-			}
-			if a.latency != b.latency {
-				return a.latency < b.latency
-			}
-		}
-		if a.site.Host != b.site.Host {
-			return a.site.Host < b.site.Host
-		}
-		return a.site.City.Name < b.site.City.Name
-	})
-	best := cands[0]
 	return best.index, best.latency, nil
 }

@@ -1,0 +1,286 @@
+package netsim
+
+import (
+	"sort"
+	"sync"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+// denseTopo is the cache-friendly index-based view of a Topology: every
+// ASN interned to a dense int32 index, adjacency flattened into CSR
+// arrays, and locations in parallel coordinate slices. The valley-free
+// BFS runs entirely over these arrays, so a full single-source tree
+// costs a handful of slice allocations instead of a map per level.
+type denseTopo struct {
+	asns  []bgp.ASN         // index → ASN, ascending
+	index map[bgp.ASN]int32 // ASN → index
+
+	// CSR adjacency: the providers of AS i are
+	// provAdj[provOff[i]:provOff[i+1]], sorted by index (equivalently by
+	// ASN). Likewise for peers and customers.
+	provOff, provAdj []int32
+	peerOff, peerAdj []int32
+	custOff, custAdj []int32
+
+	hasLoc         []bool
+	locLat, locLon []float64
+}
+
+// buildDense interns every AS that appears in the graph or carries a
+// location and flattens the adjacency. Index order follows ASN order, so
+// the sorted neighbor lists of bgp.Graph stay sorted after translation.
+func buildDense(t *Topology) *denseTopo {
+	seen := map[bgp.ASN]bool{}
+	for _, a := range t.graph.ASes() {
+		seen[a] = true
+	}
+	for a := range t.location {
+		seen[a] = true
+	}
+	asns := make([]bgp.ASN, 0, len(seen))
+	for a := range seen {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+
+	n := len(asns)
+	d := &denseTopo{
+		asns:   asns,
+		index:  make(map[bgp.ASN]int32, n),
+		hasLoc: make([]bool, n),
+		locLat: make([]float64, n),
+		locLon: make([]float64, n),
+	}
+	for i, a := range asns {
+		d.index[a] = int32(i)
+		if c, ok := t.location[a]; ok {
+			d.hasLoc[i] = true
+			d.locLat[i] = c.Lat
+			d.locLon[i] = c.Lon
+		}
+	}
+	fill := func(neighbors func(bgp.ASN) []bgp.ASN) (off, adj []int32) {
+		off = make([]int32, n+1)
+		for i, a := range asns {
+			off[i+1] = off[i] + int32(len(neighbors(a)))
+		}
+		adj = make([]int32, off[n])
+		k := 0
+		for _, a := range asns {
+			for _, b := range neighbors(a) {
+				adj[k] = d.index[b]
+				k++
+			}
+		}
+		return off, adj
+	}
+	d.provOff, d.provAdj = fill(t.graph.Providers)
+	d.peerOff, d.peerAdj = fill(t.graph.Peers)
+	d.custOff, d.custAdj = fill(t.graph.Customers)
+	return d
+}
+
+func (d *denseTopo) providers(i int32) []int32 { return d.provAdj[d.provOff[i]:d.provOff[i+1]] }
+func (d *denseTopo) peers(i int32) []int32     { return d.peerAdj[d.peerOff[i]:d.peerOff[i+1]] }
+func (d *denseTopo) customers(i int32) []int32 { return d.custAdj[d.custOff[i]:d.custOff[i+1]] }
+
+// BFS states are packed as asIndex*3 + phase, so per-state bookkeeping
+// lives in flat arrays indexed by the packed value.
+const numPhases = 3
+
+// scratch holds the reusable per-traversal buffers. Epoch stamping makes
+// reuse O(1): a slot is valid only when its stamp equals the current
+// epoch, so nothing is cleared between traversals.
+type scratch struct {
+	lat      []float64 // tentative/settled latency per state
+	locIdx   []int32   // dense index of the last located AS on the path, -1 none
+	parent   []int32   // predecessor state (BestPath only)
+	settled  []uint32  // epoch stamp: state settled
+	inNext   []uint32  // epoch stamp: state already in the next frontier
+	frontier []int32
+	next     []int32
+	epoch    uint32
+}
+
+// scratchPool recycles traversal buffers across resolvers and goroutines;
+// buffers grow to the largest topology seen and are reused as-is for
+// smaller ones.
+var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
+
+// getScratch returns a scratch with capacity for nStates states and a
+// fresh epoch.
+func getScratch(nStates int) *scratch {
+	sc := scratchPool.Get().(*scratch)
+	if len(sc.settled) < nStates {
+		sc.lat = make([]float64, nStates)
+		sc.locIdx = make([]int32, nStates)
+		sc.parent = make([]int32, nStates)
+		sc.settled = make([]uint32, nStates)
+		sc.inNext = make([]uint32, nStates)
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if sc.epoch == 0 { // stamp wraparound: invalidate everything once
+		for i := range sc.settled {
+			sc.settled[i] = 0
+			sc.inNext[i] = 0
+		}
+		sc.epoch = 1
+	}
+	return sc
+}
+
+func putScratch(sc *scratch) { scratchPool.Put(sc) }
+
+// expand pushes the valley-free transitions of state cur into the next
+// frontier, keeping the minimum-latency arrival per state. It returns the
+// updated frontier slice.
+func (d *denseTopo) expand(sc *scratch, next []int32, cur int32, withParents bool) []int32 {
+	const perHopMs = 0.35
+	asIdx := cur / numPhases
+	ph := phase(cur % numPhases)
+	curLat := sc.lat[cur]
+	curLoc := sc.locIdx[cur]
+
+	visit := func(nbrIdx int32, nph phase) []int32 {
+		ns := nbrIdx*numPhases + int32(nph)
+		if sc.settled[ns] == sc.epoch {
+			return next
+		}
+		lat := curLat + perHopMs
+		loc := curLoc
+		if d.hasLoc[nbrIdx] {
+			if loc >= 0 {
+				lat += geo.PropagationDelayMs(geo.HaversineKm(
+					d.locLat[loc], d.locLon[loc], d.locLat[nbrIdx], d.locLon[nbrIdx]))
+			}
+			loc = nbrIdx
+		}
+		if sc.inNext[ns] != sc.epoch {
+			sc.inNext[ns] = sc.epoch
+			sc.lat[ns] = lat
+			sc.locIdx[ns] = loc
+			if withParents {
+				sc.parent[ns] = cur
+			}
+			return append(next, ns)
+		}
+		if lat < sc.lat[ns] {
+			sc.lat[ns] = lat
+			sc.locIdx[ns] = loc
+			if withParents {
+				sc.parent[ns] = cur
+			}
+		}
+		return next
+	}
+
+	switch ph {
+	case phaseUp:
+		for _, p := range d.providers(asIdx) {
+			next = visit(p, phaseUp)
+		}
+		for _, p := range d.peers(asIdx) {
+			next = visit(p, phasePeer)
+		}
+		for _, c := range d.customers(asIdx) {
+			next = visit(c, phaseDown)
+		}
+	default: // phasePeer, phaseDown: only customer edges remain
+		for _, c := range d.customers(asIdx) {
+			next = visit(c, phaseDown)
+		}
+	}
+	return next
+}
+
+// startState seeds the traversal buffers with the source state and
+// returns it.
+func (d *denseTopo) startState(sc *scratch, srcIdx int32) int32 {
+	start := srcIdx*numPhases + int32(phaseUp)
+	sc.settled[start] = sc.epoch
+	sc.lat[start] = 0
+	sc.locIdx[start] = -1
+	if d.hasLoc[srcIdx] {
+		sc.locIdx[start] = srcIdx
+	}
+	return start
+}
+
+// buildTree runs one valley-free BFS from srcIdx, level by level,
+// recording for every AS the fewest-hop arrival and — among equal-hop
+// arrivals — the minimum accumulated latency, matching BGP's
+// shortest-path-first with latency-aware tie-breaking. The result is
+// indexed by dense AS index.
+func (d *denseTopo) buildTree(srcIdx int32) []PathInfo {
+	n := len(d.asns)
+	tree := make([]PathInfo, n)
+	tree[srcIdx] = PathInfo{Hops: 1, LatencyMs: 0, OK: true}
+
+	sc := getScratch(n * numPhases)
+	defer putScratch(sc)
+	frontier := append(sc.frontier[:0], d.startState(sc, srcIdx))
+	next := sc.next[:0]
+	hops := 1
+	for len(frontier) > 0 {
+		hops++
+		next = next[:0]
+		for _, cur := range frontier {
+			next = d.expand(sc, next, cur, false)
+		}
+		for _, ns := range next {
+			sc.settled[ns] = sc.epoch
+			ai := ns / numPhases
+			if !tree[ai].OK {
+				tree[ai] = PathInfo{Hops: hops, LatencyMs: sc.lat[ns], OK: true}
+			} else if tree[ai].Hops == hops && sc.lat[ns] < tree[ai].LatencyMs {
+				tree[ai].LatencyMs = sc.lat[ns]
+			}
+		}
+		frontier, next = next, frontier
+	}
+	sc.frontier, sc.next = frontier, next // return grown buffers to the pool
+	return tree
+}
+
+// bestPath re-runs the leveled BFS with parent pointers and reconstructs
+// the fewest-hop, minimum-latency path from srcIdx to dstIdx.
+func (d *denseTopo) bestPath(srcIdx, dstIdx int32) ([]bgp.ASN, bool) {
+	n := len(d.asns)
+	sc := getScratch(n * numPhases)
+	defer putScratch(sc)
+	start := d.startState(sc, srcIdx)
+	sc.parent[start] = -1
+	frontier := append(sc.frontier[:0], start)
+	next := sc.next[:0]
+	best := int32(-1)
+	for len(frontier) > 0 && best < 0 {
+		next = next[:0]
+		for _, cur := range frontier {
+			next = d.expand(sc, next, cur, true)
+		}
+		for _, ns := range next {
+			sc.settled[ns] = sc.epoch
+			if ns/numPhases == dstIdx && (best < 0 || sc.lat[ns] < sc.lat[best]) {
+				best = ns
+			}
+		}
+		frontier, next = next, frontier
+	}
+	if best < 0 {
+		sc.frontier, sc.next = frontier, next
+		return nil, false
+	}
+	var rev []int32
+	for s := best; s >= 0; s = sc.parent[s] {
+		rev = append(rev, s/numPhases)
+	}
+	path := make([]bgp.ASN, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, d.asns[rev[i]])
+	}
+	sc.frontier, sc.next = frontier, next
+	return path, true
+}

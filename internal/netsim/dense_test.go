@@ -1,0 +1,192 @@
+package netsim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+// randomTopology builds a three-tier topology with rng-driven shape:
+// a peered core, mid-tier transits multihomed to the core, and edges
+// buying from the mid tier, with occasional mid-tier peering.
+func randomTopology(rng *rand.Rand) *Topology {
+	t := New()
+	cities := []string{"MIA", "BOG", "GRU", "CCS", "SCL", "EZE", "MEX", "LIM"}
+	locate := func(asn bgp.ASN) {
+		if rng.Intn(4) > 0 { // some ASes stay unlocated
+			c, _ := geo.LookupIATA(cities[rng.Intn(len(cities))])
+			t.Locate(asn, c)
+		}
+	}
+	core := []bgp.ASN{10, 11, 12}
+	for i, a := range core {
+		locate(a)
+		for _, b := range core[i+1:] {
+			t.AddLink(a, b, bgp.PeerPeer)
+		}
+	}
+	var mids []bgp.ASN
+	for i := 0; i < 6; i++ {
+		m := bgp.ASN(100 + i)
+		mids = append(mids, m)
+		locate(m)
+		t.AddLink(core[rng.Intn(len(core))], m, bgp.ProviderCustomer)
+		if rng.Intn(2) == 0 {
+			t.AddLink(core[rng.Intn(len(core))], m, bgp.ProviderCustomer)
+		}
+	}
+	for i := 0; i < len(mids); i++ {
+		for j := i + 1; j < len(mids); j++ {
+			if rng.Intn(4) == 0 {
+				t.AddLink(mids[i], mids[j], bgp.PeerPeer)
+			}
+		}
+	}
+	for i := 0; i < 12; i++ {
+		e := bgp.ASN(1000 + i)
+		locate(e)
+		t.AddLink(mids[rng.Intn(len(mids))], e, bgp.ProviderCustomer)
+	}
+	return t
+}
+
+// TestDenseTreeMatchesASPath cross-checks the dense BFS against the
+// reference map-based search over randomized topologies: reachability
+// and hop counts must agree for every pair.
+func TestDenseTreeMatchesASPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		top := randomTopology(rng)
+		r := NewResolver(top)
+		ases := top.Graph().ASes()
+		for _, src := range ases {
+			for _, dst := range ases {
+				path, ok := top.ASPath(src, dst)
+				info := r.PathInfoFrom(src, dst)
+				if ok != info.OK {
+					t.Fatalf("trial %d: %d→%d reachability: ASPath %v, dense %v", trial, src, dst, ok, info.OK)
+				}
+				if ok && len(path) != info.Hops {
+					t.Fatalf("trial %d: %d→%d hops: ASPath %d, dense %d", trial, src, dst, len(path), info.Hops)
+				}
+			}
+		}
+	}
+}
+
+// TestDenseBestPathValid checks BestPath over randomized topologies:
+// hop count matches PathInfo, endpoints are right, and every step uses
+// an edge of the graph.
+func TestDenseBestPathValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		top := randomTopology(rng)
+		r := NewResolver(top)
+		g := top.Graph()
+		ases := g.ASes()
+		for _, src := range ases {
+			for _, dst := range ases {
+				info := r.PathInfoFrom(src, dst)
+				path, ok := r.BestPath(src, dst)
+				if ok != info.OK {
+					t.Fatalf("%d→%d: BestPath ok %v, PathInfo ok %v", src, dst, ok, info.OK)
+				}
+				if !ok {
+					continue
+				}
+				if len(path) != info.Hops || path[0] != src || path[len(path)-1] != dst {
+					t.Fatalf("%d→%d: bad path %v for hops %d", src, dst, path, info.Hops)
+				}
+				for i := 1; i < len(path); i++ {
+					a, b := path[i-1], path[i]
+					linked := containsAS(g.Providers(a), b) || containsAS(g.Customers(a), b) || containsAS(g.Peers(a), b)
+					if !linked {
+						t.Fatalf("%d→%d: step %d→%d is not an edge", src, dst, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func containsAS(xs []bgp.ASN, a bgp.ASN) bool {
+	for _, x := range xs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDenseInvalidation: mutating a topology after resolver queries must
+// rebuild the interned view rather than serve stale adjacency.
+func TestDenseInvalidation(t *testing.T) {
+	top := New()
+	top.AddLink(1, 2, bgp.ProviderCustomer)
+	if info := (&Resolver{topo: top}).PathInfoFrom(2, 3); info.OK {
+		t.Fatal("3 reachable before the link exists")
+	}
+	top.AddLink(1, 3, bgp.ProviderCustomer)
+	r := NewResolver(top)
+	info := r.PathInfoFrom(2, 3)
+	if !info.OK || info.Hops != 3 {
+		t.Fatalf("2→3 after mutation: %+v, want 3 hops via 1", info)
+	}
+}
+
+// TestResolverConcurrentTrees hammers one resolver from many goroutines;
+// meaningful under -race, and the answers must match a warm sequential
+// baseline.
+func TestResolverConcurrentTrees(t *testing.T) {
+	top := randomTopology(rand.New(rand.NewSource(3)))
+	ases := top.Graph().ASes()
+
+	want := map[[2]bgp.ASN]PathInfo{}
+	base := NewResolver(top)
+	for _, src := range ases {
+		for _, dst := range ases {
+			want[[2]bgp.ASN{src, dst}] = base.PathInfoFrom(src, dst)
+		}
+	}
+
+	r := NewResolver(top)
+	var wg sync.WaitGroup
+	for k := 0; k < 8; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for i := range ases {
+				src := ases[(i+k)%len(ases)]
+				for _, dst := range ases {
+					if got := r.PathInfoFrom(src, dst); got != want[[2]bgp.ASN{src, dst}] {
+						t.Errorf("%d→%d: concurrent %+v, sequential %+v", src, dst, got, want[[2]bgp.ASN{src, dst}])
+						return
+					}
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+}
+
+// TestTreeMapAdapter: the map-shaped adapter must agree with the slice
+// core and omit unreachable ASes.
+func TestTreeMapAdapter(t *testing.T) {
+	top := testTopology()
+	r := NewResolver(top)
+	tree := r.Tree(401)
+	for asn, info := range tree {
+		if !info.OK {
+			t.Errorf("adapter returned non-OK entry for %d", asn)
+		}
+		if got := r.PathInfoFrom(401, asn); got != info {
+			t.Errorf("%d: adapter %+v, PathInfoFrom %+v", asn, info, got)
+		}
+	}
+	if _, ok := tree[9999]; ok {
+		t.Error("unknown AS present in adapter map")
+	}
+}

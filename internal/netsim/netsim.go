@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"vzlens/internal/bgp"
 	"vzlens/internal/geo"
@@ -21,6 +22,11 @@ import (
 type Topology struct {
 	graph    *bgp.Graph
 	location map[bgp.ASN]geo.City
+
+	// denseV is the interned index-based view the resolver traversals
+	// run over, built lazily on first use and invalidated by mutation.
+	denseMu sync.Mutex
+	denseV  *denseTopo
 }
 
 // New returns an empty Topology.
@@ -35,11 +41,33 @@ func FromGraph(g *bgp.Graph) *Topology {
 
 // AddLink inserts a relationship edge (provider→customer or peer).
 func (t *Topology) AddLink(a, b bgp.ASN, kind bgp.RelKind) {
+	t.invalidateDense()
 	t.graph.AddRel(bgp.Rel{A: a, B: b, Kind: kind})
 }
 
 // Locate records the primary interconnection city of an AS.
-func (t *Topology) Locate(asn bgp.ASN, city geo.City) { t.location[asn] = city }
+func (t *Topology) Locate(asn bgp.ASN, city geo.City) {
+	t.invalidateDense()
+	t.location[asn] = city
+}
+
+// invalidateDense drops the interned view after a mutation.
+func (t *Topology) invalidateDense() {
+	t.denseMu.Lock()
+	t.denseV = nil
+	t.denseMu.Unlock()
+}
+
+// dense returns the interned index-based view, building it on first use.
+// The view is immutable once built and safe to share across goroutines.
+func (t *Topology) dense() *denseTopo {
+	t.denseMu.Lock()
+	defer t.denseMu.Unlock()
+	if t.denseV == nil {
+		t.denseV = buildDense(t)
+	}
+	return t.denseV
+}
 
 // Location returns the recorded city of asn.
 func (t *Topology) Location(asn bgp.ASN) (geo.City, bool) {

@@ -1,0 +1,210 @@
+package world
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/months"
+	"vzlens/internal/netsim"
+)
+
+// workers resolves the configured pool size; zero means GOMAXPROCS.
+func (w *World) workers() int {
+	if w.Config.Workers > 0 {
+		return w.Config.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs fn(0..n-1) over a pool of at most workers
+// goroutines. Work is handed out by an atomic counter, so the schedule
+// is nondeterministic — callers must make fn(i) independent of order and
+// merge results by index.
+func forEachIndex(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mix64 is the splitmix64 finalizer: a cheap bijective hash with good
+// avalanche behavior, enough to decorrelate neighboring probe-months.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// sampleSeed derives the jitter-RNG seed for one probe-month by hashing
+// (Seed, month, probe). Every probe-month draws from its own stream, so
+// campaign output is bit-identical regardless of worker count or
+// schedule.
+func sampleSeed(seed int64, m months.Month, probeID int) int64 {
+	h := mix64(uint64(seed) ^ 0x9e3779b97f4a7c15)
+	h = mix64(h ^ uint64(int64(m)))
+	h = mix64(h ^ uint64(int64(probeID)))
+	return int64(h)
+}
+
+// activeProbesAt memoizes Fleet.ActiveAt per month. Both campaigns and
+// every letter of the CHAOS sweep share one sorted snapshot per month.
+// Callers must not mutate the returned slice.
+func (w *World) activeProbesAt(m months.Month) []atlas.Probe {
+	w.activeMu.Lock()
+	probes, ok := w.activeCache[m]
+	if !ok {
+		probes = w.Fleet.ActiveAt(m)
+		w.activeCache[m] = probes
+	}
+	w.activeMu.Unlock()
+	return probes
+}
+
+// TraceCampaign simulates the platform-wide traceroute campaign toward
+// Google Public DNS (measurement 1591): every active probe measures
+// SamplesPerProbe times per monthly snapshot, and the RTT combines the
+// anycast catchment path, the country's access delay, and exponential
+// queueing jitter. Monthly snapshots fan out over the Workers pool;
+// fragments merge in month order, so the result is identical to the
+// sequential simulation.
+func (w *World) TraceCampaign() *atlas.TraceCampaign {
+	if w.ext.trace != nil {
+		return w.ext.trace
+	}
+	ms := w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd)
+	frags := make([][]atlas.TraceSample, len(ms))
+	forEachIndex(len(ms), w.workers(), func(i int) {
+		frags[i] = w.traceMonth(ms[i])
+	})
+	tc := atlas.NewTraceCampaign()
+	for _, f := range frags {
+		tc.AddAll(f)
+	}
+	return tc
+}
+
+// traceMonth simulates one monthly snapshot of the traceroute campaign.
+func (w *World) traceMonth(m months.Month) []atlas.TraceSample {
+	resolver := w.TopologyAt(m)
+	sites := w.GPDNSSitesAt(m)
+	var out []atlas.TraceSample
+	for _, p := range w.activeProbesAt(m) {
+		local := localizeSites(sites, p)
+		_, oneWay, err := resolver.CatchmentFrom(p.ASN, p.City, local, w.Config.Policy)
+		if err != nil {
+			continue
+		}
+		access := AccessDelayMs(p.Country, m)
+		rng := rand.New(rand.NewSource(sampleSeed(w.Config.Seed, m, p.ID)))
+		for s := 0; s < w.Config.SamplesPerProbe; s++ {
+			out = append(out, atlas.TraceSample{
+				Month:   m,
+				ProbeID: p.ID,
+				ProbeCC: p.Country,
+				RTTms:   netsim.RTT(oneWay, access, rng),
+			})
+		}
+	}
+	return out
+}
+
+// ChaosCampaign simulates the built-in CHAOS TXT measurements toward all
+// thirteen root letters from every active probe in each monthly
+// snapshot. Monthly snapshots fan out over the Workers pool; the sweep
+// involves no randomness, so the merged result is identical to the
+// sequential simulation.
+func (w *World) ChaosCampaign() *atlas.ChaosCampaign {
+	if w.ext.chaos != nil {
+		return w.ext.chaos
+	}
+	ms := w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd)
+	frags := make([][]atlas.ChaosResult, len(ms))
+	forEachIndex(len(ms), w.workers(), func(i int) {
+		frags[i] = w.chaosMonth(ms[i])
+	})
+	cc := atlas.NewChaosCampaign()
+	for _, f := range frags {
+		cc.AddAll(f)
+	}
+	return cc
+}
+
+// chaosMonth simulates one monthly snapshot of the CHAOS sweep. The
+// active probe set is computed once for the month, not once per letter.
+func (w *World) chaosMonth(m months.Month) []atlas.ChaosResult {
+	resolver := w.TopologyAt(m)
+	probes := w.activeProbesAt(m)
+	var out []atlas.ChaosResult
+	for _, letter := range dnsroot.Letters() {
+		sites, insts := w.RootSitesAt(letter, m)
+		if len(sites) == 0 {
+			continue
+		}
+		for _, p := range probes {
+			local := localizeSites(sites, p)
+			idx, _, err := resolver.CatchmentIndex(p.ASN, p.City, local, w.Config.Policy)
+			if err != nil {
+				continue
+			}
+			out = append(out, atlas.ChaosResult{
+				Month:   m,
+				ProbeID: p.ID,
+				ProbeCC: p.Country,
+				Letter:  letter,
+				TXT:     insts[idx].ChaosName(m),
+			})
+		}
+	}
+	return out
+}
+
+// localizeSites returns the probe's view of an anycast site list:
+// replicas deployed in the probe's own country are reachable over the
+// domestic peering fabric, modeled as hosting inside the probe's AS (one
+// hop, direct city-to-city distance). Cross-border replicas keep their
+// interdomain path. Detection and rewrite happen in one pass, and the
+// list is returned as-is when nothing needs rewriting.
+func localizeSites(sites []netsim.Site, p atlas.Probe) []netsim.Site {
+	out := sites
+	copied := false
+	for i, s := range sites {
+		if s.City.Country != p.Country || s.Host == p.ASN {
+			continue
+		}
+		if !copied {
+			out = make([]netsim.Site, len(sites))
+			copy(out, sites)
+			copied = true
+		}
+		out[i].Host = p.ASN
+	}
+	return out
+}

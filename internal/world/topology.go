@@ -74,14 +74,25 @@ func cityAt(iata string) geo.City {
 }
 
 // TopologyAt assembles the interdomain topology for month m. Results are
-// cached on the World; the cache is lock-protected because concurrent
-// API requests can trigger different campaigns over the same months.
+// cached on the World — both campaigns, the archive exports, and the
+// HTTP handlers share one resolver (and therefore one set of memoized
+// path trees) per month. Only the cell lookup holds the cache lock;
+// construction runs under the cell's own once, so parallel month shards
+// build distinct months concurrently.
 func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
 	w.topoMu.Lock()
-	defer w.topoMu.Unlock()
-	if r, ok := w.topoCache[m]; ok {
-		return r
+	cell, ok := w.topoCache[m]
+	if !ok {
+		cell = &topoCell{}
+		w.topoCache[m] = cell
 	}
+	w.topoMu.Unlock()
+	cell.once.Do(func() { cell.r = w.buildTopologyAt(m) })
+	return cell.r
+}
+
+// buildTopologyAt constructs month m's topology and resolver.
+func (w *World) buildTopologyAt(m months.Month) *netsim.Resolver {
 	t := netsim.New()
 
 	// Global transit core: full peer mesh among tier-1s plus Google.
@@ -139,9 +150,7 @@ func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
 		}
 	}
 
-	r := netsim.NewResolver(t)
-	w.topoCache[m] = r
-	return r
+	return netsim.NewResolver(t)
 }
 
 // wireVenezuela adds the Venezuelan edges for month m: CANTV's transit

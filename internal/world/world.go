@@ -2,7 +2,6 @@ package world
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -35,6 +34,12 @@ type Config struct {
 	// Values below 1 implement the Section 8 coverage-bias sensitivity
 	// experiment: fewer vantage points see fewer anycast instances.
 	FleetScale float64
+	// Workers bounds the worker pool the campaign simulations fan
+	// monthly snapshots out over. Zero means GOMAXPROCS. Results are
+	// bit-identical for any worker count: every probe-month derives its
+	// jitter RNG by hashing (Seed, month, probe), independent of
+	// schedule.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,8 +93,24 @@ type World struct {
 	}
 	axes []AxisStatus
 
+	// topoCache holds one resolver cell per month. The map itself is
+	// lock-protected; each cell builds its resolver exactly once, outside
+	// the map lock, so parallel month shards never serialize on another
+	// month's topology construction.
 	topoMu    sync.Mutex
-	topoCache map[months.Month]*netsim.Resolver
+	topoCache map[months.Month]*topoCell
+
+	// activeCache memoizes Fleet.ActiveAt per month, shared by both
+	// campaigns (their windows overlap) and computed once per month
+	// shard instead of once per letter.
+	activeMu    sync.Mutex
+	activeCache map[months.Month][]atlas.Probe
+}
+
+// topoCell is a once-cell for one month's resolver.
+type topoCell struct {
+	once sync.Once
+	r    *netsim.Resolver
 }
 
 // validate rejects configurations the pipeline cannot honor. It runs on
@@ -104,6 +125,9 @@ func (c Config) validate() error {
 	}
 	if c.FleetScale < 0 {
 		return fmt.Errorf("world: negative fleet scale %v", c.FleetScale)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("world: negative worker count %d", c.Workers)
 	}
 	d := c.withDefaults()
 	if d.TraceEnd.Before(d.TraceStart) {
@@ -185,13 +209,14 @@ func Build(cfg Config) (*World, error) {
 	}
 	pop := buildPopulations(nets)
 	w := &World{
-		Config:    cfg,
-		Nets:      nets,
-		Pop:       pop,
-		Orgs:      buildOrgs(nets, pop),
-		Roots:     dnsroot.DefaultDeployment(),
-		Cables:    telegeo.LatinAmerica(),
-		topoCache: map[months.Month]*netsim.Resolver{},
+		Config:      cfg,
+		Nets:        nets,
+		Pop:         pop,
+		Orgs:        buildOrgs(nets, pop),
+		Roots:       dnsroot.DefaultDeployment(),
+		Cables:      telegeo.LatinAmerica(),
+		topoCache:   map[months.Month]*topoCell{},
+		activeCache: map[months.Month][]atlas.Probe{},
 	}
 	w.Fleet = buildFleet(nets, cfg.FleetScale)
 	return w, nil
@@ -308,101 +333,6 @@ func (w *World) campaignMonths(lo, hi months.Month) []months.Month {
 	var out []months.Month
 	for m := lo; !m.After(hi); m = m.Add(w.Config.Step) {
 		out = append(out, m)
-	}
-	return out
-}
-
-// TraceCampaign simulates the platform-wide traceroute campaign toward
-// Google Public DNS (measurement 1591): every active probe measures
-// SamplesPerProbe times per monthly snapshot, and the RTT combines the
-// anycast catchment path, the country's access delay, and exponential
-// queueing jitter.
-func (w *World) TraceCampaign() *atlas.TraceCampaign {
-	if w.ext.trace != nil {
-		return w.ext.trace
-	}
-	rng := rand.New(rand.NewSource(w.Config.Seed))
-	tc := atlas.NewTraceCampaign()
-	for _, m := range w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd) {
-		resolver := w.TopologyAt(m)
-		sites := w.GPDNSSitesAt(m)
-		for _, p := range w.Fleet.ActiveAt(m) {
-			local := localizeSites(sites, p)
-			_, oneWay, err := resolver.CatchmentFrom(p.ASN, p.City, local, w.Config.Policy)
-			if err != nil {
-				continue
-			}
-			access := AccessDelayMs(p.Country, m)
-			for s := 0; s < w.Config.SamplesPerProbe; s++ {
-				tc.Add(atlas.TraceSample{
-					Month:   m,
-					ProbeID: p.ID,
-					ProbeCC: p.Country,
-					RTTms:   netsim.RTT(oneWay, access, rng),
-				})
-			}
-		}
-	}
-	return tc
-}
-
-// ChaosCampaign simulates the built-in CHAOS TXT measurements toward all
-// thirteen root letters from every active probe in each monthly snapshot.
-func (w *World) ChaosCampaign() *atlas.ChaosCampaign {
-	if w.ext.chaos != nil {
-		return w.ext.chaos
-	}
-	cc := atlas.NewChaosCampaign()
-	for _, m := range w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd) {
-		resolver := w.TopologyAt(m)
-		for _, letter := range dnsroot.Letters() {
-			sites, insts := w.RootSitesAt(letter, m)
-			if len(sites) == 0 {
-				continue
-			}
-			for _, p := range w.Fleet.ActiveAt(m) {
-				local := localizeSites(sites, p)
-				idx, _, err := resolver.CatchmentIndex(p.ASN, p.City, local, w.Config.Policy)
-				if err != nil {
-					continue
-				}
-				cc.Add(atlas.ChaosResult{
-					Month:   m,
-					ProbeID: p.ID,
-					ProbeCC: p.Country,
-					Letter:  letter,
-					TXT:     insts[idx].ChaosName(m),
-				})
-			}
-		}
-	}
-	return cc
-}
-
-// localizeSites returns the probe's view of an anycast site list:
-// replicas deployed in the probe's own country are reachable over the
-// domestic peering fabric, modeled as hosting inside the probe's AS (one
-// hop, direct city-to-city distance). Cross-border replicas keep their
-// interdomain path.
-func localizeSites(sites []netsim.Site, p atlas.Probe) []netsim.Site {
-	var out []netsim.Site
-	rewritten := false
-	for _, s := range sites {
-		if s.City.Country == p.Country {
-			if !rewritten {
-				out = make([]netsim.Site, len(sites))
-				copy(out, sites)
-				rewritten = true
-			}
-		}
-	}
-	if !rewritten {
-		return sites
-	}
-	for i, s := range out {
-		if s.City.Country == p.Country {
-			out[i].Host = p.ASN
-		}
 	}
 	return out
 }

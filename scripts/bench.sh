@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# bench.sh — run the campaign-engine benchmarks and emit BENCH_campaigns.json,
+# so the perf trajectory (wall clock, bytes and allocations per op) is
+# tracked across PRs.
+#
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCH_PATTERN   benchmarks to run (default: the campaign + BFS set)
+#   BENCH_TIME      -benchtime value (default: 1x — one timed iteration
+#                   per benchmark keeps the sweep fast; raise for stable
+#                   numbers, e.g. BENCH_TIME=3x or BENCH_TIME=2s)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_campaigns.json}"
+pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild}"
+benchtime="${BENCH_TIME:-1x}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench="$pattern" -benchmem -benchtime="$benchtime" . | tee "$raw"
+
+# Parse `go test -bench` lines:
+#   BenchmarkName/sub-8  10  123456 ns/op  789 B/op  12 allocs/op [extra metrics]
+awk -v label="$benchtime" '
+BEGIN { n = 0 }
+$1 ~ /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)            # strip -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bop = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    row = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+    if (bop != "")    row = row sprintf(", \"bytes_per_op\": %s", bop)
+    if (allocs != "") row = row sprintf(", \"allocs_per_op\": %s", allocs)
+    row = row "}"
+    rows[n++] = row
+}
+END {
+    print "{"
+    printf "  \"benchtime\": \"%s\",\n", label
+    print "  \"benchmarks\": ["
+    for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n-1 ? "," : "")
+    print "  ]"
+    print "}"
+}' "$raw" > "$out"
+
+echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
