@@ -2,9 +2,10 @@
 // documents for every experiment and per-country summaries.
 //
 //	vzserve [-addr :8080] [-quick] [-workers N] [-warm] [-drain 30s] [-timeout 5m]
+//	        [-max-inflight 64] [-queue-timeout 10s] [-store DIR]
 //
 //	GET /healthz                     (liveness)
-//	GET /readyz                      (readiness + degradation report)
+//	GET /readyz                      (readiness + degradation report + overload stats)
 //	GET /api/experiments
 //	GET /api/experiments/{id}        (fig1..fig21, table1; append .csv)
 //	GET /api/countries/{cc}
@@ -14,8 +15,17 @@
 // simulation returns 503 with Retry-After and is retried on the next
 // request rather than cached. By default the caches pre-warm in the
 // background at startup (-warm=false disables), with monthly snapshots
-// fanned out over -workers goroutines. SIGINT/SIGTERM drain in-flight
-// requests for up to -drain before the process exits.
+// fanned out over -workers goroutines.
+//
+// The server is protected against overload: at most -max-inflight
+// requests execute concurrently, the overflow waits up to
+// -queue-timeout in a priority queue (health probes are never queued),
+// and beyond that requests are shed with 503 + Retry-After. Concurrent
+// requests for the same experiment coalesce into one computation. With
+// -store, computed tables and campaign results persist to a crash-safe
+// on-disk store, so a restarted server warms near-instantly; corrupt
+// entries are quarantined and recomputed. SIGINT/SIGTERM drain
+// in-flight requests for up to -drain before the process exits.
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"time"
 
 	"vzlens/internal/httpapi"
+	"vzlens/internal/resultstore"
 	"vzlens/internal/world"
 )
 
@@ -36,6 +47,9 @@ func main() {
 	warm := flag.Bool("warm", true, "pre-warm campaign caches in the background")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain deadline")
 	timeout := flag.Duration("timeout", 5*time.Minute, "per-request timeout (0 = none)")
+	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests (0 = unlimited)")
+	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max wait for an execution slot before shedding")
+	storeDir := flag.String("store", "", "crash-safe result store directory (empty = no persistence)")
 	flag.Parse()
 
 	cfg := world.Config{Seed: *seed, Workers: *workers}
@@ -47,10 +61,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	h := httpapi.NewWithOptions(w, httpapi.Options{RequestTimeout: *timeout})
+	opts := httpapi.Options{
+		RequestTimeout: *timeout,
+		MaxInFlight:    *maxInflight,
+		QueueTimeout:   *queueTimeout,
+	}
+	if *storeDir != "" {
+		store, err := resultstore.Open(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Store = store
+		log.Printf("vzserve: result store at %s", *storeDir)
+	}
+	h := httpapi.NewWithOptions(w, opts)
 	if *warm {
 		// Campaign results are deterministic for the seed, so warming
-		// early changes nothing but the first requests' latency.
+		// early changes nothing but the first requests' latency. With a
+		// populated -store this is a disk read, not a simulation.
 		go func() {
 			start := time.Now()
 			h.Warm()
@@ -59,9 +87,13 @@ func main() {
 	}
 
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           h,
+		Addr:    *addr,
+		Handler: h,
+		// Slowloris protection: bound how long a client may dribble
+		// headers, and how large they may grow.
 		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		MaxHeaderBytes:    1 << 20,
 		// Campaign simulation on a cold cache can take tens of seconds;
 		// the request-level timeout above is the effective bound.
 		WriteTimeout: *timeout + time.Minute,

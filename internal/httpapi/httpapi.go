@@ -7,7 +7,16 @@
 // cache through an error-aware lazy cell (a failure is retried on the
 // next request, never cached), every request runs under panic recovery
 // and an optional per-request timeout, and /healthz (liveness) is split
-// from /readyz (readiness plus the per-axis degradation report).
+// from /readyz (readiness plus the per-axis degradation report and the
+// admission-gate snapshot).
+//
+// Under load the handler sheds rather than collapses: admission
+// control bounds concurrency with a deadline-aware priority queue
+// (probes bypass it), adaptive shedding and token-bucket backstops
+// answer 503/429 with Retry-After, concurrent requests for one
+// experiment coalesce into a single computation, and an optional
+// crash-safe result store persists computed tables and campaigns so a
+// restart warms from disk. See DESIGN.md §10.
 package httpapi
 
 import (
@@ -25,12 +34,15 @@ import (
 	"vzlens/internal/geo"
 	"vzlens/internal/ipv6"
 	"vzlens/internal/months"
+	"vzlens/internal/overload"
 	"vzlens/internal/resilience"
+	"vzlens/internal/resultstore"
 	"vzlens/internal/world"
 )
 
 // Options tunes the hardened handler. The zero value serves with panic
-// recovery, no per-request timeout, and the world's own simulators.
+// recovery, no per-request timeout, no admission gate, and the world's
+// own simulators.
 type Options struct {
 	// TraceCampaign and ChaosCampaign override the campaign
 	// simulators; tests inject failures here, tools can inject
@@ -41,6 +53,36 @@ type Options struct {
 	// 503. Zero disables the timeout (campaign simulation on a cold
 	// cache can take tens of seconds, so don't set this too low).
 	RequestTimeout time.Duration
+
+	// MaxInFlight enables admission control: at most this many
+	// non-probe requests execute concurrently, the rest wait in a
+	// bounded priority queue and are shed with 503 + Retry-After when
+	// it overflows or the wait exceeds QueueTimeout. Health and
+	// readiness probes are never queued or shed. Zero disables the
+	// gate.
+	MaxInFlight int
+	// MaxQueue bounds the admission wait queue (default 4×MaxInFlight).
+	MaxQueue int
+	// QueueTimeout bounds one request's wait for an execution slot
+	// (default 10s).
+	QueueTimeout time.Duration
+	// ShedLatency is the adaptive load-shedding threshold: once the
+	// smoothed queue wait exceeds it, low-priority requests
+	// (experiment computations) are shed on arrival (default
+	// QueueTimeout/2).
+	ShedLatency time.Duration
+	// RateLimits adds static token-bucket backstops per endpoint
+	// class ("experiment", "api"); classes absent from the map are
+	// unlimited. Exceeding a bucket returns 429 + Retry-After.
+	RateLimits map[string]overload.Rate
+
+	// Store persists computed experiment tables and campaign results
+	// across restarts: on a cache miss the handler consults the store
+	// before simulating, and every fresh computation is written back,
+	// so Warm() after a restart is near-instant. Corrupt or torn
+	// entries are quarantined and recomputed, never served. Nil
+	// disables persistence.
+	Store *resultstore.Store
 }
 
 // Handler serves the API over a built world. Campaign-backed
@@ -53,6 +95,10 @@ type Handler struct {
 	root http.Handler
 	opts Options
 
+	gate    *overload.Gate
+	limits  *overload.Limiter
+	flights overload.Group[string, *core.Table]
+
 	trace resilience.LazyResult[*atlas.TraceCampaign]
 	chaos resilience.LazyResult[*atlas.ChaosCampaign]
 }
@@ -63,6 +109,17 @@ func New(w *world.World) *Handler { return NewWithOptions(w, Options{}) }
 // NewWithOptions returns a Handler over w.
 func NewWithOptions(w *world.World, opts Options) *Handler {
 	h := &Handler{w: w, mux: http.NewServeMux(), opts: opts}
+	if opts.MaxInFlight > 0 {
+		h.gate = overload.NewGate(overload.GateOptions{
+			MaxInFlight:  opts.MaxInFlight,
+			MaxQueue:     opts.MaxQueue,
+			QueueTimeout: opts.QueueTimeout,
+			ShedLatency:  opts.ShedLatency,
+		})
+	}
+	if len(opts.RateLimits) > 0 {
+		h.limits = overload.NewLimiter(opts.RateLimits)
+	}
 	h.mux.HandleFunc("GET /healthz", h.health)
 	h.mux.HandleFunc("GET /readyz", h.ready)
 	h.mux.HandleFunc("GET /api/experiments", h.listExperiments)
@@ -74,7 +131,8 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 		root = http.TimeoutHandler(root, opts.RequestTimeout,
 			`{"error": "request timed out"}`)
 	}
-	h.root = recoverMiddleware(root)
+	root = h.admissionMiddleware(root)
+	h.root = recoverMiddleware(backpressureHeaderMiddleware(root))
 	return h
 }
 
@@ -115,12 +173,19 @@ func simulate[T any](fn func() (T, error)) (val T, err error) {
 
 func (h *Handler) traceCampaign() (*atlas.TraceCampaign, error) {
 	return h.trace.Get(func() (*atlas.TraceCampaign, error) {
-		return simulate(func() (*atlas.TraceCampaign, error) {
+		if tc, ok := h.storedTrace(); ok {
+			return tc, nil
+		}
+		tc, err := simulate(func() (*atlas.TraceCampaign, error) {
 			if h.opts.TraceCampaign != nil {
 				return h.opts.TraceCampaign()
 			}
 			return h.w.TraceCampaign(), nil
 		})
+		if err == nil {
+			h.persistTrace(tc)
+		}
+		return tc, err
 	})
 }
 
@@ -140,12 +205,19 @@ func (h *Handler) Warm() {
 
 func (h *Handler) chaosCampaign() (*atlas.ChaosCampaign, error) {
 	return h.chaos.Get(func() (*atlas.ChaosCampaign, error) {
-		return simulate(func() (*atlas.ChaosCampaign, error) {
+		if cc, ok := h.storedChaos(); ok {
+			return cc, nil
+		}
+		cc, err := simulate(func() (*atlas.ChaosCampaign, error) {
 			if h.opts.ChaosCampaign != nil {
 				return h.opts.ChaosCampaign()
 			}
 			return h.w.ChaosCampaign(), nil
 		})
+		if err == nil {
+			h.persistChaos(cc)
+		}
+		return cc, err
 	})
 }
 
@@ -230,6 +302,9 @@ type readiness struct {
 	Axes []world.AxisStatus `json:"axes,omitempty"`
 	// Campaigns reports which lazy campaign caches are warm.
 	Campaigns map[string]bool `json:"campaigns"`
+	// Overload is the admission-gate snapshot (absent when the gate
+	// is disabled).
+	Overload *overload.GateStats `json:"overload,omitempty"`
 }
 
 // ready is the readiness probe: the world is built and serving, with
@@ -244,6 +319,10 @@ func (h *Handler) ready(w http.ResponseWriter, _ *http.Request) {
 			"trace": h.trace.Ready(),
 			"chaos": h.chaos.Ready(),
 		},
+	}
+	if h.gate != nil {
+		stats := h.gate.Stats()
+		doc.Overload = &stats
 	}
 	if h.w.Degraded() {
 		doc.Status = "degraded"
@@ -277,7 +356,19 @@ func (h *Handler) experiment(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown experiment %q", id)})
 		return
 	}
-	table, err := run()
+	// Coalesce concurrent requests for the same experiment into one
+	// computation, consulting the result store before computing and
+	// persisting fresh results. Failures are not cached at any layer.
+	table, err, _ := h.flights.Do(id, func() (*core.Table, error) {
+		if t, ok := h.storedTable(id); ok {
+			return t, nil
+		}
+		t, err := run()
+		if err == nil {
+			h.persistTable(id, t)
+		}
+		return t, err
+	})
 	if err != nil {
 		// Transient: the failed simulation was not cached, so the
 		// client should simply retry.
@@ -310,6 +401,11 @@ type countrySummary struct {
 
 func (h *Handler) country(w http.ResponseWriter, r *http.Request) {
 	cc := strings.ToUpper(r.PathValue("cc"))
+	if !validCountryCode(cc) {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("%q is not a two-letter country code", cc)})
+		return
+	}
 	country, ok := geo.LookupCountry(cc)
 	if !ok || !country.LACNIC {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("%q is not a LACNIC country", cc)})
@@ -353,10 +449,31 @@ func (h *Handler) signatures(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"signatures": out})
 }
 
+// validCountryCode reports whether cc looks like an ISO 3166-1 alpha-2
+// code (after upcasing). Anything else is a client error (400), as
+// opposed to a well-formed code we don't serve (404).
+func validCountryCode(cc string) bool {
+	if len(cc) != 2 {
+		return false
+	}
+	for i := 0; i < len(cc); i++ {
+		if cc[i] < 'A' || cc[i] > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// writeJSON sets the Content-Type before committing the status (headers
+// written after WriteHeader are silently dropped), then encodes v. The
+// encode error is logged explicitly: the status line is already on the
+// wire, so a failure here can only be observed server-side.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // headers are committed; nothing useful to do on error
+	if err := enc.Encode(v); err != nil {
+		log.Printf("httpapi: encode %T response: %v", v, err)
+	}
 }

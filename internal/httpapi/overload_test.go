@@ -1,0 +1,280 @@
+package httpapi
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/months"
+	"vzlens/internal/overload"
+	"vzlens/internal/resultstore"
+)
+
+// syntheticTrace is a minimal campaign that makes fig12/fig20 cheap to
+// serve in tests without a full simulation.
+func syntheticTrace() *atlas.TraceCampaign {
+	tc := atlas.NewTraceCampaign()
+	for i := 0; i < 4; i++ {
+		tc.Add(atlas.TraceSample{
+			Month:   months.New(2023, time.December),
+			ProbeID: 1000 + i,
+			ProbeCC: "VE",
+			RTTms:   40 + float64(i),
+		})
+	}
+	return tc
+}
+
+func do(t *testing.T, h http.Handler, method, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestCountryBadCodeIs400(t *testing.T) {
+	for _, cc := range []string{"usa", "1x", "v", "v%21"} {
+		rec := do(t, testHandler, http.MethodGet, "/api/countries/"+cc)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("cc %q: status = %d, want 400", cc, rec.Code)
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+			t.Errorf("cc %q: content type = %q", cc, ct)
+		}
+	}
+	// Well-formed but unserved codes remain 404.
+	if rec := do(t, testHandler, http.MethodGet, "/api/countries/ZZ"); rec.Code != http.StatusNotFound {
+		t.Errorf("ZZ: status = %d, want 404", rec.Code)
+	}
+}
+
+func TestWrongMethodIs405(t *testing.T) {
+	for _, path := range []string{"/healthz", "/readyz", "/api/experiments", "/api/experiments/fig1", "/api/countries/VE", "/api/signatures"} {
+		for _, method := range []string{http.MethodPost, http.MethodDelete, http.MethodPut} {
+			rec := do(t, testHandler, method, path)
+			if rec.Code != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status = %d, want 405", method, path, rec.Code)
+			}
+		}
+	}
+}
+
+func TestUnknownExperimentIs404(t *testing.T) {
+	rec := do(t, testHandler, http.MethodGet, "/api/experiments/fig999")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "unknown experiment") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+// TestCampaignFailure503HasRetryAfter pins the backpressure contract on
+// the simulation-failure path.
+func TestCampaignFailure503HasRetryAfter(t *testing.T) {
+	h := NewWithOptions(testHandler.w, Options{
+		TraceCampaign: func() (*atlas.TraceCampaign, error) {
+			return nil, errors.New("collector unreachable")
+		},
+	})
+	rec := do(t, h, http.MethodGet, "/api/experiments/fig12")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+// TestTimeout503HasRetryAfter drives http.TimeoutHandler's built-in 503
+// page through the backpressure header guard.
+func TestTimeout503HasRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	h := NewWithOptions(testHandler.w, Options{
+		RequestTimeout: 30 * time.Millisecond,
+		TraceCampaign: func() (*atlas.TraceCampaign, error) {
+			<-release
+			return syntheticTrace(), nil
+		},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/experiments/fig12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("timeout 503 missing Retry-After")
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("timeout 503 content type = %q", ct)
+	}
+}
+
+// TestGateShedsAndProtectsProbes saturates a MaxInFlight=1 handler and
+// checks: overflow requests are shed with 503 + Retry-After, health and
+// readiness probes never queue, and queued requests coalesce into one
+// simulation.
+func TestGateShedsAndProtectsProbes(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	h := NewWithOptions(testHandler.w, Options{
+		MaxInFlight:  1,
+		MaxQueue:     1,
+		QueueTimeout: 5 * time.Second,
+		TraceCampaign: func() (*atlas.TraceCampaign, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return syntheticTrace(), nil
+		},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i] = get("/api/experiments/fig12").StatusCode
+		}(i)
+	}
+	<-started // the slot holder is inside the simulation
+
+	// One more request fits the queue; wait until it is parked there,
+	// then the next overflows and is shed immediately.
+	waitFor(t, func() bool {
+		return h.gate.Stats().InFlight == 1 && h.gate.Stats().Queued == 1
+	})
+	shed := get("/api/experiments/fig12")
+	if shed.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("overflow status = %d, want 503", shed.StatusCode)
+	}
+	if shed.Header.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	// Probes bypass the saturated gate.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		if resp := get(path); resp.StatusCode != http.StatusOK {
+			t.Errorf("%s under saturation = %d, want 200", path, resp.StatusCode)
+		}
+	}
+
+	close(release)
+	wg.Wait()
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Errorf("request %d = %d, want 200", i, code)
+		}
+	}
+	if calls.Load() != 1 {
+		t.Errorf("simulations = %d, want 1 (queued request must coalesce)", calls.Load())
+	}
+}
+
+func TestRateLimit429HasRetryAfter(t *testing.T) {
+	h := NewWithOptions(testHandler.w, Options{
+		RateLimits: map[string]overload.Rate{"api": {PerSecond: 0.001, Burst: 1}},
+	})
+	if rec := do(t, h, http.MethodGet, "/api/experiments"); rec.Code != http.StatusOK {
+		t.Fatalf("first request = %d", rec.Code)
+	}
+	rec := do(t, h, http.MethodGet, "/api/experiments")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	if !strings.Contains(rec.Body.String(), "rate_limited") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+	// The health probe class is never rate limited.
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, http.MethodGet, "/healthz"); rec.Code != http.StatusOK {
+			t.Fatalf("healthz %d = %d", i, rec.Code)
+		}
+	}
+}
+
+// TestStoreWarmsAcrossHandlers simulates a restart: a second handler
+// sharing the first one's store serves campaign-backed experiments
+// without re-simulating, and the tables are byte-identical.
+func TestStoreWarmsAcrossHandlers(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls1, calls2 atomic.Int64
+	opts := func(calls *atomic.Int64) Options {
+		return Options{
+			Store: store,
+			TraceCampaign: func() (*atlas.TraceCampaign, error) {
+				calls.Add(1)
+				return syntheticTrace(), nil
+			},
+		}
+	}
+	h1 := NewWithOptions(testHandler.w, opts(&calls1))
+	before := do(t, h1, http.MethodGet, "/api/experiments/fig12")
+	if before.Code != http.StatusOK {
+		t.Fatalf("fig12 = %d", before.Code)
+	}
+	if calls1.Load() != 1 {
+		t.Fatalf("first handler simulations = %d", calls1.Load())
+	}
+
+	// "Restart": fresh handler, same store.
+	h2 := NewWithOptions(testHandler.w, opts(&calls2))
+	after := do(t, h2, http.MethodGet, "/api/experiments/fig12")
+	if after.Code != http.StatusOK {
+		t.Fatalf("fig12 after restart = %d", after.Code)
+	}
+	if calls2.Load() != 0 {
+		t.Errorf("restarted handler re-simulated %d times, want 0", calls2.Load())
+	}
+	if before.Body.String() != after.Body.String() {
+		t.Error("table not bit-identical across restart")
+	}
+}
+
+// waitFor polls cond until true or the deadline trips the test.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

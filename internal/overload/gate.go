@@ -1,0 +1,272 @@
+// Package overload protects the serving layer from bursty demand: a
+// bounded-concurrency admission gate with a deadline-aware wait queue
+// and priority classes, adaptive load shedding driven by observed
+// latency, per-endpoint token-bucket rate limits as a static backstop,
+// and a generic flight group that collapses concurrent identical
+// requests into one computation.
+//
+// The pieces compose but do not know about HTTP: httpapi maps gate
+// verdicts onto 429/503 + Retry-After, and chooses the priority class
+// per route.
+package overload
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Priority orders requests for admission. Higher values are admitted
+// first from the wait queue and shed last.
+type Priority int
+
+const (
+	// PriorityLow is the default for expensive, retryable work
+	// (campaign-backed experiments). Shed first under pressure.
+	PriorityLow Priority = iota
+	// PriorityHigh is for cheap interactive endpoints (listings,
+	// country summaries). Queued before low, shed only when the queue
+	// itself overflows.
+	PriorityHigh
+	// PriorityCritical bypasses the gate entirely: never queued, never
+	// shed, not counted against the in-flight bound. Health and
+	// readiness probes live here — an overloaded server must still
+	// answer its orchestrator.
+	PriorityCritical
+)
+
+// Gate verdict errors. Callers map these onto transport-level backoff
+// signals (HTTP 503 + Retry-After).
+var (
+	// ErrQueueFull: the wait queue is at capacity; the request was
+	// rejected without waiting.
+	ErrQueueFull = errors.New("overload: wait queue full")
+	// ErrQueueTimeout: the request waited its full queue deadline
+	// without a slot opening.
+	ErrQueueTimeout = errors.New("overload: queue wait deadline exceeded")
+	// ErrShed: adaptive shedding rejected a low-priority request
+	// because observed latency crossed the shed threshold.
+	ErrShed = errors.New("overload: shed under load")
+	// ErrCanceled: the request's own context ended while queued.
+	ErrCanceled = errors.New("overload: canceled while queued")
+)
+
+// GateOptions tunes a Gate. The zero value of a field takes the
+// documented default.
+type GateOptions struct {
+	// MaxInFlight bounds concurrently admitted requests (default 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot (default
+	// 4×MaxInFlight). Beyond it, requests fail fast with ErrQueueFull.
+	MaxQueue int
+	// QueueTimeout bounds how long one request waits for a slot
+	// (default 10s). A caller context deadline that expires sooner
+	// wins.
+	QueueTimeout time.Duration
+	// ShedLatency is the adaptive threshold: when the exponentially
+	// weighted moving average of queue wait exceeds it, PriorityLow
+	// requests are shed on arrival instead of queued (default
+	// QueueTimeout/2; 0 after defaulting disables adaptive shedding).
+	ShedLatency time.Duration
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 64
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxInFlight
+	}
+	if o.QueueTimeout <= 0 {
+		o.QueueTimeout = 10 * time.Second
+	}
+	if o.ShedLatency <= 0 {
+		o.ShedLatency = o.QueueTimeout / 2
+	}
+	if o.now == nil {
+		o.now = time.Now
+	}
+	return o
+}
+
+// GateStats is an observability snapshot of a Gate.
+type GateStats struct {
+	InFlight      int           // currently admitted
+	Queued        int           // currently waiting
+	PeakInFlight  int           // high-water mark of admitted requests
+	Admitted      uint64        // total admitted (including after a queue wait)
+	ShedAdaptive  uint64        // rejected by adaptive shedding
+	ShedQueueFull uint64        // rejected because the queue was full
+	TimedOut      uint64        // gave up waiting (deadline or context)
+	AvgQueueWait  time.Duration // EWMA of time spent queued before admission
+}
+
+// waiter is one queued request. grant is buffered so a releaser can
+// hand over a slot without blocking even if the waiter is abandoning.
+type waiter struct {
+	grant chan struct{}
+	pri   Priority
+	since time.Time
+	// granted marks that a releaser transferred its slot to this
+	// waiter; an abandoning waiter that lost this race must give the
+	// slot back.
+	granted bool
+}
+
+// Gate is a bounded-concurrency admission controller. Acquire admits
+// immediately when a slot is free, queues (highest priority first,
+// FIFO within a class) when not, and rejects when the queue is full,
+// the wait deadline passes, or adaptive shedding is active for the
+// request's class.
+type Gate struct {
+	opts GateOptions
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*waiter // sorted: admission order is max priority, then FIFO
+	stats    GateStats
+	ewmaWait time.Duration // EWMA of queue wait, guarded by mu
+}
+
+// NewGate returns a Gate with the given options.
+func NewGate(opts GateOptions) *Gate {
+	return &Gate{opts: opts.withDefaults()}
+}
+
+// Acquire asks for an execution slot. On success it returns a release
+// function that MUST be called exactly once when the work completes.
+// PriorityCritical is always admitted immediately with a no-op release.
+func (g *Gate) Acquire(ctx context.Context, pri Priority) (release func(), err error) {
+	if pri >= PriorityCritical {
+		return func() {}, nil
+	}
+	g.mu.Lock()
+	if g.inflight < g.opts.MaxInFlight && len(g.queue) == 0 {
+		g.inflight++
+		g.admitLocked(0)
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	}
+	// No free slot (or a queue to get behind): decide whether to wait.
+	if pri == PriorityLow && g.ewmaWait > g.opts.ShedLatency {
+		g.stats.ShedAdaptive++
+		g.mu.Unlock()
+		return nil, ErrShed
+	}
+	if len(g.queue) >= g.opts.MaxQueue {
+		g.stats.ShedQueueFull++
+		g.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{grant: make(chan struct{}, 1), pri: pri, since: g.opts.now()}
+	g.enqueueLocked(w)
+	g.mu.Unlock()
+
+	timer := time.NewTimer(g.opts.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.grant:
+		// The releaser transferred its slot directly: inflight was
+		// never decremented, so the bound holds across the hand-off.
+		g.mu.Lock()
+		wait := g.opts.now().Sub(w.since)
+		g.admitLocked(wait)
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	case <-ctx.Done():
+		err = ErrCanceled
+	case <-timer.C:
+		err = ErrQueueTimeout
+	}
+	// Abandon the wait. A releaser may have granted us a slot in the
+	// race window; if so the slot is ours to give back.
+	g.mu.Lock()
+	g.removeLocked(w)
+	g.stats.TimedOut++
+	if w.granted {
+		// We own a transferred slot we will never use; pass it on.
+		select {
+		case <-w.grant:
+		default:
+		}
+		g.releaseLocked()
+	}
+	g.mu.Unlock()
+	return nil, err
+}
+
+// admitLocked records an admission (slot already counted in inflight)
+// whose queue wait was d.
+func (g *Gate) admitLocked(d time.Duration) {
+	g.stats.Admitted++
+	if g.inflight > g.stats.PeakInFlight {
+		g.stats.PeakInFlight = g.inflight
+	}
+	// EWMA with alpha = 1/8: smooth enough to ride out one slow
+	// request, fast enough to open shedding within a burst.
+	g.ewmaWait += (d - g.ewmaWait) / 8
+}
+
+// enqueueLocked inserts w in admission order.
+func (g *Gate) enqueueLocked(w *waiter) {
+	i := len(g.queue)
+	for i > 0 && g.queue[i-1].pri < w.pri {
+		i--
+	}
+	g.queue = append(g.queue, nil)
+	copy(g.queue[i+1:], g.queue[i:])
+	g.queue[i] = w
+}
+
+// removeLocked deletes w from the queue if still present.
+func (g *Gate) removeLocked(w *waiter) {
+	for i, q := range g.queue {
+		if q == w {
+			copy(g.queue[i:], g.queue[i+1:])
+			g.queue[len(g.queue)-1] = nil
+			g.queue = g.queue[:len(g.queue)-1]
+			return
+		}
+	}
+}
+
+func (g *Gate) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.releaseLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// releaseLocked frees one slot. If a waiter is queued the slot
+// transfers directly (inflight is NOT decremented), so the concurrency
+// bound holds across the hand-off and a new arrival cannot steal it.
+func (g *Gate) releaseLocked() {
+	if len(g.queue) > 0 {
+		w := g.queue[0]
+		copy(g.queue, g.queue[1:])
+		g.queue[len(g.queue)-1] = nil
+		g.queue = g.queue[:len(g.queue)-1]
+		w.granted = true
+		w.grant <- struct{}{}
+		return
+	}
+	g.inflight--
+}
+
+// Stats returns a point-in-time snapshot.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.stats
+	s.InFlight = g.inflight
+	s.Queued = len(g.queue)
+	s.AvgQueueWait = g.ewmaWait
+	return s
+}

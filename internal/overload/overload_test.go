@@ -1,0 +1,357 @@
+package overload
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToBound(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 3, QueueTimeout: 50 * time.Millisecond, MaxQueue: 1})
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := g.Acquire(context.Background(), PriorityHigh)
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if s := g.Stats(); s.InFlight != 3 || s.PeakInFlight != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// The 4th fills the queue, the 5th is rejected fast.
+	done := make(chan error, 1)
+	go func() {
+		rel, err := g.Acquire(context.Background(), PriorityHigh)
+		if err == nil {
+			rel()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().Queued == 1 })
+	if _, err := g.Acquire(context.Background(), PriorityHigh); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("queue overflow err = %v, want ErrQueueFull", err)
+	}
+	releases[0]()
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire = %v", err)
+	}
+	for _, rel := range releases[1:] {
+		rel()
+	}
+}
+
+func TestGateQueueTimeout(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 30 * time.Millisecond})
+	rel, err := g.Acquire(context.Background(), PriorityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	if _, err := g.Acquire(context.Background(), PriorityHigh); !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("err = %v, want ErrQueueTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took far too long")
+	}
+	if s := g.Stats(); s.TimedOut != 1 || s.Queued != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestGateContextCancelWhileQueued(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, MaxQueue: 4, QueueTimeout: 10 * time.Second})
+	rel, err := g.Acquire(context.Background(), PriorityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Acquire(ctx, PriorityHigh)
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().Queued == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestGateCriticalBypasses(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, MaxQueue: 1, QueueTimeout: time.Millisecond})
+	rel, err := g.Acquire(context.Background(), PriorityLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	// Saturated gate: critical still sails through, instantly.
+	for i := 0; i < 10; i++ {
+		crel, err := g.Acquire(context.Background(), PriorityCritical)
+		if err != nil {
+			t.Fatalf("critical acquire %d: %v", i, err)
+		}
+		crel()
+	}
+	if s := g.Stats(); s.InFlight != 1 {
+		t.Errorf("critical admissions consumed slots: %+v", s)
+	}
+}
+
+func TestGatePriorityOrdering(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, MaxQueue: 8, QueueTimeout: 5 * time.Second})
+	rel, err := g.Acquire(context.Background(), PriorityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	enqueue := func(name string, pri Priority) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background(), pri)
+			if err != nil {
+				t.Errorf("%s: %v", name, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			rel()
+		}()
+	}
+	enqueue("low", PriorityLow)
+	waitFor(t, func() bool { return g.Stats().Queued == 1 })
+	enqueue("high", PriorityHigh)
+	waitFor(t, func() bool { return g.Stats().Queued == 2 })
+	rel() // high should be admitted before the earlier-queued low
+	wg.Wait()
+	if strings.Join(order, ",") != "high,low" {
+		t.Errorf("admission order = %v, want [high low]", order)
+	}
+}
+
+func TestGateAdaptiveShedsLowOnly(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, MaxQueue: 16, QueueTimeout: time.Second, ShedLatency: time.Millisecond})
+	g.ewmaWait = 50 * time.Millisecond // simulate observed slow queue waits
+	rel, err := g.Acquire(context.Background(), PriorityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Acquire(context.Background(), PriorityLow); !errors.Is(err, ErrShed) {
+		t.Fatalf("low under pressure = %v, want ErrShed", err)
+	}
+	// High still queues rather than shedding.
+	done := make(chan error, 1)
+	go func() {
+		hrel, err := g.Acquire(context.Background(), PriorityHigh)
+		if err == nil {
+			hrel()
+		}
+		done <- err
+	}()
+	waitFor(t, func() bool { return g.Stats().Queued == 1 })
+	rel()
+	if err := <-done; err != nil {
+		t.Fatalf("high under pressure = %v, want admission", err)
+	}
+	if s := g.Stats(); s.ShedAdaptive != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestGateBoundHoldsUnderChurn hammers the gate from many goroutines
+// and asserts the concurrency bound is never exceeded, including
+// across slot hand-offs.
+func TestGateBoundHoldsUnderChurn(t *testing.T) {
+	const bound = 4
+	g := NewGate(GateOptions{MaxInFlight: bound, MaxQueue: 64, QueueTimeout: time.Second})
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				rel, err := g.Acquire(context.Background(), Priority(j%2))
+				if err != nil {
+					continue
+				}
+				n := cur.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				cur.Add(-1)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > bound {
+		t.Errorf("observed %d concurrent admissions, bound %d", p, bound)
+	}
+	if s := g.Stats(); s.InFlight != 0 || s.Queued != 0 {
+		t.Errorf("gate not drained: %+v", s)
+	}
+	if s := g.Stats(); s.PeakInFlight > bound {
+		t.Errorf("gate peak %d exceeds bound %d", s.PeakInFlight, bound)
+	}
+}
+
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 2})
+	rel, err := g.Acquire(context.Background(), PriorityHigh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // second call must be a no-op
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("double release corrupted inflight: %+v", s)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	b := NewTokenBucket(Rate{PerSecond: 2, Burst: 2}, clock)
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("burst tokens missing")
+	}
+	if b.Allow() {
+		t.Fatal("bucket should be empty")
+	}
+	if ra := b.RetryAfter(); ra < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", ra)
+	}
+	now = now.Add(time.Second) // refills 2 tokens
+	if !b.Allow() || !b.Allow() {
+		t.Error("refill failed")
+	}
+	if b.Allow() {
+		t.Error("over-refilled past burst")
+	}
+}
+
+func TestLimiterClasses(t *testing.T) {
+	l := NewLimiter(map[string]Rate{"exp": {PerSecond: 0.5, Burst: 1}})
+	if ok, _ := l.Allow("exp"); !ok {
+		t.Fatal("first call denied")
+	}
+	ok, retry := l.Allow("exp")
+	if ok {
+		t.Fatal("second call allowed past burst")
+	}
+	if retry < time.Second {
+		t.Errorf("retry = %v, want >= 1s", retry)
+	}
+	if ok, _ := l.Allow("unknown-class"); !ok {
+		t.Error("unknown class should be unlimited")
+	}
+	var nilL *Limiter
+	if ok, _ := nilL.Allow("exp"); !ok {
+		t.Error("nil limiter should allow")
+	}
+}
+
+func TestFlightCoalesces(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	shareds := make([]bool, 8)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, shared := g.Do("k", func() (int, error) {
+			close(started)
+			calls.Add(1)
+			<-release
+			return 42, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		results[0], shareds[0] = v, shared
+	}()
+	<-started
+	for i := 1; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	waitFor(t, func() bool { return g.InFlight("k") })
+	// Give followers a beat to join the flight, then let it finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, want exactly 1 (coalesced)", calls.Load())
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Errorf("result[%d] = %d", i, v)
+		}
+	}
+	if shareds[0] {
+		t.Error("leader reported shared")
+	}
+}
+
+func TestFlightFailureNotCached(t *testing.T) {
+	var g Group[string, int]
+	calls := 0
+	_, err, _ := g.Do("k", func() (int, error) { calls++; return 0, errors.New("boom") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	v, err, _ := g.Do("k", func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || calls != 2 {
+		t.Errorf("retry: v=%d err=%v calls=%d", v, err, calls)
+	}
+}
+
+func TestFlightPanicBecomesError(t *testing.T) {
+	var g Group[string, int]
+	_, err, _ := g.Do("k", func() (int, error) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("err = %v, want panic converted", err)
+	}
+	if g.InFlight("k") {
+		t.Error("entry leaked after panic")
+	}
+}
+
+// waitFor polls cond until true or the deadline trips the test.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

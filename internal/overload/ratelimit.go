@@ -1,0 +1,117 @@
+package overload
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Rate is a token-bucket configuration: sustained requests per second
+// with a burst allowance.
+type Rate struct {
+	PerSecond float64 // sustained refill rate; <= 0 disables the bucket
+	Burst     float64 // bucket capacity (defaults to PerSecond when <= 0)
+}
+
+// TokenBucket is a classic lazily-refilled token bucket. It is the
+// static backstop under the adaptive gate: even when latency looks
+// healthy, no endpoint class may exceed its configured rate.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   Rate
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// NewTokenBucket returns a full bucket for r. A nil now uses the wall
+// clock; tests inject a fake.
+func NewTokenBucket(r Rate, now func() time.Time) *TokenBucket {
+	if r.Burst <= 0 {
+		r.Burst = math.Max(r.PerSecond, 1)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &TokenBucket{rate: r, tokens: r.Burst, last: now(), now: now}
+}
+
+// Allow consumes one token if available.
+func (b *TokenBucket) Allow() bool {
+	if b == nil || b.rate.PerSecond <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// RetryAfter estimates how long until the next token, rounded up to a
+// whole second (the resolution of the Retry-After header), minimum 1s.
+func (b *TokenBucket) RetryAfter() time.Duration {
+	if b == nil || b.rate.PerSecond <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked()
+	if b.tokens >= 1 {
+		return time.Second
+	}
+	need := (1 - b.tokens) / b.rate.PerSecond
+	secs := math.Ceil(need)
+	if secs < 1 {
+		secs = 1
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func (b *TokenBucket) refillLocked() {
+	now := b.now()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens = math.Min(b.rate.Burst, b.tokens+elapsed*b.rate.PerSecond)
+		b.last = now
+	}
+}
+
+// Limiter holds one token bucket per endpoint class.
+type Limiter struct {
+	mu      sync.Mutex
+	buckets map[string]*TokenBucket
+	now     func() time.Time
+}
+
+// NewLimiter returns a Limiter with the given per-class rates. Classes
+// absent from rates are unlimited.
+func NewLimiter(rates map[string]Rate) *Limiter {
+	l := &Limiter{buckets: map[string]*TokenBucket{}, now: time.Now}
+	for class, r := range rates {
+		l.buckets[class] = NewTokenBucket(r, l.now)
+	}
+	return l
+}
+
+// Allow consumes one token from class's bucket; unknown classes are
+// always allowed. The second result is the suggested retry delay when
+// denied.
+func (l *Limiter) Allow(class string) (bool, time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	b := l.buckets[class]
+	l.mu.Unlock()
+	if b == nil {
+		return true, 0
+	}
+	if b.Allow() {
+		return true, 0
+	}
+	return false, b.RetryAfter()
+}

@@ -1,0 +1,48 @@
+package resultstore
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzEntry exercises the header/CRC codec both ways: arbitrary bytes
+// must never panic or be accepted unless they are a bit-exact valid
+// frame, and every payload must round-trip identically. The mutated
+// re-encode check pins the property the store depends on: any single
+// flipped bit in a valid entry is detected.
+func FuzzEntry(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("VZRS"))
+	f.Add(EncodeEntry(nil))
+	f.Add(EncodeEntry([]byte("fig8 table payload")))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoding arbitrary input must be total: error or payload,
+		// never a panic.
+		if payload, err := DecodeEntry(data); err == nil {
+			// Whatever decoded must re-encode to the same frame.
+			if !bytes.Equal(EncodeEntry(payload), data) {
+				t.Fatalf("accepted frame is not canonical")
+			}
+		}
+
+		// Treat the input as a payload: it must round-trip exactly.
+		enc := EncodeEntry(data)
+		back, err := DecodeEntry(enc)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("round trip mutated payload")
+		}
+
+		// Flip one bit somewhere in the frame: must be detected.
+		if len(enc) > 0 {
+			i := int(uint(len(data)*7) % uint(len(enc)))
+			enc[i] ^= 1 << (uint(len(data)) % 8)
+			if _, err := DecodeEntry(enc); err == nil {
+				t.Fatalf("single-bit flip at %d undetected", i)
+			}
+		}
+	})
+}

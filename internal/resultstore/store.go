@@ -1,0 +1,180 @@
+package resultstore
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound reports a key with no stored entry.
+var ErrNotFound = errors.New("resultstore: not found")
+
+const (
+	entryExt       = ".vzr"
+	quarantineName = "quarantine"
+)
+
+// Store is a directory of checksummed result entries, safe against
+// crashes mid-write (atomic rename) and against silent corruption
+// (CRC validation with quarantine on failure). One Store may be shared
+// by any number of goroutines.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Open creates dir (and its quarantine subdirectory) if needed and
+// returns a Store over it.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, quarantineName), 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: open %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// fileName maps a key to a stable, filesystem-safe name: a sanitized
+// prefix for operator legibility plus an FNV-64a hash of the full key
+// so distinct keys never collide after sanitization.
+func fileName(key string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+	if len(clean) > 80 {
+		clean = clean[:80]
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("%s-%016x%s", clean, h.Sum64(), entryExt)
+}
+
+// Path returns the file path an entry for key lives at (whether or not
+// it exists) — exposed for operators and chaos tests.
+func (s *Store) Path(key string) string {
+	return filepath.Join(s.dir, fileName(key))
+}
+
+// Put durably stores payload under key: encode, write to a temp file
+// in the same directory, fsync, then atomically rename over any
+// previous entry. A crash at any point leaves either the old entry or
+// the new one, never a torn mix.
+func (s *Store) Put(key string, payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dst := s.Path(key)
+	tmp, err := os.CreateTemp(s.dir, fileName(key)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: put %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(EncodeEntry(payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: put %s: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultstore: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultstore: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return fmt.Errorf("resultstore: put %s: %w", key, err)
+	}
+	syncDir(s.dir) // best-effort: persist the rename itself
+	return nil
+}
+
+// Get returns the payload stored under key. A missing entry returns
+// ErrNotFound. An entry that fails validation is moved into the
+// quarantine subdirectory and reported as ErrCorrupt, so the caller
+// recomputes and the damaged bytes remain available for forensics.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := s.Path(key)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: get %s: %w", key, err)
+	}
+	payload, err := DecodeEntry(data)
+	if err != nil {
+		s.quarantineLocked(path)
+		return nil, fmt.Errorf("get %s: %w", key, err)
+	}
+	return payload, nil
+}
+
+// quarantineLocked moves a failed entry aside rather than deleting it.
+func (s *Store) quarantineLocked(path string) {
+	dst := filepath.Join(s.dir, quarantineName, filepath.Base(path))
+	if err := os.Rename(path, dst); err != nil {
+		// Removal is the fallback: a corrupt entry must not be served
+		// again even if the quarantine move fails.
+		os.Remove(path)
+	}
+}
+
+// Keys lists the keys' file names currently stored (quarantine
+// excluded), sorted. File names, not original keys: the store does not
+// record the pre-hash key string.
+func (s *Store) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: list: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), entryExt) {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Quarantined lists the file names in quarantine, sorted.
+func (s *Store) Quarantined() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ents, err := os.ReadDir(filepath.Join(s.dir, quarantineName))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: list quarantine: %w", err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power
+// loss. Best-effort: some filesystems reject directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}

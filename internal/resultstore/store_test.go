@@ -1,0 +1,183 @@
+package resultstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openTemp(t)
+	payload := []byte(`{"caption":"fig8","rows":[["8048","11"]]}`)
+	if err := s.Put("table-fig8-seed1-step3", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("table-fig8-seed1-step3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip = %q, want %q", got, payload)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := openTemp(t)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutOverwrites(t *testing.T) {
+	s := openTemp(t)
+	for _, v := range []string{"v1", "v2-longer-than-v1"} {
+		if err := s.Put("k", []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "v2-longer-than-v1" {
+		t.Errorf("got %q, %v", got, err)
+	}
+}
+
+// TestBitFlipQuarantined corrupts one byte of a stored entry and
+// requires Get to reject it, move it to quarantine, and report
+// ErrCorrupt — the "never serve damaged results" contract.
+func TestBitFlipQuarantined(t *testing.T) {
+	for _, offset := range []int{0, 5, 9, 17, 21, headerSize, headerSize + 10} {
+		s := openTemp(t)
+		payload := bytes.Repeat([]byte("venezuela "), 20)
+		if err := s.Put("k", payload); err != nil {
+			t.Fatal(err)
+		}
+		path := s.Path("k")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[offset] ^= 0x40
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("offset %d: err = %v, want ErrCorrupt", offset, err)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Errorf("offset %d: corrupt entry still in place", offset)
+		}
+		q, err := s.Quarantined()
+		if err != nil || len(q) != 1 {
+			t.Errorf("offset %d: quarantine = %v, %v", offset, q, err)
+		}
+		// The slot is reusable after quarantine.
+		if err := s.Put("k", payload); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := s.Get("k"); err != nil || !bytes.Equal(got, payload) {
+			t.Errorf("offset %d: recompute-and-put failed: %v", offset, err)
+		}
+	}
+}
+
+func TestTruncatedEntryQuarantined(t *testing.T) {
+	s := openTemp(t)
+	if err := s.Put("k", []byte("some payload that will be torn")); err != nil {
+		t.Fatal(err)
+	}
+	path := s.Path("k")
+	data, _ := os.ReadFile(path)
+	for _, n := range []int{0, 3, headerSize - 1, headerSize, len(data) - 1} {
+		if err := os.WriteFile(path, data[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("k"); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d: err = %v, want ErrCorrupt", n, err)
+		}
+		// Re-seed for the next truncation point.
+		if err := s.Put("k", []byte("some payload that will be torn")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestKeyCollisionResistance(t *testing.T) {
+	s := openTemp(t)
+	// These sanitize to the same prefix but must stay distinct entries.
+	a, b := "campaign/trace?seed=1", "campaign_trace_seed_1"
+	if err := s.Put(a, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, []byte("B")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Get(a); string(got) != "A" {
+		t.Errorf("a = %q", got)
+	}
+	if got, _ := s.Get(b); string(got) != "B" {
+		t.Errorf("b = %q", got)
+	}
+	keys, err := s.Keys()
+	if err != nil || len(keys) != 2 {
+		t.Errorf("keys = %v, %v", keys, err)
+	}
+}
+
+// TestCrashLeavesNoTornEntry simulates a crash mid-write: stray tmp
+// files in the directory are not visible through Get or Keys.
+func TestCrashLeavesNoTornEntry(t *testing.T) {
+	s := openTemp(t)
+	if err := s.Put("k", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	// A torn tmp file from a crashed writer.
+	torn := filepath.Join(s.Dir(), fileName("k")+".tmp-crashed")
+	if err := os.WriteFile(torn, []byte("VZRS torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("k")
+	if err != nil || string(got) != "committed" {
+		t.Fatalf("get after crash = %q, %v", got, err)
+	}
+	keys, err := s.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if strings.Contains(k, ".tmp-") {
+			t.Errorf("torn tmp file listed: %s", k)
+		}
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX0123456789abcdef01234567"), // bad magic
+		append([]byte(magic), make([]byte, 30)...), // zero header checksum
+	} {
+		if _, err := DecodeEntry(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("DecodeEntry(%.8q...) = %v, want ErrCorrupt", data, err)
+		}
+	}
+}
+
+func TestCodecEmptyPayload(t *testing.T) {
+	got, err := DecodeEntry(EncodeEntry(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty payload round trip: %q, %v", got, err)
+	}
+}
