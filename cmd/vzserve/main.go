@@ -3,9 +3,12 @@
 //
 //	vzserve [-addr :8080] [-quick] [-workers N] [-warm] [-drain 30s] [-timeout 5m]
 //	        [-max-inflight 64] [-queue-timeout 10s] [-store DIR]
+//	        [-debug-addr :6060] [-trace FILE]
 //
 //	GET /healthz                     (liveness)
 //	GET /readyz                      (readiness + degradation report + overload stats)
+//	GET /metrics                     (Prometheus text format)
+//	GET /metrics.json                (same registry as JSON)
 //	GET /api/experiments
 //	GET /api/experiments/{id}        (fig1..fig21, table1; append .csv)
 //	GET /api/countries/{cc}
@@ -26,15 +29,25 @@
 // on-disk store, so a restarted server warms near-instantly; corrupt
 // entries are quarantined and recomputed. SIGINT/SIGTERM drain
 // in-flight requests for up to -drain before the process exits.
+//
+// Observability: -debug-addr starts a second listener (bind it to
+// localhost) serving /debug/pprof, /debug/vars (expvar), and the same
+// /metrics registry as the API. -trace FILE appends one JSON line per
+// finished span (use "-" for stderr); every response carries its trace
+// ID in X-Trace-Id.
 package main
 
 import (
 	"flag"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
+	"vzlens/internal/atlas"
 	"vzlens/internal/httpapi"
+	"vzlens/internal/netsim"
+	"vzlens/internal/obs"
 	"vzlens/internal/resultstore"
 	"vzlens/internal/world"
 )
@@ -50,6 +63,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max wait for an execution slot before shedding")
 	storeDir := flag.String("store", "", "crash-safe result store directory (empty = no persistence)")
+	debugAddr := flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty = disabled")
+	traceOut := flag.String("trace", "", "append span JSON lines to FILE (\"-\" = stderr); empty = tracing off")
 	flag.Parse()
 
 	cfg := world.Config{Seed: *seed, Workers: *workers}
@@ -61,10 +76,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	netsim.InstrumentMetrics(reg)
+	atlas.InstrumentMetrics(reg)
+	reg.PublishExpvar("vzlens")
 	opts := httpapi.Options{
 		RequestTimeout: *timeout,
 		MaxInFlight:    *maxInflight,
 		QueueTimeout:   *queueTimeout,
+		Metrics:        reg,
+	}
+	if *traceOut != "" {
+		sink := os.Stderr
+		if *traceOut != "-" {
+			f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			sink = f
+		}
+		opts.Tracer = obs.NewTracer(sink)
+		log.Printf("vzserve: tracing spans to %s", *traceOut)
 	}
 	if *storeDir != "" {
 		store, err := resultstore.Open(*storeDir)
@@ -83,6 +116,23 @@ func main() {
 			start := time.Now()
 			h.Warm()
 			log.Printf("vzserve: campaign caches warm after %v", time.Since(start).Round(time.Millisecond))
+		}()
+	}
+
+	if *debugAddr != "" {
+		// The debug listener shares the API's registry but bypasses its
+		// admission control entirely: pprof and metrics must answer even
+		// when the serving path is saturated. Bind it to localhost.
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			log.Printf("vzserve: debug listener (pprof, expvar, metrics) on %s", *debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("vzserve: debug listener: %v", err)
+			}
 		}()
 	}
 

@@ -136,12 +136,16 @@ func WriteTraceJSON(w io.Writer, samples []TraceSample) error {
 func ParseResultsJSON(r io.Reader) (*ChaosCampaign, *TraceCampaign, error) {
 	chaos := NewChaosCampaign()
 	trace := NewTraceCampaign()
+	m := met.Load()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		raw := sc.Bytes()
+		if m != nil {
+			m.bytes.Add(uint64(len(raw)) + 1) // +1 for the newline
+		}
 		if len(raw) == 0 {
 			continue
 		}
@@ -149,13 +153,22 @@ func ParseResultsJSON(r io.Reader) (*ChaosCampaign, *TraceCampaign, error) {
 			Type string `json:"type"`
 		}
 		if err := json.Unmarshal(raw, &probe); err != nil {
+			if m != nil {
+				m.malforms.Inc()
+			}
 			return nil, nil, fmt.Errorf("atlas: line %d: %w", lineNo, err)
 		}
 		switch probe.Type {
 		case "dns":
 			var line wireDNS
 			if err := json.Unmarshal(raw, &line); err != nil {
+				if m != nil {
+					m.malforms.Inc()
+				}
 				return nil, nil, fmt.Errorf("atlas: line %d: %w", lineNo, err)
+			}
+			if m != nil {
+				m.dns.Inc()
 			}
 			letter, ok := letterFromMsmID(line.MsmID)
 			if !ok || line.Result == nil {
@@ -176,7 +189,13 @@ func ParseResultsJSON(r io.Reader) (*ChaosCampaign, *TraceCampaign, error) {
 		case "traceroute":
 			var line wireTrace
 			if err := json.Unmarshal(raw, &line); err != nil {
+				if m != nil {
+					m.malforms.Inc()
+				}
 				return nil, nil, fmt.Errorf("atlas: line %d: %w", lineNo, err)
+			}
+			if m != nil {
+				m.trace.Inc()
 			}
 			// The sample RTT is the last responding hop's best RTT.
 			best := 0.0
@@ -203,6 +222,9 @@ func ParseResultsJSON(r io.Reader) (*ChaosCampaign, *TraceCampaign, error) {
 			})
 		default:
 			// Other measurement kinds (ping, sslcert, ...) are ignored.
+			if m != nil {
+				m.skipped.Inc()
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {

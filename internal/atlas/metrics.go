@@ -1,0 +1,40 @@
+package atlas
+
+import (
+	"sync/atomic"
+
+	"vzlens/internal/obs"
+)
+
+// parserMetrics counts what the JSON-lines parsers ingest. The package
+// global is an atomic pointer so un-instrumented processes (tests, the
+// report tool) pay one nil check per line and nothing else.
+type parserMetrics struct {
+	bytes    *obs.Counter // raw bytes consumed across all parsers
+	dns      *obs.Counter // CHAOS results decoded
+	trace    *obs.Counter // traceroute samples decoded
+	probes   *obs.Counter // probe documents decoded
+	skipped  *obs.Counter // well-formed lines of types we don't consume
+	malforms *obs.Counter // lines rejected as malformed
+}
+
+var met atomic.Pointer[parserMetrics]
+
+// InstrumentMetrics registers the parser counters on reg and switches
+// ingestion accounting on process-wide. Call once at startup.
+func InstrumentMetrics(reg *obs.Registry) {
+	met.Store(&parserMetrics{
+		bytes: reg.Counter("vz_atlas_parse_bytes_total",
+			"Raw bytes consumed by the Atlas JSON-lines parsers."),
+		dns: reg.Counter("vz_atlas_parse_records_total",
+			"Records decoded by the Atlas parsers, by kind.", obs.L("kind", "dns")),
+		trace: reg.Counter("vz_atlas_parse_records_total",
+			"Records decoded by the Atlas parsers, by kind.", obs.L("kind", "traceroute")),
+		probes: reg.Counter("vz_atlas_parse_records_total",
+			"Records decoded by the Atlas parsers, by kind.", obs.L("kind", "probe")),
+		skipped: reg.Counter("vz_atlas_parse_skipped_total",
+			"Well-formed result lines of types the pipeline does not consume."),
+		malforms: reg.Counter("vz_atlas_parse_malformed_total",
+			"Lines rejected as malformed JSON."),
+	})
+}

@@ -90,18 +90,28 @@ func allProbes(f *Fleet) []Probe {
 // standalone points.
 func ParseProbesJSON(r io.Reader) (*Fleet, error) {
 	f := NewFleet()
+	m := met.Load()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		raw := sc.Bytes()
+		if m != nil {
+			m.bytes.Add(uint64(len(raw)) + 1)
+		}
 		if len(raw) == 0 {
 			continue
 		}
 		var doc wireProbe
 		if err := json.Unmarshal(raw, &doc); err != nil {
+			if m != nil {
+				m.malforms.Inc()
+			}
 			return nil, fmt.Errorf("atlas: probe line %d: %w", lineNo, err)
+		}
+		if m != nil {
+			m.probes.Inc()
 		}
 		city := geo.City{Name: doc.City, Country: doc.CountryCode}
 		if doc.Geometry != nil {

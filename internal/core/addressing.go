@@ -246,7 +246,14 @@ func (r Fig9Result) Table() *Table {
 	for asn := range r.USDepartures {
 		asns = append(asns, asn)
 	}
-	sort.Slice(asns, func(i, j int) bool { return r.USDepartures[asns[i]] < r.USDepartures[asns[j]] })
+	sort.Slice(asns, func(i, j int) bool {
+		// Ties on the departure month break by ASN, so the row order
+		// never depends on map iteration.
+		if r.USDepartures[asns[i]] != r.USDepartures[asns[j]] {
+			return r.USDepartures[asns[i]] < r.USDepartures[asns[j]]
+		}
+		return asns[i] < asns[j]
+	})
 	for _, asn := range asns {
 		t.AddRow("AS"+asn.String(), r.USDepartures[asn].String())
 	}

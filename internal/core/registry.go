@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+// Experiment is one entry in the canonical experiment registry: a
+// stable ID (the httpapi route, the vzreport selector, and the golden
+// snapshot name) plus how to render its table. The registry is the
+// single source of truth shared by the HTTP API, the golden regression
+// suite, and tooling — an experiment added here is automatically
+// served, snapshotted, and reported.
+type Experiment struct {
+	// ID is the stable experiment identifier (fig1..fig21, table1).
+	ID string
+	// Campaign names the simulated measurement campaign the experiment
+	// consumes: "" for none, "trace" for the traceroute campaign,
+	// "chaos" for the CHAOS root-DNS sweep. Callers simulate each
+	// campaign once and share it across experiments.
+	Campaign string
+	// Run renders the experiment's table. tc and cc must be non-nil
+	// exactly when Campaign says so; Run never simulates on its own.
+	Run func(w *world.World, tc *atlas.TraceCampaign, cc *atlas.ChaosCampaign) *Table
+}
+
+// Experiments returns the full registry in paper order. The slice is
+// freshly allocated; callers may reorder it.
+func Experiments() []Experiment {
+	none := func(fn func(w *world.World) *Table) func(*world.World, *atlas.TraceCampaign, *atlas.ChaosCampaign) *Table {
+		return func(w *world.World, _ *atlas.TraceCampaign, _ *atlas.ChaosCampaign) *Table {
+			return fn(w)
+		}
+	}
+	return []Experiment{
+		{ID: "fig1", Run: none(func(*world.World) *Table { return Fig1Economy().Table() })},
+		{ID: "fig2", Run: none(func(w *world.World) *Table { return Fig2AddressSpace(w).Table() })},
+		{ID: "fig3", Run: none(func(w *world.World) *Table { return Fig3Facilities(w).Table() })},
+		{ID: "fig4", Run: none(func(w *world.World) *Table { return Fig4Cables(w).Table() })},
+		{ID: "fig5", Run: none(func(*world.World) *Table { return Fig5IPv6().Table() })},
+		{ID: "fig6", Campaign: "chaos", Run: func(_ *world.World, _ *atlas.TraceCampaign, cc *atlas.ChaosCampaign) *Table {
+			return Fig6RootDNS(cc).Table()
+		}},
+		{ID: "fig7", Run: none(func(w *world.World) *Table {
+			return Fig7Offnets(w, []string{"Google", "Akamai", "Facebook", "Netflix"}).Table()
+		})},
+		{ID: "fig8", Run: none(func(w *world.World) *Table { return Fig8CANTV(w).Table() })},
+		{ID: "fig9", Run: none(func(w *world.World) *Table { return Fig9TransitHeatmap(w).Table() })},
+		{ID: "fig10", Run: none(func(w *world.World) *Table { return Fig10IXPHeatmap(w).Table() })},
+		{ID: "fig11", Run: none(func(w *world.World) *Table {
+			return Fig11Bandwidth(w.Config.Seed, months.New(2007, time.July), months.New(2024, time.January), w.Config.Step).Table()
+		})},
+		{ID: "fig12", Campaign: "trace", Run: func(_ *world.World, tc *atlas.TraceCampaign, _ *atlas.ChaosCampaign) *Table {
+			return Fig12GPDNS(tc).Table()
+		}},
+		{ID: "table1", Run: none(func(w *world.World) *Table { return Table1Eyeballs(w).Table() })},
+		{ID: "fig13", Run: none(func(*world.World) *Table { return Fig13GDPRank().Table() })},
+		{ID: "fig14", Run: none(func(w *world.World) *Table { return Fig14PrefixVisibility(w).Table() })},
+		{ID: "fig15", Run: none(func(w *world.World) *Table { return Fig15FacilityMembers(w).Table() })},
+		{ID: "fig16", Campaign: "chaos", Run: func(_ *world.World, _ *atlas.TraceCampaign, cc *atlas.ChaosCampaign) *Table {
+			return Fig16RootOrigins(cc).Table()
+		}},
+		{ID: "fig17", Run: none(func(w *world.World) *Table { return Fig17AtlasFootprint(w).Table() })},
+		{ID: "fig18", Run: none(func(w *world.World) *Table {
+			return Fig7Offnets(w, []string{"Microsoft", "Cloudflare", "Amazon", "Limelight", "CDNetworks", "Alibaba"}).Table()
+		})},
+		{ID: "fig19", Run: none(func(*world.World) *Table { return Fig19ThirdParty().Table() })},
+		{ID: "fig20", Campaign: "trace", Run: func(w *world.World, tc *atlas.TraceCampaign, _ *atlas.ChaosCampaign) *Table {
+			return Fig20ProbeGeo(w.Fleet, tc, months.New(2023, time.December)).Table()
+		}},
+		{ID: "fig21", Run: none(func(w *world.World) *Table { return Fig21USIXPs(w).Table() })},
+	}
+}
+
+// ExperimentIDs returns every registered ID, sorted.
+func ExperimentIDs() []string {
+	exps := Experiments()
+	ids := make([]string, 0, len(exps))
+	for _, e := range exps {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}

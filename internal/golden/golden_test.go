@@ -1,0 +1,231 @@
+// Package golden pins the reproduction's observable output. Every
+// registry experiment table and both campaign summaries are rendered
+// from the seed configuration and compared byte-for-byte against the
+// JSON snapshots committed under testdata/golden/. A behavior change
+// anywhere in the pipeline — parsing, topology, simulation, analysis —
+// surfaces here as a readable diff instead of slipping through.
+//
+// Refresh the snapshots after an intended change with:
+//
+//	go test ./internal/golden/ -update
+//
+// and review the diff like any other code change.
+package golden
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/core"
+	"vzlens/internal/world"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenConfig is the pinned world configuration: default seed,
+// semiannual campaign resolution (fast enough for CI, dense enough to
+// exercise every analysis), and a fixed worker count so the snapshots
+// also witness that parallel simulation is deterministic.
+func goldenConfig(workers int) world.Config {
+	return world.Config{Step: 6, Workers: workers}
+}
+
+// mustBuild is the test-only panicking form of world.Build.
+func mustBuild(cfg world.Config) *world.World {
+	w, err := world.Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+var (
+	testWorld = mustBuild(goldenConfig(8))
+	testTrace = testWorld.TraceCampaign()
+	testChaos = testWorld.ChaosCampaign()
+)
+
+// tableDoc mirrors httpapi's JSON rendering of a core.Table, so the
+// snapshots pin the exact shape clients see.
+type tableDoc struct {
+	Caption string     `json:"caption"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+}
+
+// encode renders v as the canonical golden form: two-space-indented
+// JSON with a trailing newline.
+func encode(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return append(b, '\n')
+}
+
+// check compares got against testdata/golden/<name>.json, rewriting the
+// file under -update and failing with a line diff otherwise.
+func check(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./internal/golden/ -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (rerun with -update if intended):\n%s",
+			path, diff(string(want), string(got)))
+	}
+}
+
+// diff renders a compact line diff: the first mismatching lines with
+// one line of context, capped so a wholesale change stays readable.
+func diff(want, got string) string {
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	n := len(wantLines)
+	if len(gotLines) > n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n && shown < 20; i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w == g {
+			continue
+		}
+		if shown == 0 && i > 0 {
+			fmt.Fprintf(&b, "  %4d   %s\n", i, wantLines[i-1])
+		}
+		if w != "" || i < len(wantLines) {
+			fmt.Fprintf(&b, "- %4d   %s\n", i+1, w)
+		}
+		if g != "" || i < len(gotLines) {
+			fmt.Fprintf(&b, "+ %4d   %s\n", i+1, g)
+		}
+		shown++
+	}
+	if shown == 20 {
+		fmt.Fprintf(&b, "  ... (diff truncated at 20 differing lines)\n")
+	}
+	if shown == 0 {
+		b.WriteString("  (files differ only in trailing bytes)\n")
+	}
+	return b.String()
+}
+
+// TestExperimentTables snapshots every registry experiment. The
+// registry is the same one httpapi serves from, so an experiment added
+// there is automatically pinned here.
+func TestExperimentTables(t *testing.T) {
+	for _, e := range core.Experiments() {
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(testWorld, testTrace, testChaos)
+			check(t, e.ID, encode(t, tableDoc{
+				Caption: tbl.Caption,
+				Header:  tbl.Header,
+				Rows:    tbl.Rows,
+			}))
+		})
+	}
+}
+
+// traceSummary condenses the traceroute campaign into its
+// analysis-relevant aggregates: size, coverage, and the Venezuelan
+// median-RTT series the paper's figure 12 is built from.
+type traceSummary struct {
+	Months   []string           `json:"months"`
+	Samples  int                `json:"samples"`
+	VEMedian map[string]float64 `json:"ve_median_rtt_ms"`
+}
+
+// chaosSummary condenses the CHAOS sweep: size, coverage, the
+// Venezuelan answered-results series, and the root-site diversity seen
+// from Venezuela in the final month (the paper's figure 16 input).
+type chaosSummary struct {
+	Months      []string       `json:"months"`
+	Results     int            `json:"results"`
+	VESeries    map[string]int `json:"ve_results_by_month"`
+	VEFinalSite map[string]int `json:"ve_sites_final_month"`
+}
+
+func TestCampaignSummaries(t *testing.T) {
+	ts := traceSummary{Samples: testTrace.Len(), VEMedian: map[string]float64{}}
+	for _, m := range testTrace.Months() {
+		ts.Months = append(ts.Months, m.String())
+		if med, ok := testTrace.CountryMedian("VE", m); ok {
+			ts.VEMedian[m.String()] = med
+		}
+	}
+	check(t, "trace_campaign", encode(t, ts))
+
+	cms := testChaos.Months()
+	cs := chaosSummary{Results: testChaos.Len(), VESeries: map[string]int{}}
+	for _, m := range cms {
+		cs.Months = append(cs.Months, m.String())
+	}
+	for m, n := range testChaos.CountrySeries("VE") {
+		cs.VESeries[m.String()] = n
+	}
+	if len(cms) > 0 {
+		cs.VEFinalSite = testChaos.SitesByCountry(cms[len(cms)-1], "VE")
+	}
+	check(t, "chaos_campaign", encode(t, cs))
+}
+
+// TestWorkerCountInvariance proves the golden outputs do not depend on
+// the worker pool size: the full campaigns simulated at Workers=1 and
+// Workers=8 must serialize to identical bytes. This is the determinism
+// contract the parallel engine promises (per-probe-month RNG streams,
+// merge in month order) — if it breaks, every snapshot above is
+// schedule-dependent and meaningless.
+func TestWorkerCountInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates both campaigns twice")
+	}
+	serial := mustBuild(goldenConfig(1))
+	var trace1, trace8, chaos1, chaos8 bytes.Buffer
+	if err := atlas.WriteTraceJSON(&trace1, serial.TraceCampaign().Samples()); err != nil {
+		t.Fatal(err)
+	}
+	if err := atlas.WriteTraceJSON(&trace8, testTrace.Samples()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(trace1.Bytes(), trace8.Bytes()) {
+		t.Errorf("trace campaign differs between Workers=1 (%d bytes) and Workers=8 (%d bytes)",
+			trace1.Len(), trace8.Len())
+	}
+	if err := atlas.WriteChaosJSON(&chaos1, serial.ChaosCampaign().Results()); err != nil {
+		t.Fatal(err)
+	}
+	if err := atlas.WriteChaosJSON(&chaos8, testChaos.Results()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(chaos1.Bytes(), chaos8.Bytes()) {
+		t.Errorf("chaos campaign differs between Workers=1 (%d bytes) and Workers=8 (%d bytes)",
+			chaos1.Len(), chaos8.Len())
+	}
+}

@@ -21,6 +21,10 @@ func classify(r *http.Request) (overload.Priority, string) {
 	switch {
 	case r.URL.Path == "/healthz" || r.URL.Path == "/readyz":
 		return overload.PriorityCritical, "health"
+	case r.URL.Path == "/metrics" || r.URL.Path == "/metrics.json":
+		// Scrapes must survive overload: metrics from a drowning server
+		// are exactly what the operator needs to see.
+		return overload.PriorityCritical, "metrics"
 	case strings.HasPrefix(r.URL.Path, "/api/experiments/"):
 		return overload.PriorityLow, "experiment"
 	default:
@@ -44,6 +48,7 @@ func (h *Handler) admissionMiddleware(next http.Handler) http.Handler {
 				if secs < 1 {
 					secs = 1
 				}
+				h.met.sheds["rate_limited"].Inc()
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
 				writeJSON(w, http.StatusTooManyRequests, map[string]string{
 					"error":  fmt.Sprintf("rate limit exceeded for %s endpoints", class),
@@ -79,6 +84,9 @@ func (h *Handler) writeShed(w http.ResponseWriter, err error) {
 	case errors.Is(err, overload.ErrCanceled):
 		// The client is gone; the status code is a formality.
 		reason, retry = "client_canceled", "1"
+	}
+	if c := h.met.sheds[reason]; c != nil {
+		c.Inc()
 	}
 	w.Header().Set("Retry-After", retry)
 	writeJSON(w, http.StatusServiceUnavailable, map[string]string{

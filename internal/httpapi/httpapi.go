@@ -20,11 +20,11 @@
 package httpapi
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"log"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +34,7 @@ import (
 	"vzlens/internal/geo"
 	"vzlens/internal/ipv6"
 	"vzlens/internal/months"
+	"vzlens/internal/obs"
 	"vzlens/internal/overload"
 	"vzlens/internal/resilience"
 	"vzlens/internal/resultstore"
@@ -83,6 +84,20 @@ type Options struct {
 	// entries are quarantined and recomputed, never served. Nil
 	// disables persistence.
 	Store *resultstore.Store
+
+	// Metrics is the registry the handler (and the gate, store, and
+	// campaign engine) register on; it is served at /metrics in
+	// Prometheus text format and /metrics.json as JSON. Nil creates a
+	// private registry, so /metrics always answers. Share one registry
+	// with obs.DebugMux to expose the same metrics on the debug
+	// listener.
+	Metrics *obs.Registry
+
+	// Tracer enables request tracing: every request gets a root span
+	// and an X-Trace-Id response header, and the trace ID propagates
+	// through experiment coalescing into the campaign engine's
+	// per-month spans. Nil disables tracing (zero overhead).
+	Tracer *obs.Tracer
 }
 
 // Handler serves the API over a built world. Campaign-backed
@@ -99,6 +114,10 @@ type Handler struct {
 	limits  *overload.Limiter
 	flights overload.Group[string, *core.Table]
 
+	reg  *obs.Registry
+	met  handlerMetrics
+	exps map[string]core.Experiment
+
 	trace resilience.LazyResult[*atlas.TraceCampaign]
 	chaos resilience.LazyResult[*atlas.ChaosCampaign]
 }
@@ -109,19 +128,36 @@ func New(w *world.World) *Handler { return NewWithOptions(w, Options{}) }
 // NewWithOptions returns a Handler over w.
 func NewWithOptions(w *world.World, opts Options) *Handler {
 	h := &Handler{w: w, mux: http.NewServeMux(), opts: opts}
+	h.reg = opts.Metrics
+	if h.reg == nil {
+		h.reg = obs.NewRegistry()
+	}
+	h.met = newHandlerMetrics(h.reg)
+	w.Instrument(h.reg)
+	if opts.Store != nil {
+		opts.Store.Instrument(h.reg)
+	}
 	if opts.MaxInFlight > 0 {
 		h.gate = overload.NewGate(overload.GateOptions{
 			MaxInFlight:  opts.MaxInFlight,
 			MaxQueue:     opts.MaxQueue,
 			QueueTimeout: opts.QueueTimeout,
 			ShedLatency:  opts.ShedLatency,
+			ObserveWait:  h.met.queueWait.ObserveDuration,
 		})
+		instrumentGate(h.reg, h.gate)
 	}
 	if len(opts.RateLimits) > 0 {
 		h.limits = overload.NewLimiter(opts.RateLimits)
 	}
+	h.exps = make(map[string]core.Experiment)
+	for _, e := range core.Experiments() {
+		h.exps[e.ID] = e
+	}
 	h.mux.HandleFunc("GET /healthz", h.health)
 	h.mux.HandleFunc("GET /readyz", h.ready)
+	h.mux.Handle("GET /metrics", h.reg.Handler())
+	h.mux.Handle("GET /metrics.json", h.reg.JSONHandler())
 	h.mux.HandleFunc("GET /api/experiments", h.listExperiments)
 	h.mux.HandleFunc("GET /api/experiments/{id}", h.experiment)
 	h.mux.HandleFunc("GET /api/countries/{cc}", h.country)
@@ -131,10 +167,14 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 		root = http.TimeoutHandler(root, opts.RequestTimeout,
 			`{"error": "request timed out"}`)
 	}
-	root = h.admissionMiddleware(root)
+	root = h.observabilityMiddleware(h.admissionMiddleware(root))
 	h.root = recoverMiddleware(backpressureHeaderMiddleware(root))
 	return h
 }
+
+// Metrics returns the handler's registry, so callers (vzserve's debug
+// listener) can expose the same metrics elsewhere or register more.
+func (h *Handler) Metrics() *obs.Registry { return h.reg }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -171,7 +211,7 @@ func simulate[T any](fn func() (T, error)) (val T, err error) {
 	return fn()
 }
 
-func (h *Handler) traceCampaign() (*atlas.TraceCampaign, error) {
+func (h *Handler) traceCampaign(ctx context.Context) (*atlas.TraceCampaign, error) {
 	return h.trace.Get(func() (*atlas.TraceCampaign, error) {
 		if tc, ok := h.storedTrace(); ok {
 			return tc, nil
@@ -180,7 +220,7 @@ func (h *Handler) traceCampaign() (*atlas.TraceCampaign, error) {
 			if h.opts.TraceCampaign != nil {
 				return h.opts.TraceCampaign()
 			}
-			return h.w.TraceCampaign(), nil
+			return h.w.TraceCampaignCtx(ctx), nil
 		})
 		if err == nil {
 			h.persistTrace(tc)
@@ -196,14 +236,15 @@ func (h *Handler) traceCampaign() (*atlas.TraceCampaign, error) {
 // campaigns proportionally sooner on multicore. Call it from a goroutine
 // at startup to pre-warm without delaying the listener.
 func (h *Handler) Warm() {
+	ctx := context.Background()
 	var wg sync.WaitGroup
 	wg.Add(2)
-	go func() { defer wg.Done(); _, _ = h.traceCampaign() }()
-	go func() { defer wg.Done(); _, _ = h.chaosCampaign() }()
+	go func() { defer wg.Done(); _, _ = h.traceCampaign(ctx) }()
+	go func() { defer wg.Done(); _, _ = h.chaosCampaign(ctx) }()
 	wg.Wait()
 }
 
-func (h *Handler) chaosCampaign() (*atlas.ChaosCampaign, error) {
+func (h *Handler) chaosCampaign(ctx context.Context) (*atlas.ChaosCampaign, error) {
 	return h.chaos.Get(func() (*atlas.ChaosCampaign, error) {
 		if cc, ok := h.storedChaos(); ok {
 			return cc, nil
@@ -212,7 +253,7 @@ func (h *Handler) chaosCampaign() (*atlas.ChaosCampaign, error) {
 			if h.opts.ChaosCampaign != nil {
 				return h.opts.ChaosCampaign()
 			}
-			return h.w.ChaosCampaign(), nil
+			return h.w.ChaosCampaignCtx(ctx), nil
 		})
 		if err == nil {
 			h.persistChaos(cc)
@@ -221,70 +262,27 @@ func (h *Handler) chaosCampaign() (*atlas.ChaosCampaign, error) {
 	})
 }
 
-// tbl lifts an infallible table producer into the fallible form the
-// experiment map uses.
-func tbl(fn func() *core.Table) func() (*core.Table, error) {
-	return func() (*core.Table, error) { return fn(), nil }
-}
-
-// experiments maps experiment IDs to their table producers. Campaign-
-// backed experiments (fig6, fig12, fig16, fig20) can fail transiently
-// and surface errors instead of panicking or caching failure.
-func (h *Handler) experiments() map[string]func() (*core.Table, error) {
-	return map[string]func() (*core.Table, error){
-		"fig1": tbl(func() *core.Table { return core.Fig1Economy().Table() }),
-		"fig2": tbl(func() *core.Table { return core.Fig2AddressSpace(h.w).Table() }),
-		"fig3": tbl(func() *core.Table { return core.Fig3Facilities(h.w).Table() }),
-		"fig4": tbl(func() *core.Table { return core.Fig4Cables(h.w).Table() }),
-		"fig5": tbl(func() *core.Table { return core.Fig5IPv6().Table() }),
-		"fig6": func() (*core.Table, error) {
-			cc, err := h.chaosCampaign()
-			if err != nil {
-				return nil, err
-			}
-			return core.Fig6RootDNS(cc).Table(), nil
-		},
-		"fig7": tbl(func() *core.Table {
-			return core.Fig7Offnets(h.w, []string{"Google", "Akamai", "Facebook", "Netflix"}).Table()
-		}),
-		"fig8":  tbl(func() *core.Table { return core.Fig8CANTV(h.w).Table() }),
-		"fig9":  tbl(func() *core.Table { return core.Fig9TransitHeatmap(h.w).Table() }),
-		"fig10": tbl(func() *core.Table { return core.Fig10IXPHeatmap(h.w).Table() }),
-		"fig11": tbl(func() *core.Table {
-			return core.Fig11Bandwidth(h.w.Config.Seed, months.New(2007, time.July), months.New(2024, time.January), h.w.Config.Step).Table()
-		}),
-		"fig12": func() (*core.Table, error) {
-			tc, err := h.traceCampaign()
-			if err != nil {
-				return nil, err
-			}
-			return core.Fig12GPDNS(tc).Table(), nil
-		},
-		"table1": tbl(func() *core.Table { return core.Table1Eyeballs(h.w).Table() }),
-		"fig13":  tbl(func() *core.Table { return core.Fig13GDPRank().Table() }),
-		"fig14":  tbl(func() *core.Table { return core.Fig14PrefixVisibility(h.w).Table() }),
-		"fig15":  tbl(func() *core.Table { return core.Fig15FacilityMembers(h.w).Table() }),
-		"fig16": func() (*core.Table, error) {
-			cc, err := h.chaosCampaign()
-			if err != nil {
-				return nil, err
-			}
-			return core.Fig16RootOrigins(cc).Table(), nil
-		},
-		"fig17": tbl(func() *core.Table { return core.Fig17AtlasFootprint(h.w).Table() }),
-		"fig18": tbl(func() *core.Table {
-			return core.Fig7Offnets(h.w, []string{"Microsoft", "Cloudflare", "Amazon", "Limelight", "CDNetworks", "Alibaba"}).Table()
-		}),
-		"fig19": tbl(func() *core.Table { return core.Fig19ThirdParty().Table() }),
-		"fig20": func() (*core.Table, error) {
-			tc, err := h.traceCampaign()
-			if err != nil {
-				return nil, err
-			}
-			return core.Fig20ProbeGeo(h.w.Fleet, tc, months.New(2023, time.December)).Table(), nil
-		},
-		"fig21": tbl(func() *core.Table { return core.Fig21USIXPs(h.w).Table() }),
+// runExperiment renders one registry experiment, simulating (or reusing)
+// whichever campaign it declares. Campaign-backed experiments (fig6,
+// fig12, fig16, fig20) can fail transiently and surface errors instead
+// of panicking or caching failure. The context carries the requesting
+// trace, so a cold campaign's spans attach to the request that paid for
+// the simulation.
+func (h *Handler) runExperiment(ctx context.Context, e core.Experiment) (*core.Table, error) {
+	var tc *atlas.TraceCampaign
+	var cc *atlas.ChaosCampaign
+	var err error
+	switch e.Campaign {
+	case "trace":
+		if tc, err = h.traceCampaign(ctx); err != nil {
+			return nil, err
+		}
+	case "chaos":
+		if cc, err = h.chaosCampaign(ctx); err != nil {
+			return nil, err
+		}
 	}
+	return e.Run(h.w, tc, cc), nil
 }
 
 // health is the liveness probe: the process is up.
@@ -331,13 +329,7 @@ func (h *Handler) ready(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (h *Handler) listExperiments(w http.ResponseWriter, _ *http.Request) {
-	exps := h.experiments()
-	ids := make([]string, 0, len(exps))
-	for id := range exps {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": ids})
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": core.ExperimentIDs()})
 }
 
 // tableJSON is the JSON rendering of a core.Table.
@@ -351,7 +343,7 @@ func (h *Handler) experiment(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	wantCSV := strings.HasSuffix(id, ".csv")
 	id = strings.TrimSuffix(id, ".csv")
-	run, ok := h.experiments()[id]
+	exp, ok := h.exps[id]
 	if !ok {
 		writeJSON(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown experiment %q", id)})
 		return
@@ -359,16 +351,25 @@ func (h *Handler) experiment(w http.ResponseWriter, r *http.Request) {
 	// Coalesce concurrent requests for the same experiment into one
 	// computation, consulting the result store before computing and
 	// persisting fresh results. Failures are not cached at any layer.
-	table, err, _ := h.flights.Do(id, func() (*core.Table, error) {
+	ctx, span := obs.StartSpan(r.Context(), "experiment")
+	span.SetAttr("id", id)
+	table, err, shared := h.flights.Do(id, func() (*core.Table, error) {
 		if t, ok := h.storedTable(id); ok {
 			return t, nil
 		}
-		t, err := run()
+		t, err := h.runExperiment(ctx, exp)
 		if err == nil {
 			h.persistTable(id, t)
 		}
 		return t, err
 	})
+	if shared {
+		h.met.followers.Inc()
+	} else {
+		h.met.leaders.Inc()
+	}
+	span.SetAttr("coalesced", shared)
+	span.End()
 	if err != nil {
 		// Transient: the failed simulation was not cached, so the
 		// client should simply retry.

@@ -55,6 +55,8 @@ func (r *Resolver) treeFor(src bgp.ASN) ([]PathInfo, *denseTopo) {
 	}
 	if r.trees[si] == nil {
 		r.trees[si] = r.d.buildTree(si)
+	} else if m := met.Load(); m != nil {
+		m.treeMemoHit.Inc()
 	}
 	return r.trees[si], r.d
 }

@@ -32,6 +32,9 @@ type denseTopo struct {
 // location and flattens the adjacency. Index order follows ASN order, so
 // the sorted neighbor lists of bgp.Graph stay sorted after translation.
 func buildDense(t *Topology) *denseTopo {
+	if m := met.Load(); m != nil {
+		m.denseBuilds.Inc()
+	}
 	seen := map[bgp.ASN]bool{}
 	for _, a := range t.graph.ASes() {
 		seen[a] = true
@@ -114,6 +117,9 @@ var scratchPool = sync.Pool{New: func() any { return &scratch{} }}
 func getScratch(nStates int) *scratch {
 	sc := scratchPool.Get().(*scratch)
 	if len(sc.settled) < nStates {
+		if m := met.Load(); m != nil {
+			m.scratchGrow.Inc()
+		}
 		sc.lat = make([]float64, nStates)
 		sc.locIdx = make([]int32, nStates)
 		sc.parent = make([]int32, nStates)
@@ -215,6 +221,9 @@ func (d *denseTopo) startState(sc *scratch, srcIdx int32) int32 {
 // shortest-path-first with latency-aware tie-breaking. The result is
 // indexed by dense AS index.
 func (d *denseTopo) buildTree(srcIdx int32) []PathInfo {
+	if m := met.Load(); m != nil {
+		m.treeBFS.Inc()
+	}
 	n := len(d.asns)
 	tree := make([]PathInfo, n)
 	tree[srcIdx] = PathInfo{Hops: 1, LatencyMs: 0, OK: true}
@@ -248,6 +257,9 @@ func (d *denseTopo) buildTree(srcIdx int32) []PathInfo {
 // bestPath re-runs the leveled BFS with parent pointers and reconstructs
 // the fewest-hop, minimum-latency path from srcIdx to dstIdx.
 func (d *denseTopo) bestPath(srcIdx, dstIdx int32) ([]bgp.ASN, bool) {
+	if m := met.Load(); m != nil {
+		m.pathBFS.Inc()
+	}
 	n := len(d.asns)
 	sc := getScratch(n * numPhases)
 	defer putScratch(sc)

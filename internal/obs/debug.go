@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the private diagnostics mux: /debug/pprof (CPU,
+// heap, goroutine, block, mutex profiles and execution traces),
+// /debug/vars (the process expvar page, including the registry when
+// published), and the registry itself at /metrics (Prometheus text)
+// and /metrics.json. Serve this on a separate listener (-debug-addr in
+// vzserve) so profiling endpoints never share the public one: a CPU
+// profile from an internet-facing port is a self-inflicted outage.
+func DebugMux(reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/metrics.json", reg.JSONHandler())
+	}
+	return mux
+}

@@ -1,0 +1,35 @@
+package obs
+
+import "io"
+
+// CountingReader counts bytes as they flow through an ingestion or
+// parsing path. Bytes land in C (nil-safe), so parsers can expose
+// byte throughput without knowing whether anyone is watching.
+type CountingReader struct {
+	R io.Reader
+	C *Counter
+}
+
+// Read implements io.Reader.
+func (cr *CountingReader) Read(p []byte) (int, error) {
+	n, err := cr.R.Read(p)
+	if n > 0 {
+		cr.C.Add(uint64(n))
+	}
+	return n, err
+}
+
+// CountingWriter mirrors CountingReader for write paths.
+type CountingWriter struct {
+	W io.Writer
+	C *Counter
+}
+
+// Write implements io.Writer.
+func (cw *CountingWriter) Write(p []byte) (int, error) {
+	n, err := cw.W.Write(p)
+	if n > 0 {
+		cw.C.Add(uint64(n))
+	}
+	return n, err
+}

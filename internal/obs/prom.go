@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one HELP/TYPE pair per
+// family, then one sample line per child (histograms expand into
+// cumulative _bucket lines plus _sum and _count).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, c := range f.kids {
+			switch {
+			case c.counter != nil:
+				writeSample(bw, f.name, c.labels, "", "", strconv.FormatUint(c.counter.Value(), 10))
+			case c.fn != nil:
+				writeSample(bw, f.name, c.labels, "", "", formatFloat(c.fn()))
+			case c.gauge != nil:
+				writeSample(bw, f.name, c.labels, "", "", formatFloat(c.gauge.Value()))
+			case c.hist != nil:
+				sum, count, cumulative := c.hist.snapshot()
+				for i, b := range c.hist.bounds {
+					writeSample(bw, f.name+"_bucket", c.labels, "le", formatFloat(b),
+						strconv.FormatUint(cumulative[i], 10))
+				}
+				writeSample(bw, f.name+"_bucket", c.labels, "le", "+Inf",
+					strconv.FormatUint(cumulative[len(cumulative)-1], 10))
+				writeSample(bw, f.name+"_sum", c.labels, "", "", formatFloat(sum))
+				writeSample(bw, f.name+"_count", c.labels, "", "", strconv.FormatUint(count, 10))
+			}
+		}
+	}
+}
+
+// writeSample emits one `name{labels} value` line; extraKey/extraVal
+// append a synthetic label (histogram le) after the registered ones.
+func writeSample(w *bufio.Writer, name string, labels []Label, extraKey, extraVal, value string) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			writeLabel(w, l.Key, l.Value)
+		}
+		if extraKey != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			writeLabel(w, extraKey, extraVal)
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(value)
+	w.WriteByte('\n')
+}
+
+func writeLabel(w *bufio.Writer, key, value string) {
+	w.WriteString(key)
+	w.WriteString(`="`)
+	w.WriteString(escapeLabel(value))
+	w.WriteByte('"')
+}
+
+// escapeHelp escapes backslash and newline, per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes backslash, double quote, and newline in a label
+// value.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders a label set as `{k="v",...}` for snapshot keys
+// (empty string for no labels).
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a float the way Prometheus clients expect:
+// shortest round-trip representation (strconv spells out +Inf/-Inf/NaN
+// itself).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

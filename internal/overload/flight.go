@@ -3,6 +3,7 @@ package overload
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Group collapses concurrent calls with the same key into one
@@ -16,6 +17,9 @@ import (
 type Group[K comparable, V any] struct {
 	mu    sync.Mutex
 	calls map[K]*flightCall[V]
+
+	leaders   atomic.Uint64
+	followers atomic.Uint64
 }
 
 type flightCall[V any] struct {
@@ -36,12 +40,14 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bo
 	if c, ok := g.calls[key]; ok {
 		c.dups++
 		g.mu.Unlock()
+		g.followers.Add(1)
 		<-c.done
 		return c.val, c.err, true
 	}
 	c := &flightCall[V]{done: make(chan struct{})}
 	g.calls[key] = c
 	g.mu.Unlock()
+	g.leaders.Add(1)
 
 	func() {
 		// A leader panic must not strand followers on a closed-over
@@ -58,6 +64,13 @@ func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bo
 		c.val, c.err = fn()
 	}()
 	return c.val, c.err, false
+}
+
+// Stats reports cumulative leaders (calls that executed fn) and
+// followers (calls served by another caller's execution) — the
+// coalescing ratio the /metrics endpoint exposes.
+func (g *Group[K, V]) Stats() (leaders, followers uint64) {
+	return g.leaders.Load(), g.followers.Load()
 }
 
 // InFlight reports whether a call for key is currently executing.

@@ -69,6 +69,11 @@ type GateOptions struct {
 	// requests are shed on arrival instead of queued (default
 	// QueueTimeout/2; 0 after defaulting disables adaptive shedding).
 	ShedLatency time.Duration
+	// ObserveWait, when non-nil, receives every admitted request's
+	// queue wait (zero for immediate admission). httpapi feeds a
+	// latency histogram here; the gate's own EWMA stays authoritative
+	// for shedding. Called outside the gate lock.
+	ObserveWait func(wait time.Duration)
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -148,6 +153,9 @@ func (g *Gate) Acquire(ctx context.Context, pri Priority) (release func(), err e
 		g.inflight++
 		g.admitLocked(0)
 		g.mu.Unlock()
+		if g.opts.ObserveWait != nil {
+			g.opts.ObserveWait(0)
+		}
 		return g.releaseFunc(), nil
 	}
 	// No free slot (or a queue to get behind): decide whether to wait.
@@ -175,6 +183,9 @@ func (g *Gate) Acquire(ctx context.Context, pri Priority) (release func(), err e
 		wait := g.opts.now().Sub(w.since)
 		g.admitLocked(wait)
 		g.mu.Unlock()
+		if g.opts.ObserveWait != nil {
+			g.opts.ObserveWait(wait)
+		}
 		return g.releaseFunc(), nil
 	case <-ctx.Done():
 		err = ErrCanceled

@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBreakerTransitionsTable walks the breaker's full state machine
+// through scripted sequences of calls and clock advances, checking the
+// observable state after every step. A fake clock makes the cooldown
+// edge exact.
+func TestBreakerTransitionsTable(t *testing.T) {
+	failCall := errors.New("backend down")
+	type step struct {
+		advance   time.Duration // move the fake clock before acting
+		call      bool          // invoke Do (otherwise just check state)
+		fail      bool          // fn outcome when called
+		wantOpen  bool          // expect Do to reject with ErrOpen
+		wantState string        // state after the step
+	}
+	cases := []struct {
+		name      string
+		threshold int
+		cooldown  time.Duration
+		steps     []step
+	}{
+		{
+			name: "opens only at the threshold", threshold: 3, cooldown: time.Minute,
+			steps: []step{
+				{call: true, fail: true, wantState: "closed"},
+				{call: true, fail: true, wantState: "closed"},
+				{call: true, fail: true, wantState: "open"},
+			},
+		},
+		{
+			name: "success resets the consecutive count", threshold: 2, cooldown: time.Minute,
+			steps: []step{
+				{call: true, fail: true, wantState: "closed"},
+				{call: true, fail: false, wantState: "closed"},
+				{call: true, fail: true, wantState: "closed"},
+				{call: true, fail: true, wantState: "open"},
+			},
+		},
+		{
+			name: "open rejects until the cooldown elapses", threshold: 1, cooldown: time.Minute,
+			steps: []step{
+				{call: true, fail: true, wantState: "open"},
+				{advance: 30 * time.Second, call: true, wantOpen: true, wantState: "open"},
+				{advance: 29 * time.Second, call: true, wantOpen: true, wantState: "open"},
+				{advance: time.Second, wantState: "half-open"},
+			},
+		},
+		{
+			name: "half-open probe success closes", threshold: 1, cooldown: time.Minute,
+			steps: []step{
+				{call: true, fail: true, wantState: "open"},
+				{advance: time.Minute, call: true, fail: false, wantState: "closed"},
+				{call: true, fail: false, wantState: "closed"},
+			},
+		},
+		{
+			name: "half-open probe failure reopens immediately", threshold: 3, cooldown: time.Minute,
+			steps: []step{
+				{call: true, fail: true, wantState: "closed"},
+				{call: true, fail: true, wantState: "closed"},
+				{call: true, fail: true, wantState: "open"},
+				// One failed probe re-opens even though it is a single
+				// failure — the threshold only applies while closed.
+				{advance: time.Minute, call: true, fail: true, wantState: "open"},
+				{advance: 30 * time.Second, call: true, wantOpen: true, wantState: "open"},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := time.Unix(1700000000, 0)
+			b := &Breaker{Threshold: tc.threshold, Cooldown: tc.cooldown,
+				Now: func() time.Time { return clock }}
+			for i, s := range tc.steps {
+				clock = clock.Add(s.advance)
+				if s.call {
+					err := b.Do(func() error {
+						if s.fail {
+							return failCall
+						}
+						return nil
+					})
+					if gotOpen := errors.Is(err, ErrOpen); gotOpen != s.wantOpen {
+						t.Fatalf("step %d: ErrOpen = %v, want %v (err %v)", i, gotOpen, s.wantOpen, err)
+					}
+				}
+				if got := b.State(); got != s.wantState {
+					t.Fatalf("step %d: state = %q, want %q", i, got, s.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestDelayBackoffTable pins the un-jittered backoff schedule:
+// geometric growth from BaseDelay, capped at MaxDelay.
+func TestDelayBackoffTable(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Multiplier: 2}
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second}, // capped
+		{9, time.Second}, // stays capped
+	}
+	for _, tc := range cases {
+		if got := p.Delay(tc.attempt, nil); got != tc.want {
+			t.Errorf("Delay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestDelayJitterBounds proves the jitter contract over many draws: a
+// jitter fraction j keeps every delay in [base, base*(1+j)), and a zero
+// fraction adds nothing.
+func TestDelayJitterBounds(t *testing.T) {
+	cases := []struct {
+		name   string
+		jitter float64
+	}{
+		{"no jitter", 0},
+		{"20 percent", 0.2},
+		{"full spread", 1.0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: 10 * time.Second,
+				Multiplier: 2, Jitter: tc.jitter}
+			for seed := int64(1); seed <= 50; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				for attempt := 1; attempt <= 6; attempt++ {
+					base := p.Delay(attempt, nil)
+					got := p.Delay(attempt, rng)
+					if got < base {
+						t.Fatalf("seed %d attempt %d: jittered %v below base %v", seed, attempt, got, base)
+					}
+					max := time.Duration(float64(base) * (1 + tc.jitter))
+					if got > max {
+						t.Fatalf("seed %d attempt %d: jittered %v above bound %v", seed, attempt, got, max)
+					}
+					if tc.jitter == 0 && got != base {
+						t.Fatalf("zero jitter changed the delay: %v != %v", got, base)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDelayIdenticalSeedsIdenticalSchedules pins reproducibility: two
+// RNGs from the same seed must produce the same jittered schedule.
+func TestDelayIdenticalSeedsIdenticalSchedules(t *testing.T) {
+	p := DefaultPolicy()
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for attempt := 1; attempt <= 8; attempt++ {
+		if da, db := p.Delay(attempt, a), p.Delay(attempt, b); da != db {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", attempt, da, db)
+		}
+	}
+}

@@ -9,6 +9,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"vzlens/internal/obs"
 )
 
 // ErrNotFound reports a key with no stored entry.
@@ -26,6 +29,36 @@ const (
 type Store struct {
 	dir string
 	mu  sync.Mutex
+	met storeMetrics
+}
+
+// storeMetrics are the store's observability hooks. Every field is a
+// nil-safe obs metric, so an un-instrumented store pays nothing.
+type storeMetrics struct {
+	hits, misses, corrupt *obs.Counter
+	puts, putErrors       *obs.Counter
+	bytesRead, bytesPut   *obs.Counter
+	fsync                 *obs.Histogram
+}
+
+// Instrument registers the store's metrics on reg: entry hits, misses,
+// quarantined corruptions, puts and put failures, payload bytes in
+// both directions, and the fsync latency distribution (the dominant
+// cost of a durable Put). Call before serving; metrics start at zero.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = storeMetrics{
+		hits:      reg.Counter("vz_resultstore_hits_total", "Reads served from a valid stored entry."),
+		misses:    reg.Counter("vz_resultstore_misses_total", "Reads that found no entry."),
+		corrupt:   reg.Counter("vz_resultstore_corrupt_total", "Entries that failed validation and were quarantined."),
+		puts:      reg.Counter("vz_resultstore_puts_total", "Entries durably written."),
+		putErrors: reg.Counter("vz_resultstore_put_errors_total", "Writes that failed before the atomic rename."),
+		bytesRead: reg.Counter("vz_resultstore_read_bytes_total", "Payload bytes read from valid entries."),
+		bytesPut:  reg.Counter("vz_resultstore_put_bytes_total", "Encoded bytes written to entries."),
+		fsync: reg.Histogram("vz_resultstore_fsync_seconds", "Latency of the per-Put fsync.",
+			obs.LatencyBuckets),
+	}
 }
 
 // Open creates dir (and its quarantine subdirectory) if needed and
@@ -76,24 +109,34 @@ func (s *Store) Put(key string, payload []byte) error {
 	dst := s.Path(key)
 	tmp, err := os.CreateTemp(s.dir, fileName(key)+".tmp-*")
 	if err != nil {
+		s.met.putErrors.Inc()
 		return fmt.Errorf("resultstore: put %s: %w", key, err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(EncodeEntry(payload)); err != nil {
+	encoded := EncodeEntry(payload)
+	if _, err := tmp.Write(encoded); err != nil {
 		tmp.Close()
+		s.met.putErrors.Inc()
 		return fmt.Errorf("resultstore: put %s: %w", key, err)
 	}
+	fsyncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
+		s.met.putErrors.Inc()
 		return fmt.Errorf("resultstore: put %s: %w", key, err)
 	}
+	s.met.fsync.ObserveDuration(time.Since(fsyncStart))
 	if err := tmp.Close(); err != nil {
+		s.met.putErrors.Inc()
 		return fmt.Errorf("resultstore: put %s: %w", key, err)
 	}
 	if err := os.Rename(tmp.Name(), dst); err != nil {
+		s.met.putErrors.Inc()
 		return fmt.Errorf("resultstore: put %s: %w", key, err)
 	}
 	syncDir(s.dir) // best-effort: persist the rename itself
+	s.met.puts.Inc()
+	s.met.bytesPut.Add(uint64(len(encoded)))
 	return nil
 }
 
@@ -107,6 +150,7 @@ func (s *Store) Get(key string) ([]byte, error) {
 	path := s.Path(key)
 	data, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
+		s.met.misses.Inc()
 		return nil, ErrNotFound
 	}
 	if err != nil {
@@ -114,9 +158,12 @@ func (s *Store) Get(key string) ([]byte, error) {
 	}
 	payload, err := DecodeEntry(data)
 	if err != nil {
+		s.met.corrupt.Inc()
 		s.quarantineLocked(path)
 		return nil, fmt.Errorf("get %s: %w", key, err)
 	}
+	s.met.hits.Inc()
+	s.met.bytesRead.Add(uint64(len(payload)))
 	return payload, nil
 }
 

@@ -1,15 +1,18 @@
 package world
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vzlens/internal/atlas"
 	"vzlens/internal/dnsroot"
 	"vzlens/internal/months"
 	"vzlens/internal/netsim"
+	"vzlens/internal/obs"
 )
 
 // workers resolves the configured pool size; zero means GOMAXPROCS.
@@ -96,27 +99,65 @@ func (w *World) activeProbesAt(m months.Month) []atlas.Probe {
 // fragments merge in month order, so the result is identical to the
 // sequential simulation.
 func (w *World) TraceCampaign() *atlas.TraceCampaign {
+	return w.TraceCampaignCtx(context.Background())
+}
+
+// TraceCampaignCtx is TraceCampaign carrying a context for trace
+// propagation: when the context holds an obs.Tracer, the run emits a
+// campaign span with one child span per monthly snapshot, all under
+// the caller's trace ID (the request that triggered the simulation).
+// Tracing and metrics never affect the simulated output.
+func (w *World) TraceCampaignCtx(ctx context.Context) *atlas.TraceCampaign {
 	if w.ext.trace != nil {
 		return w.ext.trace
 	}
+	ctx, span := obs.StartSpan(ctx, "campaign.trace")
 	ms := w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd)
 	frags := make([][]atlas.TraceSample, len(ms))
+	start := time.Now()
+	var busy atomic.Int64
 	forEachIndex(len(ms), w.workers(), func(i int) {
-		frags[i] = w.traceMonth(ms[i])
+		t0 := time.Now()
+		frags[i] = w.traceMonth(ctx, ms[i])
+		d := time.Since(t0)
+		busy.Add(int64(d))
+		w.met.traceMonthDur.ObserveDuration(d)
 	})
+	wall := time.Since(start)
 	tc := atlas.NewTraceCampaign()
 	for _, f := range frags {
 		tc.AddAll(f)
 	}
+	w.met.traceRuns.Inc()
+	w.met.traceResults.Add(uint64(tc.Len()))
+	w.met.traceWall.Set(wall.Seconds())
+	w.met.traceUtil.Set(utilization(busy.Load(), wall, w.workers(), len(ms)))
+	span.SetAttr("months", len(ms))
+	span.SetAttr("samples", tc.Len())
+	span.End()
 	return tc
 }
 
+// utilization is summed per-shard busy time over wall time times the
+// effective worker count — 1.0 means the pool never idled.
+func utilization(busyNS int64, wall time.Duration, workers, shards int) float64 {
+	if workers > shards {
+		workers = shards
+	}
+	if workers < 1 || wall <= 0 {
+		return 0
+	}
+	return float64(busyNS) / (float64(wall) * float64(workers))
+}
+
 // traceMonth simulates one monthly snapshot of the traceroute campaign.
-func (w *World) traceMonth(m months.Month) []atlas.TraceSample {
+func (w *World) traceMonth(ctx context.Context, m months.Month) []atlas.TraceSample {
+	_, span := obs.StartSpan(ctx, "campaign.month")
 	resolver := w.TopologyAt(m)
 	sites := w.GPDNSSitesAt(m)
 	var out []atlas.TraceSample
-	for _, p := range w.activeProbesAt(m) {
+	probes := w.activeProbesAt(m)
+	for _, p := range probes {
 		local := localizeSites(sites, p)
 		_, oneWay, err := resolver.CatchmentFrom(p.ASN, p.City, local, w.Config.Policy)
 		if err != nil {
@@ -133,6 +174,13 @@ func (w *World) traceMonth(m months.Month) []atlas.TraceSample {
 			})
 		}
 	}
+	if span != nil {
+		span.SetAttr("campaign", "trace")
+		span.SetAttr("month", m.String())
+		span.SetAttr("probes", len(probes))
+		span.SetAttr("samples", len(out))
+		span.End()
+	}
 	return out
 }
 
@@ -142,24 +190,46 @@ func (w *World) traceMonth(m months.Month) []atlas.TraceSample {
 // involves no randomness, so the merged result is identical to the
 // sequential simulation.
 func (w *World) ChaosCampaign() *atlas.ChaosCampaign {
+	return w.ChaosCampaignCtx(context.Background())
+}
+
+// ChaosCampaignCtx is ChaosCampaign with trace propagation; see
+// TraceCampaignCtx.
+func (w *World) ChaosCampaignCtx(ctx context.Context) *atlas.ChaosCampaign {
 	if w.ext.chaos != nil {
 		return w.ext.chaos
 	}
+	ctx, span := obs.StartSpan(ctx, "campaign.chaos")
 	ms := w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd)
 	frags := make([][]atlas.ChaosResult, len(ms))
+	start := time.Now()
+	var busy atomic.Int64
 	forEachIndex(len(ms), w.workers(), func(i int) {
-		frags[i] = w.chaosMonth(ms[i])
+		t0 := time.Now()
+		frags[i] = w.chaosMonth(ctx, ms[i])
+		d := time.Since(t0)
+		busy.Add(int64(d))
+		w.met.chaosMonthDur.ObserveDuration(d)
 	})
+	wall := time.Since(start)
 	cc := atlas.NewChaosCampaign()
 	for _, f := range frags {
 		cc.AddAll(f)
 	}
+	w.met.chaosRuns.Inc()
+	w.met.chaosResults.Add(uint64(cc.Len()))
+	w.met.chaosWall.Set(wall.Seconds())
+	w.met.chaosUtil.Set(utilization(busy.Load(), wall, w.workers(), len(ms)))
+	span.SetAttr("months", len(ms))
+	span.SetAttr("results", cc.Len())
+	span.End()
 	return cc
 }
 
 // chaosMonth simulates one monthly snapshot of the CHAOS sweep. The
 // active probe set is computed once for the month, not once per letter.
-func (w *World) chaosMonth(m months.Month) []atlas.ChaosResult {
+func (w *World) chaosMonth(ctx context.Context, m months.Month) []atlas.ChaosResult {
+	_, span := obs.StartSpan(ctx, "campaign.month")
 	resolver := w.TopologyAt(m)
 	probes := w.activeProbesAt(m)
 	var out []atlas.ChaosResult
@@ -182,6 +252,13 @@ func (w *World) chaosMonth(m months.Month) []atlas.ChaosResult {
 				TXT:     insts[idx].ChaosName(m),
 			})
 		}
+	}
+	if span != nil {
+		span.SetAttr("campaign", "chaos")
+		span.SetAttr("month", m.String())
+		span.SetAttr("probes", len(probes))
+		span.SetAttr("results", len(out))
+		span.End()
 	}
 	return out
 }

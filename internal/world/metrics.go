@@ -1,0 +1,49 @@
+package world
+
+import (
+	"vzlens/internal/obs"
+)
+
+// worldMetrics holds the campaign engine's observability hooks. Every
+// field is a nil-safe obs metric: an un-instrumented World records
+// nothing and pays (almost) nothing.
+type worldMetrics struct {
+	traceRuns, chaosRuns         *obs.Counter
+	traceResults, chaosResults   *obs.Counter
+	traceMonthDur, chaosMonthDur *obs.Histogram
+	traceWall, chaosWall         *obs.Gauge
+	traceUtil, chaosUtil         *obs.Gauge
+}
+
+// Instrument registers the campaign engine's metrics on reg: full-run
+// counters, per-month simulate-duration histograms, produced
+// sample/result counters, and two gauges per campaign — the wall time
+// of the last full simulation and its worker utilization (summed
+// per-month busy time divided by wall time × effective workers; 1.0
+// means the pool never idled). Call during startup, before campaigns
+// run concurrently.
+func (w *World) Instrument(reg *obs.Registry) {
+	trace, chaos := obs.L("campaign", "trace"), obs.L("campaign", "chaos")
+	w.met = worldMetrics{
+		traceRuns: reg.Counter("vz_campaign_runs_total",
+			"Full campaign simulations executed.", trace),
+		chaosRuns: reg.Counter("vz_campaign_runs_total",
+			"Full campaign simulations executed.", chaos),
+		traceResults: reg.Counter("vz_campaign_results_total",
+			"Samples/results produced by campaign simulations.", trace),
+		chaosResults: reg.Counter("vz_campaign_results_total",
+			"Samples/results produced by campaign simulations.", chaos),
+		traceMonthDur: reg.Histogram("vz_campaign_month_seconds",
+			"Wall time simulating one monthly snapshot.", obs.LatencyBuckets, trace),
+		chaosMonthDur: reg.Histogram("vz_campaign_month_seconds",
+			"Wall time simulating one monthly snapshot.", obs.LatencyBuckets, chaos),
+		traceWall: reg.Gauge("vz_campaign_last_run_seconds",
+			"Wall time of the most recent full campaign simulation.", trace),
+		chaosWall: reg.Gauge("vz_campaign_last_run_seconds",
+			"Wall time of the most recent full campaign simulation.", chaos),
+		traceUtil: reg.Gauge("vz_campaign_worker_utilization",
+			"Busy/(wall x workers) for the most recent full simulation.", trace),
+		chaosUtil: reg.Gauge("vz_campaign_worker_utilization",
+			"Busy/(wall x workers) for the most recent full simulation.", chaos),
+	}
+}

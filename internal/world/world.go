@@ -105,6 +105,10 @@ type World struct {
 	// shard instead of once per letter.
 	activeMu    sync.Mutex
 	activeCache map[months.Month][]atlas.Probe
+
+	// met is the campaign engine's observability surface (see
+	// Instrument); the zero value records nothing.
+	met worldMetrics
 }
 
 // topoCell is a once-cell for one month's resolver.

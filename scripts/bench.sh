@@ -4,19 +4,41 @@
 # tracked across PRs.
 #
 #   scripts/bench.sh [output.json]
+#   scripts/bench.sh --check [baseline.json]
+#
+# With --check, the fresh run is compared against the committed baseline
+# (default BENCH_campaigns.json) instead of overwriting it: any benchmark
+# whose ns/op or allocs/op regressed by more than BENCH_TOLERANCE percent
+# (default 25) fails the script with a per-benchmark report. Benchmarks
+# missing from either side are reported but never fail the check, so
+# adding or retiring a benchmark does not break CI.
 #
 # Environment:
-#   BENCH_PATTERN   benchmarks to run (default: the campaign + BFS set)
-#   BENCH_TIME      -benchtime value (default: 1x — one timed iteration
-#                   per benchmark keeps the sweep fast; raise for stable
-#                   numbers, e.g. BENCH_TIME=3x or BENCH_TIME=2s)
+#   BENCH_PATTERN    benchmarks to run (default: the campaign + BFS set)
+#   BENCH_TIME       -benchtime value (default: 1x — one timed iteration
+#                    per benchmark keeps the sweep fast; raise for stable
+#                    numbers, e.g. BENCH_TIME=3x or BENCH_TIME=2s)
+#   BENCH_TOLERANCE  --check regression threshold in percent (default 25)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_campaigns.json}"
+check=0
+if [[ "${1:-}" == "--check" ]]; then
+    check=1
+    shift
+fi
+
 pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild}"
 benchtime="${BENCH_TIME:-1x}"
+tolerance="${BENCH_TOLERANCE:-25}"
+
+if [[ "$check" == 1 ]]; then
+    baseline="${1:-BENCH_campaigns.json}"
+    out="$(mktemp)"
+else
+    out="${1:-BENCH_campaigns.json}"
+fi
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -54,3 +76,72 @@ END {
 }' "$raw" > "$out"
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
+
+if [[ "$check" == 0 ]]; then
+    exit 0
+fi
+
+if [[ ! -f "$baseline" ]]; then
+    echo "bench.sh --check: baseline $baseline not found" >&2
+    exit 2
+fi
+
+# Compare the fresh run against the baseline. The JSON is our own
+# one-benchmark-per-line format, so awk is enough — no extra tooling.
+status=0
+awk -v tol="$tolerance" '
+function extract(line, key,   rest) {
+    if (index(line, "\"" key "\":") == 0) return ""
+    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+    gsub(/^[ ]*/, "", rest)
+    sub(/[,}].*$/, "", rest)
+    gsub(/"/, "", rest)
+    return rest
+}
+FNR == 1 { file++ }
+/"name"/ {
+    name = extract($0, "name")
+    if (file == 1) {
+        base_ns[name]     = extract($0, "ns_per_op")
+        base_allocs[name] = extract($0, "allocs_per_op")
+        in_base[name] = 1
+    } else {
+        cur_ns[name]     = extract($0, "ns_per_op")
+        cur_allocs[name] = extract($0, "allocs_per_op")
+        in_cur[name] = 1
+    }
+}
+END {
+    failed = 0
+    for (name in in_cur) {
+        if (!(name in in_base)) {
+            printf "  NEW   %s (no baseline, skipped)\n", name
+            continue
+        }
+        verdict = "ok"
+        detail = ""
+        if (base_ns[name] + 0 > 0) {
+            pct = (cur_ns[name] - base_ns[name]) * 100.0 / base_ns[name]
+            detail = sprintf("ns/op %s -> %s (%+.1f%%)", base_ns[name], cur_ns[name], pct)
+            if (pct > tol) verdict = "FAIL"
+        }
+        if (base_allocs[name] != "" && base_allocs[name] + 0 > 0) {
+            apct = (cur_allocs[name] - base_allocs[name]) * 100.0 / base_allocs[name]
+            detail = detail sprintf(", allocs/op %s -> %s (%+.1f%%)", base_allocs[name], cur_allocs[name], apct)
+            if (apct > tol) verdict = "FAIL"
+        }
+        printf "  %-5s %s: %s\n", verdict, name, detail
+        if (verdict == "FAIL") failed++
+    }
+    for (name in in_base) {
+        if (!(name in in_cur)) printf "  GONE  %s (in baseline, not in this run)\n", name
+    }
+    if (failed > 0) {
+        printf "bench.sh --check: %d benchmark(s) regressed more than %s%%\n", failed, tol
+        exit 1
+    }
+    printf "bench.sh --check: no regression beyond %s%%\n", tol
+}' "$baseline" "$out" || status=1
+
+rm -f "$out"
+exit "$status"
