@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vzlens/internal/atlas"
+	"vzlens/internal/bgp"
 	"vzlens/internal/core"
 	"vzlens/internal/dnsroot"
 	"vzlens/internal/geo"
@@ -490,4 +491,75 @@ func BenchmarkAblationReplicaDetection(b *testing.B) {
 	b.ReportMetric(float64(detected), "detected")
 	b.ReportMetric(float64(deployed), "deployed")
 	b.ReportMetric(float64(detected)/float64(deployed), "coverage")
+}
+
+// BenchmarkScenarioOverlayDense times deriving a counterfactual view of
+// the full topology: a copy-on-write overlay over a warm base, its
+// patched dense build, and one valley-free resolution through it. The
+// allocation count scales with the edit list, not the topology — the
+// gap against BenchmarkScenarioDenseRebuild is why the scenario engine
+// can replay whole campaigns without per-month graph rebuilds.
+func BenchmarkScenarioOverlayDense(b *testing.B) {
+	setup()
+	topo := benchW.TopologyAt(months.New(2023, time.July)).Topology()
+	edits := []netsim.Edit{
+		{Op: netsim.EditRemoveLink, A: 6762, B: 8048, Kind: bgp.ProviderCustomer},
+		{Op: netsim.EditAddLink, A: 8048, B: 3816, Kind: bgp.PeerPeer},
+	}
+	src := benchW.Nets["VE"].Eyeballs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		over, err := topo.Overlay(edits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if info := netsim.NewResolver(over).PathInfoFrom(src, world.ASGoogle); !info.OK {
+			b.Fatal("unreachable under overlay")
+		}
+	}
+}
+
+// BenchmarkScenarioDenseRebuild is the from-scratch control for the
+// overlay benchmark: the same counterfactual month rebuilt by replaying
+// every link and location into a fresh topology before resolving.
+func BenchmarkScenarioDenseRebuild(b *testing.B) {
+	setup()
+	topo := benchW.TopologyAt(months.New(2023, time.July)).Topology()
+	g := topo.Graph()
+	ases := g.ASes()
+	type link struct{ a, b bgp.ASN }
+	var p2c, p2p []link
+	located := map[bgp.ASN]geo.City{}
+	for _, a := range ases {
+		for _, c := range g.Customers(a) {
+			p2c = append(p2c, link{a, c})
+		}
+		for _, p := range g.Peers(a) {
+			if a < p {
+				p2p = append(p2p, link{a, p})
+			}
+		}
+		if city, ok := topo.Location(a); ok {
+			located[a] = city
+		}
+	}
+	src := benchW.Nets["VE"].Eyeballs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		re := netsim.New()
+		for _, l := range p2c {
+			re.AddLink(l.a, l.b, bgp.ProviderCustomer)
+		}
+		for _, l := range p2p {
+			re.AddLink(l.a, l.b, bgp.PeerPeer)
+		}
+		for asn, city := range located {
+			re.Locate(asn, city)
+		}
+		if info := netsim.NewResolver(re).PathInfoFrom(src, world.ASGoogle); !info.OK {
+			b.Fatal("unreachable after rebuild")
+		}
+	}
 }

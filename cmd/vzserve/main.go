@@ -3,15 +3,18 @@
 //
 //	vzserve [-addr :8080] [-quick] [-workers N] [-warm] [-drain 30s] [-timeout 5m]
 //	        [-max-inflight 64] [-queue-timeout 10s] [-store DIR]
-//	        [-debug-addr :6060] [-trace FILE]
+//	        [-debug-addr :6060] [-trace FILE] [-scenario-file FILE]
 //
-//	GET /healthz                     (liveness)
-//	GET /readyz                      (readiness + degradation report + overload stats)
-//	GET /metrics                     (Prometheus text format)
-//	GET /metrics.json                (same registry as JSON)
-//	GET /api/experiments
-//	GET /api/experiments/{id}        (fig1..fig21, table1; append .csv)
-//	GET /api/countries/{cc}
+//	GET  /healthz                     (liveness)
+//	GET  /readyz                      (readiness + degradation report + overload stats)
+//	GET  /metrics                     (Prometheus text format)
+//	GET  /metrics.json                (same registry as JSON)
+//	GET  /api/experiments
+//	GET  /api/experiments/{id}        (fig1..fig21, table1; append .csv)
+//	GET  /api/countries/{cc}
+//	GET  /api/scenarios               (registered counterfactual scenarios)
+//	POST /api/scenarios               (register a scenario spec)
+//	GET  /api/scenarios/{id}/diff     (baseline-vs-scenario diff; simulates on first request)
 //
 // Campaign-backed experiments (fig6, fig12, fig16, fig20) simulate on
 // first request and are cached for the life of the process; a failed
@@ -49,6 +52,7 @@ import (
 	"vzlens/internal/netsim"
 	"vzlens/internal/obs"
 	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
 	"vzlens/internal/world"
 )
 
@@ -63,6 +67,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max wait for an execution slot before shedding")
 	storeDir := flag.String("store", "", "crash-safe result store directory (empty = no persistence)")
+	scenarioFile := flag.String("scenario-file", "", "preload counterfactual scenario specs from FILE (one spec or a JSON array)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty = disabled")
 	traceOut := flag.String("trace", "", "append span JSON lines to FILE (\"-\" = stderr); empty = tracing off")
 	flag.Parse()
@@ -106,6 +111,14 @@ func main() {
 		}
 		opts.Store = store
 		log.Printf("vzserve: result store at %s", *storeDir)
+	}
+	if *scenarioFile != "" {
+		specs, err := scenario.LoadSpecs(*scenarioFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Scenarios = specs
+		log.Printf("vzserve: preloaded %d scenario(s) from %s", len(specs), *scenarioFile)
 	}
 	h := httpapi.NewWithOptions(w, opts)
 	if *warm {

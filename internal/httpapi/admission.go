@@ -27,6 +27,11 @@ func classify(r *http.Request) (overload.Priority, string) {
 		return overload.PriorityCritical, "metrics"
 	case strings.HasPrefix(r.URL.Path, "/api/experiments/"):
 		return overload.PriorityLow, "experiment"
+	case strings.HasPrefix(r.URL.Path, "/api/scenarios"):
+		// Scenario diffs can trigger two extra campaign simulations —
+		// the most expensive operation the API exposes — so they shed
+		// alongside experiments.
+		return overload.PriorityLow, "scenario"
 	default:
 		return overload.PriorityHigh, "api"
 	}

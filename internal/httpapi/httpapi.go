@@ -38,6 +38,7 @@ import (
 	"vzlens/internal/overload"
 	"vzlens/internal/resilience"
 	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
 	"vzlens/internal/world"
 )
 
@@ -98,6 +99,14 @@ type Options struct {
 	// through experiment coalescing into the campaign engine's
 	// per-month spans. Nil disables tracing (zero overhead).
 	Tracer *obs.Tracer
+
+	// Scenarios preloads counterfactual scenario specs (vzserve's
+	// -scenario-file) so their diffs are requestable immediately. A
+	// spec that fails to compile against the world is a construction
+	// error surfaced by NewWithOptions via panic — a canned scenario
+	// file that doesn't apply is an operator mistake worth failing
+	// loudly at startup, not at first request.
+	Scenarios []*scenario.Spec
 }
 
 // Handler serves the API over a built world. Campaign-backed
@@ -120,6 +129,11 @@ type Handler struct {
 
 	trace resilience.LazyResult[*atlas.TraceCampaign]
 	chaos resilience.LazyResult[*atlas.ChaosCampaign]
+
+	engine      *scenario.Engine
+	scenMu      sync.Mutex
+	scenarios   map[string]*scenario.Spec
+	scenFlights overload.Group[string, []byte]
 }
 
 // New returns a Handler over w with default Options.
@@ -154,6 +168,21 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 	for _, e := range core.Experiments() {
 		h.exps[e.ID] = e
 	}
+	// The scenario engine reuses the handler's memoized baseline
+	// campaigns, so a scenario run pays for one scenario simulation,
+	// not two full campaigns.
+	h.engine = scenario.NewEngine(scenario.Options{
+		World:         w,
+		BaselineTrace: h.traceCampaign,
+		BaselineChaos: h.chaosCampaign,
+	})
+	h.engine.Instrument(h.reg)
+	h.scenarios = make(map[string]*scenario.Spec)
+	for _, spec := range opts.Scenarios {
+		if _, err := h.registerScenario(spec); err != nil {
+			panic(fmt.Sprintf("httpapi: preloaded scenario: %v", err))
+		}
+	}
 	h.mux.HandleFunc("GET /healthz", h.health)
 	h.mux.HandleFunc("GET /readyz", h.ready)
 	h.mux.Handle("GET /metrics", h.reg.Handler())
@@ -162,6 +191,9 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 	h.mux.HandleFunc("GET /api/experiments/{id}", h.experiment)
 	h.mux.HandleFunc("GET /api/countries/{cc}", h.country)
 	h.mux.HandleFunc("GET /api/signatures", h.signatures)
+	h.mux.HandleFunc("GET /api/scenarios", h.listScenarios)
+	h.mux.HandleFunc("POST /api/scenarios", h.postScenario)
+	h.mux.HandleFunc("GET /api/scenarios/{id}/diff", h.scenarioDiff)
 	var root http.Handler = h.mux
 	if opts.RequestTimeout > 0 {
 		root = http.TimeoutHandler(root, opts.RequestTimeout,

@@ -1,0 +1,159 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+	"vzlens/internal/obs"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
+	"vzlens/internal/world"
+)
+
+// scenarioTestConfig compresses the campaigns around the depeering era
+// so scenario tests simulate seconds, not minutes, of work.
+func scenarioTestConfig() world.Config {
+	return world.Config{
+		TraceStart: months.New(2018, time.January),
+		TraceEnd:   months.New(2021, time.January),
+		ChaosStart: months.New(2018, time.January),
+		ChaosEnd:   months.New(2021, time.January),
+		Step:       6,
+	}
+}
+
+// cannedSpec loads one of internal/scenario's shipped scenarios.
+func cannedSpec(t *testing.T, id string) *scenario.Spec {
+	t.Helper()
+	data, err := os.ReadFile("../scenario/testdata/" + id + ".json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := scenario.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func post(t *testing.T, h *Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestScenarioRegistrationAndListing(t *testing.T) {
+	w := mustBuild(scenarioTestConfig())
+	h := NewWithOptions(w, Options{Scenarios: []*scenario.Spec{cannedSpec(t, "cantv-depeer")}})
+
+	rec := getFrom(t, h, "/api/scenarios")
+	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "cantv-depeer") {
+		t.Fatalf("list: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// A fresh scenario registers with 201 and advertises its diff URL.
+	spec := `{"id":"test-cut","ops":[{"op":"remove_link","a":6762,"b":8048,"kind":"p2c","from":"2019-06"}]}`
+	rec = post(t, h, "/api/scenarios", spec)
+	if rec.Code != http.StatusCreated || !strings.Contains(rec.Body.String(), "/api/scenarios/test-cut/diff") {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	// Identical re-registration is idempotent.
+	if rec = post(t, h, "/api/scenarios", spec); rec.Code != http.StatusOK {
+		t.Fatalf("idempotent re-post: %d %s", rec.Code, rec.Body.String())
+	}
+	// Same id, different content conflicts.
+	other := `{"id":"test-cut","ops":[{"op":"depeer","asn":8048,"from":"2019-01"}]}`
+	if rec = post(t, h, "/api/scenarios", other); rec.Code != http.StatusConflict {
+		t.Fatalf("conflicting re-post: %d %s", rec.Code, rec.Body.String())
+	}
+	// Structurally invalid and semantically dangling specs are 400s.
+	if rec = post(t, h, "/api/scenarios", `{"id":"bad","ops":[{"op":"warp"}]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %d %s", rec.Code, rec.Body.String())
+	}
+	dangling := `{"id":"bad2","ops":[{"op":"depeer","asn":424242}]}`
+	if rec = post(t, h, "/api/scenarios", dangling); rec.Code != http.StatusBadRequest {
+		t.Fatalf("dangling spec: %d %s", rec.Code, rec.Body.String())
+	}
+	// Oversized bodies are rejected before parsing.
+	huge := `{"id":"big","ops":[` + strings.Repeat(`{"op":"depeer","asn":1},`, 4096) + `]}`
+	if rec = post(t, h, "/api/scenarios", huge); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec: %d", rec.Code)
+	}
+
+	if rec = getFrom(t, h, "/api/scenarios/nope/diff"); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown diff: %d", rec.Code)
+	}
+}
+
+// TestScenarioDiffServedFromStoreAfterRestart is the end-to-end
+// persistence contract: a server preloaded with -scenario-file
+// computes a diff once; after a "restart" (a fresh handler over the
+// same store directory) the diff serves byte-identically from the
+// store without a single re-simulation.
+func TestScenarioDiffServedFromStoreAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	specs := []*scenario.Spec{cannedSpec(t, "cable-cut")}
+
+	boot := func() (*Handler, *obs.Registry) {
+		store, err := resultstore.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reg := obs.NewRegistry()
+		h := NewWithOptions(mustBuild(scenarioTestConfig()), Options{
+			Store:     store,
+			Metrics:   reg,
+			Scenarios: specs,
+		})
+		return h, reg
+	}
+	runs := func(reg *obs.Registry) uint64 {
+		return reg.Counter("vz_scenario_runs_total",
+			"Completed counterfactual scenario runs.").Value()
+	}
+
+	h1, reg1 := boot()
+	rec := getFrom(t, h1, "/api/scenarios/cable-cut/diff")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first diff: %d %s", rec.Code, rec.Body.String())
+	}
+	first := rec.Body.String()
+	if !strings.Contains(first, `"scenario": "cable-cut"`) {
+		t.Fatalf("diff body: %s", first)
+	}
+	if got := runs(reg1); got != 1 {
+		t.Fatalf("scenario runs after first request = %d, want 1", got)
+	}
+
+	// "Restart": a brand-new handler, registry, and store handle over
+	// the same directory. The only shared state is the disk.
+	h2, reg2 := boot()
+	rec = getFrom(t, h2, "/api/scenarios/cable-cut/diff")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-restart diff: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Body.String() != first {
+		t.Fatal("post-restart diff is not byte-identical to the original")
+	}
+	if got := runs(reg2); got != 0 {
+		t.Fatalf("scenario runs after restart = %d, want 0 (store must answer)", got)
+	}
+}
+
+// TestScenarioAdmissionClass pins that scenario routes land in their
+// own (sheddable) admission class, not the default API class.
+func TestScenarioAdmissionClass(t *testing.T) {
+	for _, path := range []string{"/api/scenarios", "/api/scenarios/x/diff"} {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		if _, class := classify(req); class != "scenario" {
+			t.Errorf("classify(%s) class = %q, want scenario", path, class)
+		}
+	}
+}

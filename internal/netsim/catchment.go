@@ -41,12 +41,15 @@ func (r *Resolver) Topology() *Topology { return r.topo }
 // treeFor returns the memoized single-source tree for src (indexed by
 // dense AS index) and the dense view it is defined over, building both
 // under the resolver lock on first use. The tree is nil when src is
-// unknown to the topology. Trees are immutable once built.
+// unknown to the topology. Trees are immutable once built; a topology
+// mutation (anywhere in an overlay's base chain) produces a new dense
+// view, which drops every memoized tree here — the resolver never
+// serves adjacency from before the mutation.
 func (r *Resolver) treeFor(src bgp.ASN) ([]PathInfo, *denseTopo) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.d == nil {
-		r.d = r.topo.dense()
+	if d := r.topo.dense(); d != r.d {
+		r.d = d
 		r.trees = make([][]PathInfo, len(r.d.asns))
 	}
 	si, ok := r.d.index[src]

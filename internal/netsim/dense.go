@@ -26,6 +26,15 @@ type denseTopo struct {
 
 	hasLoc         []bool
 	locLat, locLon []float64
+
+	// Overlay patches: when a row appears in a patch map, it replaces
+	// the CSR slice for that AS. Base builds leave the maps nil, so the
+	// accessors stay a bounds-checked slice on the hot path. Patch rows
+	// are immutable once the view is built — derived overlays clone a
+	// row before changing it.
+	provPatch map[int32][]int32
+	peerPatch map[int32][]int32
+	custPatch map[int32][]int32
 }
 
 // buildDense interns every AS that appears in the graph or carries a
@@ -85,9 +94,132 @@ func buildDense(t *Topology) *denseTopo {
 	return d
 }
 
-func (d *denseTopo) providers(i int32) []int32 { return d.provAdj[d.provOff[i]:d.provOff[i+1]] }
-func (d *denseTopo) peers(i int32) []int32     { return d.peerAdj[d.peerOff[i]:d.peerOff[i+1]] }
-func (d *denseTopo) customers(i int32) []int32 { return d.custAdj[d.custOff[i]:d.custOff[i+1]] }
+func (d *denseTopo) providers(i int32) []int32 {
+	if d.provPatch != nil {
+		if row, ok := d.provPatch[i]; ok {
+			return row
+		}
+	}
+	return d.provAdj[d.provOff[i]:d.provOff[i+1]]
+}
+
+func (d *denseTopo) peers(i int32) []int32 {
+	if d.peerPatch != nil {
+		if row, ok := d.peerPatch[i]; ok {
+			return row
+		}
+	}
+	return d.peerAdj[d.peerOff[i]:d.peerOff[i+1]]
+}
+
+func (d *denseTopo) customers(i int32) []int32 {
+	if d.custPatch != nil {
+		if row, ok := d.custPatch[i]; ok {
+			return row
+		}
+	}
+	return d.custAdj[d.custOff[i]:d.custOff[i+1]]
+}
+
+// buildOverlayDense derives the dense view of an overlay from its
+// base's dense view. Everything is shared — the interning, the CSR
+// arrays, the location slices — except the rows the overlay's edits
+// touch, which are materialized into patch maps, and the location
+// slices when the overlay relocates an AS. The build therefore costs
+// O(edits) allocations regardless of topology size; this is what makes
+// a per-month scenario overlay cheaper than rebuilding the month.
+func buildOverlayDense(d0 *denseTopo, o *Topology) *denseTopo {
+	if m := met.Load(); m != nil {
+		m.overlayBuilds.Inc()
+	}
+	d := *d0 // share asns, index, CSR arrays, location slices
+	d.provPatch = clonePatch(d0.provPatch)
+	d.peerPatch = clonePatch(d0.peerPatch)
+	d.custPatch = clonePatch(d0.custPatch)
+
+	patch := func(p map[int32][]int32, row func(int32) []int32, i, v int32, add bool) {
+		cur := row(i)
+		if add {
+			p[i] = insertSortedIdx(cur, v)
+		} else {
+			p[i] = removeIdx(cur, v)
+		}
+	}
+	apply := func(p map[int32][]int32, row func(int32) []int32, delta adjDelta) {
+		for a, bs := range delta.add {
+			for _, b := range bs {
+				patch(p, row, d.index[a], d.index[b], true)
+			}
+		}
+		for a, bs := range delta.rem {
+			for _, b := range bs {
+				patch(p, row, d.index[a], d.index[b], false)
+			}
+		}
+	}
+	apply(d.provPatch, d.providers, o.prov)
+	apply(d.custPatch, d.customers, o.cust)
+	apply(d.peerPatch, d.peers, o.peer)
+
+	if len(o.locOverride) > 0 {
+		d.hasLoc = append([]bool(nil), d0.hasLoc...)
+		d.locLat = append([]float64(nil), d0.locLat...)
+		d.locLon = append([]float64(nil), d0.locLon...)
+		for asn, c := range o.locOverride {
+			i := d.index[asn]
+			if c == (geo.City{}) {
+				d.hasLoc[i] = false
+				d.locLat[i], d.locLon[i] = 0, 0
+				continue
+			}
+			d.hasLoc[i] = true
+			d.locLat[i], d.locLon[i] = c.Lat, c.Lon
+		}
+	}
+	return &d
+}
+
+// clonePatch copies a patch map (rows stay shared; they are immutable).
+func clonePatch(p map[int32][]int32) map[int32][]int32 {
+	out := make(map[int32][]int32, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// insertSortedIdx returns a fresh sorted row with v inserted. The input
+// row is never modified: it may be a shared CSR slice or a parent
+// overlay's patch row.
+func insertSortedIdx(row []int32, v int32) []int32 {
+	out := make([]int32, 0, len(row)+1)
+	placed := false
+	for _, x := range row {
+		if !placed && v < x {
+			out = append(out, v)
+			placed = true
+		}
+		if x == v {
+			placed = true // already present (Overlay validation prevents this)
+		}
+		out = append(out, x)
+	}
+	if !placed {
+		out = append(out, v)
+	}
+	return out
+}
+
+// removeIdx returns a fresh row with v filtered out.
+func removeIdx(row []int32, v int32) []int32 {
+	out := make([]int32, 0, len(row))
+	for _, x := range row {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}
 
 // BFS states are packed as asIndex*3 + phase, so per-state bookkeeping
 // lives in flat arrays indexed by the packed value.

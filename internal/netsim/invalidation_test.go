@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"testing"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+// TestBaseMutationInvalidatesOverlayDense: an overlay's dense view is
+// patched over the base's cached build, so mutating the base after the
+// overlay has served queries must propagate — the generation counter
+// sums down the base chain precisely so a derived view can never serve
+// pre-mutation adjacency.
+func TestBaseMutationInvalidatesOverlayDense(t *testing.T) {
+	base := New()
+	base.AddLink(1, 2, bgp.ProviderCustomer)
+	base.AddLink(1, 3, bgp.ProviderCustomer)
+
+	over, err := base.Overlay([]Edit{{Op: EditAddLink, A: 2, B: 3, Kind: bgp.PeerPeer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResolver(over)
+	if info := r.PathInfoFrom(2, 3); !info.OK || info.Hops != 2 {
+		t.Fatalf("2→3 over overlay peer link: %+v, want 2 hops", info)
+	}
+
+	// Mutate the base after the overlay's dense view is warm.
+	base.AddLink(3, 4, bgp.ProviderCustomer)
+	if info := r.PathInfoFrom(2, 4); !info.OK || info.Hops != 3 {
+		t.Fatalf("2→4 after base mutation: %+v, want 3 hops via the overlay peer link", info)
+	}
+	// The overlay's own edit survives the rebuild.
+	if info := r.PathInfoFrom(2, 3); !info.OK || info.Hops != 2 {
+		t.Fatalf("2→3 after base mutation: %+v, want the overlay link intact", info)
+	}
+}
+
+// TestNestedOverlayInvalidation: generation changes must propagate
+// through a chain of overlays, not just one level.
+func TestNestedOverlayInvalidation(t *testing.T) {
+	base := New()
+	base.AddLink(10, 1, bgp.ProviderCustomer)
+	base.AddLink(10, 2, bgp.ProviderCustomer)
+
+	mid, err := base.Overlay([]Edit{{Op: EditAddLink, A: 1, B: 2, Kind: bgp.PeerPeer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, err := mid.Overlay([]Edit{{Op: EditRemoveLink, A: 10, B: 2, Kind: bgp.ProviderCustomer}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewResolver(top)
+	if info := r.PathInfoFrom(2, 1); !info.OK || info.Hops != 2 {
+		t.Fatalf("2→1 via the mid peer link: %+v, want 2 hops", info)
+	}
+	// Mutate the grand-base: 2 must reach the new customer of 1 through
+	// both overlay levels (peer then down is valley-free).
+	base.AddLink(1, 5, bgp.ProviderCustomer)
+	if info := r.PathInfoFrom(2, 5); !info.OK || info.Hops != 3 {
+		t.Fatalf("2→5 after grand-base mutation: %+v, want 3 hops", info)
+	}
+}
+
+// TestLocateEdgeCases is the table-driven contract of Locate and the
+// overlay location override: relocation changes what Location answers,
+// a zero-City override clears a location, and untouched ASes fall
+// through to the base.
+func TestLocateEdgeCases(t *testing.T) {
+	ccs, _ := geo.LookupIATA("CCS")
+	bog, _ := geo.LookupIATA("BOG")
+
+	cases := []struct {
+		name     string
+		edit     Edit
+		asn      bgp.ASN
+		wantCity string
+		wantOK   bool
+	}{
+		{"override replaces base location", Edit{Op: EditRelocate, A: 1, City: bog}, 1, bog.Name, true},
+		{"zero override clears location", Edit{Op: EditRelocate, A: 1, City: geo.City{}}, 1, "", false},
+		{"override locates an unlocated AS", Edit{Op: EditRelocate, A: 2, City: bog}, 2, bog.Name, true},
+		{"untouched AS falls through", Edit{Op: EditRelocate, A: 2, City: bog}, 1, ccs.Name, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base := New()
+			base.AddLink(1, 2, bgp.ProviderCustomer)
+			base.Locate(1, ccs)
+			over, err := base.Overlay([]Edit{tc.edit})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, ok := over.Location(tc.asn)
+			if ok != tc.wantOK || (ok && c.Name != tc.wantCity) {
+				t.Fatalf("Location(%d) = %v/%v, want %q/%v", tc.asn, c.Name, ok, tc.wantCity, tc.wantOK)
+			}
+			// The base's own view must be unaffected by any override.
+			if c, ok := base.Location(1); !ok || c.Name != ccs.Name {
+				t.Fatalf("base location disturbed: %v/%v", c, ok)
+			}
+		})
+	}
+}
+
+// TestRelocateAfterDenseBuild: a location override must be visible in
+// dense-derived latency math even when the base's dense view was
+// already cached before the overlay existed.
+func TestRelocateAfterDenseBuild(t *testing.T) {
+	ccs, _ := geo.LookupIATA("CCS")
+	mia, _ := geo.LookupIATA("MIA")
+	base := New()
+	base.AddLink(1, 2, bgp.ProviderCustomer)
+	base.Locate(1, ccs)
+	base.Locate(2, ccs)
+
+	// Warm the base dense view first.
+	before := NewResolver(base).PathInfoFrom(2, 1)
+	if !before.OK {
+		t.Fatalf("co-located base path: %+v", before)
+	}
+	over, err := base.Overlay([]Edit{{Op: EditRelocate, A: 1, City: mia}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := NewResolver(over).PathInfoFrom(2, 1)
+	if !info.OK || info.LatencyMs <= before.LatencyMs {
+		t.Fatalf("latency after relocating one endpoint: %+v, want > co-located %.2fms", info, before.LatencyMs)
+	}
+}

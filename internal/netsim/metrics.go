@@ -10,11 +10,12 @@ import (
 // nil-safe obs counters, so the un-instrumented hot path pays one
 // atomic pointer load and a nil check per BFS — nothing per state.
 type metrics struct {
-	denseBuilds *obs.Counter
-	treeBFS     *obs.Counter
-	treeMemoHit *obs.Counter
-	pathBFS     *obs.Counter
-	scratchGrow *obs.Counter
+	denseBuilds   *obs.Counter
+	overlayBuilds *obs.Counter
+	treeBFS       *obs.Counter
+	treeMemoHit   *obs.Counter
+	pathBFS       *obs.Counter
+	scratchGrow   *obs.Counter
 }
 
 // met is swapped atomically so InstrumentMetrics is safe to call while
@@ -29,6 +30,8 @@ func InstrumentMetrics(reg *obs.Registry) {
 	m := &metrics{
 		denseBuilds: reg.Counter("vz_netsim_dense_builds_total",
 			"Topologies interned into the dense CSR form."),
+		overlayBuilds: reg.Counter("vz_netsim_overlay_builds_total",
+			"Dense overlay views derived by patching a base build."),
 		treeBFS: reg.Counter("vz_netsim_tree_bfs_total",
 			"Single-source valley-free BFS traversals executed."),
 		treeMemoHit: reg.Counter("vz_netsim_tree_memo_hits_total",

@@ -13,20 +13,42 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vzlens/internal/bgp"
 	"vzlens/internal/geo"
 )
 
-// Topology is an AS-level graph annotated with AS locations.
+// Topology is an AS-level graph annotated with AS locations. A
+// Topology is either a base (graph and location populated) or an
+// overlay view created by Overlay (base and deltas populated); the
+// query API is identical for both.
 type Topology struct {
 	graph    *bgp.Graph
 	location map[bgp.ASN]geo.City
 
+	// Overlay views: the base topology, the edit list that produced the
+	// view, the copy-on-write adjacency deltas, and relocated ASes.
+	base        *Topology
+	edits       []Edit
+	prov        adjDelta // providers-of deltas
+	cust        adjDelta // customers-of deltas
+	peer        adjDelta // peers-of deltas
+	locOverride map[bgp.ASN]geo.City
+
+	// gen counts mutations of this topology. An overlay's effective
+	// generation sums the chain down to the base, so a dense view (or a
+	// resolver tree) built over any view in the chain can detect that
+	// an ancestor changed underneath it.
+	gen atomic.Uint64
+
 	// denseV is the interned index-based view the resolver traversals
-	// run over, built lazily on first use and invalidated by mutation.
-	denseMu sync.Mutex
-	denseV  *denseTopo
+	// run over, built lazily on first use and invalidated by mutation
+	// anywhere in the base chain (denseGen records the generation it
+	// was built at).
+	denseMu  sync.Mutex
+	denseV   *denseTopo
+	denseGen uint64
 }
 
 // New returns an empty Topology.
@@ -40,43 +62,89 @@ func FromGraph(g *bgp.Graph) *Topology {
 }
 
 // AddLink inserts a relationship edge (provider→customer or peer).
+// Overlay views are immutable; AddLink panics on one (build a new
+// Overlay instead).
 func (t *Topology) AddLink(a, b bgp.ASN, kind bgp.RelKind) {
+	if t.base != nil {
+		panic("netsim: AddLink on an overlay view; overlays are immutable, build a new Overlay")
+	}
 	t.invalidateDense()
 	t.graph.AddRel(bgp.Rel{A: a, B: b, Kind: kind})
 }
 
-// Locate records the primary interconnection city of an AS.
+// Locate records the primary interconnection city of an AS. Overlay
+// views are immutable; Locate panics on one (use an EditRelocate).
 func (t *Topology) Locate(asn bgp.ASN, city geo.City) {
+	if t.base != nil {
+		panic("netsim: Locate on an overlay view; overlays are immutable, use EditRelocate")
+	}
 	t.invalidateDense()
 	t.location[asn] = city
 }
 
-// invalidateDense drops the interned view after a mutation.
+// invalidateDense drops the interned view after a mutation and bumps
+// the generation so overlay views derived from this topology rebuild
+// their own dense caches on next use.
 func (t *Topology) invalidateDense() {
+	t.gen.Add(1)
 	t.denseMu.Lock()
 	t.denseV = nil
 	t.denseMu.Unlock()
 }
 
-// dense returns the interned index-based view, building it on first use.
-// The view is immutable once built and safe to share across goroutines.
+// generation is the mutation counter of this view's whole base chain.
+// Dense views and resolver trees record it at build time and rebuild
+// when it moves.
+func (t *Topology) generation() uint64 {
+	g := t.gen.Load()
+	for b := t.base; b != nil; b = b.base {
+		g += b.gen.Load()
+	}
+	return g
+}
+
+// dense returns the interned index-based view, building it on first
+// use and rebuilding when the base chain has mutated since. The view
+// is immutable once built and safe to share across goroutines.
 func (t *Topology) dense() *denseTopo {
+	gen := t.generation()
 	t.denseMu.Lock()
 	defer t.denseMu.Unlock()
-	if t.denseV == nil {
-		t.denseV = buildDense(t)
+	if t.denseV == nil || t.denseGen != gen {
+		if t.base != nil {
+			t.denseV = buildOverlayDense(t.base.dense(), t)
+		} else {
+			t.denseV = buildDense(t)
+		}
+		t.denseGen = gen
 	}
 	return t.denseV
 }
 
-// Location returns the recorded city of asn.
+// Location returns the recorded city of asn, honoring overlay
+// relocations.
 func (t *Topology) Location(asn bgp.ASN) (geo.City, bool) {
+	if t.base != nil {
+		if c, ok := t.locOverride[asn]; ok {
+			return c, c != (geo.City{})
+		}
+		return t.base.Location(asn)
+	}
 	c, ok := t.location[asn]
 	return c, ok
 }
 
-// Graph exposes the underlying relationship graph.
-func (t *Topology) Graph() *bgp.Graph { return t.graph }
+// Graph exposes the underlying relationship graph. For an overlay view
+// this is the base graph: overlay edits live in copy-on-write deltas
+// and are never materialized back into a bgp.Graph. Callers that need
+// the effective adjacency should query the topology (HasLink, ASPath,
+// a Resolver), not the graph.
+func (t *Topology) Graph() *bgp.Graph {
+	if t.base != nil {
+		return t.base.Graph()
+	}
+	return t.graph
+}
 
 // routing phases for valley-free search. A path travels "up" through
 // providers, crosses at most one peer edge, then travels "down" through
@@ -144,17 +212,17 @@ func (t *Topology) transitions(s state) []state {
 	var out []state
 	switch s.ph {
 	case phaseUp:
-		for _, p := range t.graph.Providers(s.asn) {
+		for _, p := range t.providersOf(s.asn) {
 			out = append(out, state{p, phaseUp})
 		}
-		for _, p := range t.graph.Peers(s.asn) {
+		for _, p := range t.peersOf(s.asn) {
 			out = append(out, state{p, phasePeer})
 		}
-		for _, c := range t.graph.Customers(s.asn) {
+		for _, c := range t.customersOf(s.asn) {
 			out = append(out, state{c, phaseDown})
 		}
 	case phasePeer, phaseDown:
-		for _, c := range t.graph.Customers(s.asn) {
+		for _, c := range t.customersOf(s.asn) {
 			out = append(out, state{c, phaseDown})
 		}
 	}
@@ -172,7 +240,7 @@ func (t *Topology) PathLatencyMs(path []bgp.ASN) float64 {
 	}
 	var prevCity *geo.City
 	for _, asn := range path {
-		c, ok := t.location[asn]
+		c, ok := t.Location(asn)
 		if !ok {
 			continue
 		}
@@ -217,7 +285,7 @@ func (t *Topology) Catchment(src bgp.ASN, sites []Site, policy CatchmentPolicy) 
 		distKm  float64
 	}
 	var cands []candidate
-	srcCity, hasSrcCity := t.location[src]
+	srcCity, hasSrcCity := t.Location(src)
 	for _, site := range sites {
 		path, ok := t.ASPath(src, site.Host)
 		if !ok {
@@ -226,7 +294,7 @@ func (t *Topology) Catchment(src bgp.ASN, sites []Site, policy CatchmentPolicy) 
 		lat := t.PathLatencyMs(path)
 		// The final segment runs from the host AS's recorded city to the
 		// replica city.
-		if hostCity, ok := t.location[site.Host]; ok {
+		if hostCity, ok := t.Location(site.Host); ok {
 			lat += geo.PropagationDelayMs(geo.HaversineKm(hostCity.Lat, hostCity.Lon, site.City.Lat, site.City.Lon))
 		}
 		dist := 0.0

@@ -1,0 +1,296 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/geo"
+)
+
+// viewLinks enumerates every relationship edge visible in a topology
+// view (overlay edits included): p2c edges as (provider, customer),
+// p2p edges once with A < B.
+func viewLinks(t *Topology) (p2c, p2p [][2]bgp.ASN) {
+	for _, a := range t.Graph().ASes() {
+		for _, b := range t.customersOf(a) {
+			p2c = append(p2c, [2]bgp.ASN{a, b})
+		}
+		for _, b := range t.peersOf(a) {
+			if a < b {
+				p2p = append(p2p, [2]bgp.ASN{a, b})
+			}
+		}
+	}
+	return p2c, p2p
+}
+
+// randomEdits grows a random valid edit list against top: additions of
+// absent links, removals of present ones, relocations (occasionally to
+// the zero City, which clears a location). Each prefix of the returned
+// list is itself a valid overlay.
+func randomEdits(t *testing.T, rng *rand.Rand, top *Topology, n int) []Edit {
+	t.Helper()
+	ases := top.Graph().ASes()
+	cities := []string{"MIA", "BOG", "GRU", "CCS", "SCL"}
+	var edits []Edit
+	view := top
+	for len(edits) < n {
+		var e Edit
+		switch rng.Intn(3) {
+		case 0: // add a link absent from the current view
+			a, b := ases[rng.Intn(len(ases))], ases[rng.Intn(len(ases))]
+			kind := bgp.RelKind(bgp.ProviderCustomer)
+			if rng.Intn(2) == 0 {
+				kind = bgp.PeerPeer
+			}
+			if a == b || view.HasLink(a, b, kind) {
+				continue
+			}
+			e = Edit{Op: EditAddLink, A: a, B: b, Kind: kind}
+		case 1: // remove a link present in the current view
+			p2c, p2p := viewLinks(view)
+			if len(p2c)+len(p2p) == 0 {
+				continue
+			}
+			if i := rng.Intn(len(p2c) + len(p2p)); i < len(p2c) {
+				e = Edit{Op: EditRemoveLink, A: p2c[i][0], B: p2c[i][1], Kind: bgp.ProviderCustomer}
+			} else {
+				l := p2p[i-len(p2c)]
+				e = Edit{Op: EditRemoveLink, A: l[0], B: l[1], Kind: bgp.PeerPeer}
+			}
+		default: // relocate an AS not yet moved by this edit list
+			a := ases[rng.Intn(len(ases))]
+			moved := false
+			for _, prev := range edits {
+				if prev.Op == EditRelocate && prev.A == a {
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			var c geo.City
+			if rng.Intn(4) > 0 {
+				c, _ = geo.LookupIATA(cities[rng.Intn(len(cities))])
+			}
+			e = Edit{Op: EditRelocate, A: a, City: c}
+		}
+		next, err := top.Overlay(append(append([]Edit(nil), edits...), e))
+		if err != nil {
+			t.Fatalf("generated invalid edit %s: %v", e, err)
+		}
+		edits = append(edits, e)
+		view = next
+	}
+	return edits
+}
+
+// sameView asserts two topology views are observationally identical:
+// same path info for every pair, same location for every AS.
+func sameView(t *testing.T, trial int, want, got *Topology) {
+	t.Helper()
+	rw, rg := NewResolver(want), NewResolver(got)
+	for _, src := range want.Graph().ASes() {
+		wc, wok := want.Location(src)
+		gc, gok := got.Location(src)
+		if wok != gok || wc != gc {
+			t.Fatalf("trial %d: AS%d location: want %v/%v, got %v/%v", trial, src, wc, wok, gc, gok)
+		}
+		for _, dst := range want.Graph().ASes() {
+			wi, gi := rw.PathInfoFrom(src, dst), rg.PathInfoFrom(src, dst)
+			if wi != gi {
+				t.Fatalf("trial %d: %d→%d: want %+v, got %+v", trial, src, dst, wi, gi)
+			}
+		}
+	}
+}
+
+// TestOverlayApplyRevertIdentity is the inversion property: applying an
+// edit list and then its inverses (in reverse order, with original
+// locations) on top yields a view byte-identical to the baseline —
+// and the baseline itself is never disturbed.
+func TestOverlayApplyRevertIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 15; trial++ {
+		top := randomTopology(rng)
+		edits := randomEdits(t, rng, top, 1+rng.Intn(7))
+
+		// Record original locations before anything is applied.
+		orig := map[bgp.ASN]geo.City{}
+		for _, e := range edits {
+			if e.Op == EditRelocate {
+				if c, ok := top.Location(e.A); ok {
+					orig[e.A] = c
+				}
+			}
+		}
+		over, err := top.Overlay(edits)
+		if err != nil {
+			t.Fatalf("trial %d: overlay: %v", trial, err)
+		}
+		inverses := make([]Edit, 0, len(edits))
+		for i := len(edits) - 1; i >= 0; i-- {
+			inverses = append(inverses, edits[i].Inverse(orig[edits[i].A]))
+		}
+		reverted, err := over.Overlay(inverses)
+		if err != nil {
+			t.Fatalf("trial %d: revert overlay: %v", trial, err)
+		}
+		sameView(t, trial, top, reverted)
+	}
+}
+
+// TestOverlayDenseMatchesRebuild is the oracle property: the patched
+// dense view of base+edits must agree everywhere with a from-scratch
+// topology built by replaying the base's links and the edits through
+// the ordinary mutable API.
+func TestOverlayDenseMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 15; trial++ {
+		top := randomTopology(rng)
+		edits := randomEdits(t, rng, top, 1+rng.Intn(7))
+		over, err := top.Overlay(edits)
+		if err != nil {
+			t.Fatalf("trial %d: overlay: %v", trial, err)
+		}
+
+		// Oracle: replay base links and edits into a fresh topology.
+		rebuilt := New()
+		p2c, p2p := viewLinks(over)
+		for _, l := range p2c {
+			rebuilt.AddLink(l[0], l[1], bgp.ProviderCustomer)
+		}
+		for _, l := range p2p {
+			rebuilt.AddLink(l[0], l[1], bgp.PeerPeer)
+		}
+		for _, asn := range top.Graph().ASes() {
+			if c, ok := over.Location(asn); ok {
+				rebuilt.Locate(asn, c)
+			}
+		}
+		// The rebuilt graph may drop ASes that lost their every edge;
+		// compare over the surviving AS set.
+		rv, ov := NewResolver(rebuilt), NewResolver(over)
+		for _, src := range rebuilt.Graph().ASes() {
+			for _, dst := range rebuilt.Graph().ASes() {
+				ri, oi := rv.PathInfoFrom(src, dst), ov.PathInfoFrom(src, dst)
+				if ri != oi {
+					t.Fatalf("trial %d: %d→%d: rebuilt %+v, overlay %+v", trial, src, dst, ri, oi)
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayPathsValleyFree: every concrete best path served from an
+// overlayed dense view must respect valley-free export rules — after a
+// peer or down step, only down steps may follow.
+func TestOverlayPathsValleyFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 15; trial++ {
+		top := randomTopology(rng)
+		over, err := top.Overlay(randomEdits(t, rng, top, 1+rng.Intn(7)))
+		if err != nil {
+			t.Fatalf("trial %d: overlay: %v", trial, err)
+		}
+		r := NewResolver(over)
+		ases := top.Graph().ASes()
+		for _, src := range ases {
+			for _, dst := range ases {
+				path, ok := r.BestPath(src, dst)
+				if !ok {
+					continue
+				}
+				// A pair may carry both a p2c and a p2p edge (random
+				// edits can stack them), so a step can classify as
+				// both "up" and "peer". Simulate the dominant state:
+				// while an all-up prefix is possible the path may
+				// still do anything; once no up reading remains, only
+				// down steps are legal.
+				canAscend := true
+				for i := 1; i < len(path); i++ {
+					a, b := path[i-1], path[i]
+					up := hasASN(over.providersOf(a), b)
+					peer := hasASN(over.peersOf(a), b)
+					down := hasASN(over.customersOf(a), b)
+					if !up && !peer && !down {
+						t.Fatalf("trial %d: %v step %d→%d is not an edge of the overlay", trial, path, a, b)
+					}
+					if !canAscend && !down {
+						t.Fatalf("trial %d: path %v violates valley-free at %d→%d", trial, path, a, b)
+					}
+					canAscend = canAscend && up
+				}
+			}
+		}
+	}
+}
+
+// TestOverlayStrictEdits pins the error cases that make overlays
+// invertible: double-adds, phantom removals, unknown ASes, self-loops,
+// and double relocations are all rejected.
+func TestOverlayStrictEdits(t *testing.T) {
+	top := New()
+	top.AddLink(1, 2, bgp.ProviderCustomer)
+	top.AddLink(2, 3, bgp.PeerPeer)
+	ccs, _ := geo.LookupIATA("CCS")
+
+	cases := []struct {
+		name  string
+		edits []Edit
+	}{
+		{"add existing link", []Edit{{Op: EditAddLink, A: 1, B: 2, Kind: bgp.ProviderCustomer}}},
+		{"remove absent link", []Edit{{Op: EditRemoveLink, A: 1, B: 3, Kind: bgp.ProviderCustomer}}},
+		{"remove wrong kind", []Edit{{Op: EditRemoveLink, A: 2, B: 3, Kind: bgp.ProviderCustomer}}},
+		{"self loop", []Edit{{Op: EditAddLink, A: 1, B: 1, Kind: bgp.PeerPeer}}},
+		{"unknown AS", []Edit{{Op: EditAddLink, A: 1, B: 99, Kind: bgp.PeerPeer}}},
+		{"relocate unknown AS", []Edit{{Op: EditRelocate, A: 99, City: ccs}}},
+		{"double relocate", []Edit{
+			{Op: EditRelocate, A: 1, City: ccs},
+			{Op: EditRelocate, A: 1, City: geo.City{}},
+		}},
+		{"add then duplicate add", []Edit{
+			{Op: EditAddLink, A: 1, B: 3, Kind: bgp.PeerPeer},
+			{Op: EditAddLink, A: 3, B: 1, Kind: bgp.PeerPeer},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := top.Overlay(tc.edits); err == nil {
+				t.Fatalf("overlay accepted %v", tc.edits)
+			}
+		})
+	}
+
+	// Valid compositions of the same primitives still work.
+	if _, err := top.Overlay([]Edit{
+		{Op: EditRemoveLink, A: 2, B: 3, Kind: bgp.PeerPeer},
+		{Op: EditAddLink, A: 2, B: 3, Kind: bgp.ProviderCustomer},
+		{Op: EditRelocate, A: 1, City: ccs},
+	}); err != nil {
+		t.Fatalf("valid overlay rejected: %v", err)
+	}
+}
+
+// TestOverlayImmutable: overlays reject in-place mutation — the
+// copy-on-write sharing would silently corrupt the base otherwise.
+func TestOverlayImmutable(t *testing.T) {
+	top := New()
+	top.AddLink(1, 2, bgp.ProviderCustomer)
+	over, err := top.Overlay(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s on an overlay did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("AddLink", func() { over.AddLink(1, 3, bgp.PeerPeer) })
+	assertPanics("Locate", func() { over.Locate(1, geo.City{}) })
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/core"
+	"vzlens/internal/obs"
+	"vzlens/internal/world"
+)
+
+// Options configures an Engine. BaselineTrace and BaselineChaos are
+// injectable so the serving layer can hand the engine its memoized
+// baseline campaigns (the ones Warm() built and every experiment
+// shares) instead of simulating them again; nil funcs fall back to the
+// world's own (cached or simulated) baselines.
+type Options struct {
+	World         *world.World
+	BaselineTrace func(ctx context.Context) (*atlas.TraceCampaign, error)
+	BaselineChaos func(ctx context.Context) (*atlas.ChaosCampaign, error)
+}
+
+// Engine runs counterfactual scenarios: it compiles a spec, replays
+// both campaigns under the overlay, and emits the baseline-vs-scenario
+// Diff. Engines are safe for concurrent use — the world's scenario
+// caches are locked, and the engine itself holds no per-run state.
+type Engine struct {
+	w         *world.World
+	baseTrace func(ctx context.Context) (*atlas.TraceCampaign, error)
+	baseChaos func(ctx context.Context) (*atlas.ChaosCampaign, error)
+	met       engineMetrics
+}
+
+// engineMetrics holds the engine's nil-safe observability hooks.
+type engineMetrics struct {
+	runs     *obs.Counter
+	failures *obs.Counter
+	dur      *obs.Histogram
+}
+
+// NewEngine returns an Engine over opts.World.
+func NewEngine(opts Options) *Engine {
+	e := &Engine{w: opts.World, baseTrace: opts.BaselineTrace, baseChaos: opts.BaselineChaos}
+	if e.baseTrace == nil {
+		e.baseTrace = func(ctx context.Context) (*atlas.TraceCampaign, error) {
+			return e.w.TraceCampaignCtx(ctx), nil
+		}
+	}
+	if e.baseChaos == nil {
+		e.baseChaos = func(ctx context.Context) (*atlas.ChaosCampaign, error) {
+			return e.w.ChaosCampaignCtx(ctx), nil
+		}
+	}
+	return e
+}
+
+// Instrument registers the engine's metrics on reg: completed scenario
+// runs, failed runs, and end-to-end run duration (baseline reuse means
+// a warm run costs roughly one scenario simulation).
+func (e *Engine) Instrument(reg *obs.Registry) {
+	e.met = engineMetrics{
+		runs: reg.Counter("vz_scenario_runs_total",
+			"Completed counterfactual scenario runs."),
+		failures: reg.Counter("vz_scenario_failures_total",
+			"Scenario runs that failed to compile or simulate."),
+		dur: reg.Histogram("vz_scenario_run_seconds",
+			"End-to-end duration of one scenario run (campaigns + diff).",
+			obs.LatencyBuckets),
+	}
+}
+
+// Run compiles spec, simulates both campaigns under its overlay, and
+// returns the deterministic baseline-vs-scenario Diff. The run is
+// wrapped in a campaign.scenario span; a panic anywhere below (a
+// compiled plan the world rejects is a programming error surfaced by
+// panic) is converted into an error so a bad scenario can never take
+// down the serving process.
+func (e *Engine) Run(ctx context.Context, spec *Spec) (diff *Diff, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("scenario %q: run panicked: %v", spec.ID, r)
+		}
+		if err != nil {
+			e.met.failures.Inc()
+			return
+		}
+		e.met.runs.Inc()
+		e.met.dur.ObserveDuration(time.Since(start))
+	}()
+
+	plan, err := spec.Compile(e.w)
+	if err != nil {
+		return nil, err
+	}
+	ctx, span := obs.StartSpan(ctx, "campaign.scenario")
+	span.SetAttr("scenario", spec.ID)
+	span.SetAttr("key", plan.Key)
+	defer span.End()
+
+	baseTC, err := e.baseTrace(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: baseline trace campaign: %w", spec.ID, err)
+	}
+	baseCC, err := e.baseChaos(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: baseline chaos campaign: %w", spec.ID, err)
+	}
+	scenTC := e.w.TraceCampaignScenario(ctx, plan)
+	scenCC := e.w.ChaosCampaignScenario(ctx, plan)
+
+	diff = &Diff{
+		Scenario:    spec.ID,
+		Key:         plan.Key,
+		Name:        spec.Name,
+		Description: spec.Description,
+		Trace:       diffTrace(baseTC, scenTC),
+		Reach:       diffReach(baseTC, scenTC),
+		Catchment:   diffCatchment(baseCC, scenCC),
+	}
+	// Diff only the campaign-backed experiment tables: the rest render
+	// from baseline world state a scenario cannot move.
+	for _, exp := range core.Experiments() {
+		if exp.Campaign == "" {
+			continue
+		}
+		base := exp.Run(e.w, baseTC, baseCC)
+		scen := exp.Run(e.w, scenTC, scenCC)
+		diff.Tables = append(diff.Tables, diffTable(exp.ID, base, scen))
+	}
+	span.SetAttr("trace_deltas", len(diff.Trace))
+	span.SetAttr("reach_deltas", len(diff.Reach))
+	return diff, nil
+}

@@ -106,19 +106,34 @@ func (w *World) TraceCampaign() *atlas.TraceCampaign {
 // propagation: when the context holds an obs.Tracer, the run emits a
 // campaign span with one child span per monthly snapshot, all under
 // the caller's trace ID (the request that triggered the simulation).
-// Tracing and metrics never affect the simulated output.
+// Tracing and metrics never affect the simulated output. With
+// Config.Scenario set the campaign simulates under that scenario
+// overlay; an ingested external campaign only short-circuits the
+// baseline (it cannot answer a counterfactual).
 func (w *World) TraceCampaignCtx(ctx context.Context) *atlas.TraceCampaign {
+	if plan := w.Config.Scenario; plan != nil {
+		return w.traceCampaign(ctx, plan)
+	}
 	if w.ext.trace != nil {
 		return w.ext.trace
 	}
+	return w.traceCampaign(ctx, nil)
+}
+
+// traceCampaign simulates the traceroute campaign under plan (nil =
+// baseline), fanning monthly snapshots over the worker pool.
+func (w *World) traceCampaign(ctx context.Context, plan *ScenarioPlan) *atlas.TraceCampaign {
 	ctx, span := obs.StartSpan(ctx, "campaign.trace")
+	if plan != nil {
+		span.SetAttr("scenario", plan.Key)
+	}
 	ms := w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd)
 	frags := make([][]atlas.TraceSample, len(ms))
 	start := time.Now()
 	var busy atomic.Int64
 	forEachIndex(len(ms), w.workers(), func(i int) {
 		t0 := time.Now()
-		frags[i] = w.traceMonth(ctx, ms[i])
+		frags[i] = w.traceMonth(ctx, ms[i], plan)
 		d := time.Since(t0)
 		busy.Add(int64(d))
 		w.met.traceMonthDur.ObserveDuration(d)
@@ -150,11 +165,14 @@ func utilization(busyNS int64, wall time.Duration, workers, shards int) float64 
 	return float64(busyNS) / (float64(wall) * float64(workers))
 }
 
-// traceMonth simulates one monthly snapshot of the traceroute campaign.
-func (w *World) traceMonth(ctx context.Context, m months.Month) []atlas.TraceSample {
+// traceMonth simulates one monthly snapshot of the traceroute
+// campaign, under plan's overlay when non-nil. The jitter RNG streams
+// are scenario-blind (sampleSeed hashes only seed, month, probe), so a
+// baseline-vs-scenario RTT delta reflects the topology change alone.
+func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPlan) []atlas.TraceSample {
 	_, span := obs.StartSpan(ctx, "campaign.month")
-	resolver := w.TopologyAt(m)
-	sites := w.GPDNSSitesAt(m)
+	resolver := w.topologyFor(m, plan)
+	sites := w.gpdnsSitesFor(m, plan)
 	var out []atlas.TraceSample
 	probes := w.activeProbesAt(m)
 	for _, p := range probes {
@@ -196,17 +214,28 @@ func (w *World) ChaosCampaign() *atlas.ChaosCampaign {
 // ChaosCampaignCtx is ChaosCampaign with trace propagation; see
 // TraceCampaignCtx.
 func (w *World) ChaosCampaignCtx(ctx context.Context) *atlas.ChaosCampaign {
+	if plan := w.Config.Scenario; plan != nil {
+		return w.chaosCampaign(ctx, plan)
+	}
 	if w.ext.chaos != nil {
 		return w.ext.chaos
 	}
+	return w.chaosCampaign(ctx, nil)
+}
+
+// chaosCampaign simulates the CHAOS sweep under plan (nil = baseline).
+func (w *World) chaosCampaign(ctx context.Context, plan *ScenarioPlan) *atlas.ChaosCampaign {
 	ctx, span := obs.StartSpan(ctx, "campaign.chaos")
+	if plan != nil {
+		span.SetAttr("scenario", plan.Key)
+	}
 	ms := w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd)
 	frags := make([][]atlas.ChaosResult, len(ms))
 	start := time.Now()
 	var busy atomic.Int64
 	forEachIndex(len(ms), w.workers(), func(i int) {
 		t0 := time.Now()
-		frags[i] = w.chaosMonth(ctx, ms[i])
+		frags[i] = w.chaosMonth(ctx, ms[i], plan)
 		d := time.Since(t0)
 		busy.Add(int64(d))
 		w.met.chaosMonthDur.ObserveDuration(d)
@@ -226,15 +255,16 @@ func (w *World) ChaosCampaignCtx(ctx context.Context) *atlas.ChaosCampaign {
 	return cc
 }
 
-// chaosMonth simulates one monthly snapshot of the CHAOS sweep. The
-// active probe set is computed once for the month, not once per letter.
-func (w *World) chaosMonth(ctx context.Context, m months.Month) []atlas.ChaosResult {
+// chaosMonth simulates one monthly snapshot of the CHAOS sweep, under
+// plan's overlay when non-nil. The active probe set is computed once
+// for the month, not once per letter.
+func (w *World) chaosMonth(ctx context.Context, m months.Month, plan *ScenarioPlan) []atlas.ChaosResult {
 	_, span := obs.StartSpan(ctx, "campaign.month")
-	resolver := w.TopologyAt(m)
+	resolver := w.topologyFor(m, plan)
 	probes := w.activeProbesAt(m)
 	var out []atlas.ChaosResult
 	for _, letter := range dnsroot.Letters() {
-		sites, insts := w.RootSitesAt(letter, m)
+		sites, insts := w.rootSitesFor(letter, m, plan)
 		if len(sites) == 0 {
 			continue
 		}

@@ -1,0 +1,316 @@
+package world
+
+import (
+	"context"
+	"fmt"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/bgp"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/geo"
+	"vzlens/internal/months"
+	"vzlens/internal/netsim"
+)
+
+// This file is the world half of the counterfactual scenario engine:
+// a compiled ScenarioPlan describes windowed, declarative changes to
+// the monthly topology and the anycast deployments, and the campaign
+// runs below replay the paper's measurements under them. Per month the
+// plan compiles to a netsim overlay — a copy-on-write view over the
+// cached baseline topology — so a scenario run shares every baseline
+// resolver and pays only O(edits) per month on top. Scenario runs use
+// the same per-probe-month RNG streams as the baseline (sampleSeed is
+// scenario-blind), so an RTT delta between baseline and scenario
+// isolates the topology change: the jitter draws cancel exactly.
+
+// ScenarioLink is one windowed link edit: the relationship A→B exists
+// (for additions) or is suppressed (for removals) during [From, Until).
+// A zero From means from the beginning; a zero Until means forever.
+type ScenarioLink struct {
+	A, B        bgp.ASN // provider (or first peer), second endpoint
+	Kind        bgp.RelKind
+	From, Until months.Month
+}
+
+// ScenarioDepeer strips every provider and peer edge of ASN during its
+// window — the conflict-driven disconnection counterfactual. Customer
+// edges survive: the AS keeps its cone, it just loses its upstreams.
+type ScenarioDepeer struct {
+	ASN         bgp.ASN
+	From, Until months.Month
+}
+
+// ScenarioMove relocates an AS's interconnection city during its
+// window.
+type ScenarioMove struct {
+	ASN         bgp.ASN
+	City        geo.City
+	From, Until months.Month
+}
+
+// ScenarioGPDNSSite adds (or, with Remove, suppresses) a Google Public
+// DNS anycast site during its window. For additions Host is the AS
+// announcing the prefix at City; for removals any baseline site in
+// City is dropped.
+type ScenarioGPDNSSite struct {
+	Remove      bool
+	Host        bgp.ASN
+	City        geo.City
+	From, Until months.Month
+}
+
+// ScenarioRootReplica adds (or suppresses) a root-server instance of
+// Letter at City during its window, hosted by Host when adding.
+type ScenarioRootReplica struct {
+	Remove      bool
+	Letter      dnsroot.Letter
+	Host        bgp.ASN
+	City        geo.City
+	From, Until months.Month
+}
+
+// ScenarioPlan is a compiled, validated scenario: the form the world
+// executes. Plans are built by internal/scenario's Compile (or by
+// hand in tests); the world trusts them structurally but still skips
+// edits that are no-ops in a given month (a removal of a link the
+// month doesn't have, an addition that already exists), because AS and
+// link presence is month-dependent.
+type ScenarioPlan struct {
+	// Key identifies the plan for caching and persistence. Two plans
+	// with the same Key are assumed identical.
+	Key string
+
+	AddLinks    []ScenarioLink
+	RemoveLinks []ScenarioLink
+	Depeers     []ScenarioDepeer
+	Moves       []ScenarioMove
+	GPDNS       []ScenarioGPDNSSite
+	Roots       []ScenarioRootReplica
+
+	// EventShiftMonths time-shifts CANTV's documented transit timeline:
+	// at month m the scenario uses the providers the baseline had at
+	// m−EventShiftMonths. Positive delays the paper's events, negative
+	// advances them.
+	EventShiftMonths int
+}
+
+// windowActive reports whether [from, until) covers m.
+func windowActive(from, until, m months.Month) bool {
+	if !from.IsZero() && m.Before(from) {
+		return false
+	}
+	return until.IsZero() || m.Before(until)
+}
+
+// editsAt compiles the plan's topology changes for month m into
+// overlay edits against base (the cached baseline topology of m).
+// Edits that cannot apply this month — an endpoint that doesn't exist
+// yet, a removal of a link the month doesn't carry — are skipped, so
+// the returned list always builds a valid overlay.
+func (p *ScenarioPlan) editsAt(m months.Month, base *netsim.Topology) []netsim.Edit {
+	var edits []netsim.Edit
+	seen := map[netsim.Edit]bool{} // guard against overlapping plan entries
+	add := func(e netsim.Edit) {
+		if !seen[e] {
+			seen[e] = true
+			edits = append(edits, e)
+		}
+	}
+	addLink := func(a, b bgp.ASN, kind bgp.RelKind) {
+		if base.HasAS(a) && base.HasAS(b) && !base.HasLink(a, b, kind) {
+			add(netsim.Edit{Op: netsim.EditAddLink, A: a, B: b, Kind: kind})
+		}
+	}
+	removeLink := func(a, b bgp.ASN, kind bgp.RelKind) {
+		if base.HasAS(a) && base.HasAS(b) && base.HasLink(a, b, kind) {
+			add(netsim.Edit{Op: netsim.EditRemoveLink, A: a, B: b, Kind: kind})
+		}
+	}
+
+	if s := p.EventShiftMonths; s != 0 {
+		want := CANTVProvidersAt(m.Add(-s))
+		have := CANTVProvidersAt(m)
+		for _, asn := range want {
+			if !hasASN(have, asn) {
+				addLink(asn, ASCANTV, bgp.ProviderCustomer)
+			}
+		}
+		for _, asn := range have {
+			if !hasASN(want, asn) {
+				removeLink(asn, ASCANTV, bgp.ProviderCustomer)
+			}
+		}
+	}
+	for _, l := range p.AddLinks {
+		if windowActive(l.From, l.Until, m) {
+			addLink(l.A, l.B, l.Kind)
+		}
+	}
+	for _, l := range p.RemoveLinks {
+		if windowActive(l.From, l.Until, m) {
+			removeLink(l.A, l.B, l.Kind)
+		}
+	}
+	for _, d := range p.Depeers {
+		if !windowActive(d.From, d.Until, m) || !base.HasAS(d.ASN) {
+			continue
+		}
+		g := base.Graph()
+		for _, prov := range g.Providers(d.ASN) {
+			removeLink(prov, d.ASN, bgp.ProviderCustomer)
+		}
+		for _, peer := range g.Peers(d.ASN) {
+			removeLink(d.ASN, peer, bgp.PeerPeer)
+		}
+	}
+	for _, mv := range p.Moves {
+		if windowActive(mv.From, mv.Until, m) && base.HasAS(mv.ASN) {
+			add(netsim.Edit{Op: netsim.EditRelocate, A: mv.ASN, City: mv.City})
+		}
+	}
+	return edits
+}
+
+func hasASN(xs []bgp.ASN, a bgp.ASN) bool {
+	for _, x := range xs {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// maxScenarioCacheKeys bounds how many distinct scenarios keep their
+// per-month resolver caches alive; beyond it the oldest key is evicted
+// wholesale. Scenario resolvers are cheap to rebuild (the overlays are
+// O(edits)), so eviction costs latency, not correctness.
+const maxScenarioCacheKeys = 8
+
+// topologyFor returns the resolver for month m under plan; a nil plan
+// is the baseline. Scenario resolvers are cached per (plan key, month)
+// like baseline ones, because the trace and chaos campaigns — and every
+// experiment table re-run — visit the same months. The overlay shares
+// the cached baseline topology; an invalid compiled edit list is a
+// programming error and panics (the serving layer converts campaign
+// panics into retryable errors).
+func (w *World) topologyFor(m months.Month, plan *ScenarioPlan) *netsim.Resolver {
+	if plan == nil {
+		return w.TopologyAt(m)
+	}
+	w.scenMu.Lock()
+	byMonth, ok := w.scenCache[plan.Key]
+	if !ok {
+		if w.scenCache == nil {
+			w.scenCache = map[string]map[months.Month]*topoCell{}
+		}
+		if len(w.scenOrder) >= maxScenarioCacheKeys {
+			delete(w.scenCache, w.scenOrder[0])
+			w.scenOrder = w.scenOrder[1:]
+		}
+		byMonth = map[months.Month]*topoCell{}
+		w.scenCache[plan.Key] = byMonth
+		w.scenOrder = append(w.scenOrder, plan.Key)
+	}
+	cell, ok := byMonth[m]
+	if !ok {
+		cell = &topoCell{}
+		byMonth[m] = cell
+	}
+	w.scenMu.Unlock()
+	cell.once.Do(func() {
+		base := w.TopologyAt(m).Topology()
+		ov, err := base.Overlay(plan.editsAt(m, base))
+		if err != nil {
+			panic(fmt.Sprintf("world: scenario %q month %s: %v", plan.Key, m, err))
+		}
+		cell.r = netsim.NewResolver(ov)
+	})
+	return cell.r
+}
+
+// gpdnsSitesFor is GPDNSSitesAt under a plan: suppressed sites are
+// filtered by city, added sites appended (sorted placement keeps the
+// list deterministic — added sites go last, in plan order).
+func (w *World) gpdnsSitesFor(m months.Month, plan *ScenarioPlan) []netsim.Site {
+	sites := w.GPDNSSitesAt(m)
+	if plan == nil {
+		return sites
+	}
+	return applySiteChanges(sites, m, plan.GPDNS)
+}
+
+// applySiteChanges applies windowed GPDNS site edits to a baseline
+// site list.
+func applySiteChanges(sites []netsim.Site, m months.Month, changes []ScenarioGPDNSSite) []netsim.Site {
+	out := sites
+	for _, ch := range changes {
+		if !windowActive(ch.From, ch.Until, m) {
+			continue
+		}
+		if ch.Remove {
+			kept := make([]netsim.Site, 0, len(out))
+			for _, s := range out {
+				if s.City.Name != ch.City.Name || s.City.Country != ch.City.Country {
+					kept = append(kept, s)
+				}
+			}
+			out = kept
+			continue
+		}
+		out = append(append([]netsim.Site(nil), out...), netsim.Site{Host: ch.Host, City: ch.City})
+	}
+	return out
+}
+
+// rootSitesFor is RootSitesAt under a plan. Added replicas become
+// synthetic dnsroot instances (Index 9 within their city, active over
+// the change window) so the CHAOS sweep names them like real ones;
+// suppressed replicas are filtered by letter and city.
+func (w *World) rootSitesFor(letter dnsroot.Letter, m months.Month, plan *ScenarioPlan) ([]netsim.Site, []dnsroot.Instance) {
+	sites, insts := w.RootSitesAt(letter, m)
+	if plan == nil {
+		return sites, insts
+	}
+	for _, ch := range plan.Roots {
+		if ch.Letter != letter || !windowActive(ch.From, ch.Until, m) {
+			continue
+		}
+		if ch.Remove {
+			keptSites := sites[:0:0]
+			keptInsts := insts[:0:0]
+			for i, s := range sites {
+				if insts[i].City.Name == ch.City.Name && insts[i].City.Country == ch.City.Country {
+					continue
+				}
+				keptSites = append(keptSites, s)
+				keptInsts = append(keptInsts, insts[i])
+			}
+			sites, insts = keptSites, keptInsts
+			continue
+		}
+		sites = append(append([]netsim.Site(nil), sites...), netsim.Site{Host: ch.Host, City: ch.City})
+		insts = append(append([]dnsroot.Instance(nil), insts...), dnsroot.Instance{
+			Letter: ch.Letter, City: ch.City, Index: 9, Start: ch.From, End: ch.Until,
+		})
+	}
+	return sites, insts
+}
+
+// TraceCampaignScenario simulates the traceroute campaign under plan
+// (nil = baseline). Scenario runs always simulate — an ingested
+// external campaign cannot answer a counterfactual — and inherit the
+// engine's determinism: bit-identical output for any worker count.
+func (w *World) TraceCampaignScenario(ctx context.Context, plan *ScenarioPlan) *atlas.TraceCampaign {
+	if plan == nil {
+		return w.TraceCampaignCtx(ctx)
+	}
+	return w.traceCampaign(ctx, plan)
+}
+
+// ChaosCampaignScenario is TraceCampaignScenario for the CHAOS sweep.
+func (w *World) ChaosCampaignScenario(ctx context.Context, plan *ScenarioPlan) *atlas.ChaosCampaign {
+	if plan == nil {
+		return w.ChaosCampaignCtx(ctx)
+	}
+	return w.chaosCampaign(ctx, plan)
+}

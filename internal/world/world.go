@@ -40,6 +40,11 @@ type Config struct {
 	// jitter RNG by hashing (Seed, month, probe), independent of
 	// schedule.
 	Workers int
+	// Scenario, when non-nil, runs both campaigns under a counterfactual
+	// topology overlay (see ScenarioPlan). Scenario campaigns always
+	// simulate — ingested external campaigns answer only the baseline —
+	// and keep the engine's determinism guarantees.
+	Scenario *ScenarioPlan
 }
 
 func (c Config) withDefaults() Config {
@@ -105,6 +110,13 @@ type World struct {
 	// shard instead of once per letter.
 	activeMu    sync.Mutex
 	activeCache map[months.Month][]atlas.Probe
+
+	// scenCache holds per-scenario resolver cells, keyed by plan key
+	// then month, capped at maxScenarioCacheKeys keys (FIFO eviction).
+	// Scenario overlays share the baseline topoCache cells underneath.
+	scenMu    sync.Mutex
+	scenCache map[string]map[months.Month]*topoCell
+	scenOrder []string
 
 	// met is the campaign engine's observability surface (see
 	// Instrument); the zero value records nothing.
