@@ -1,0 +1,40 @@
+package world
+
+import (
+	"testing"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/netsim"
+)
+
+func TestReviewP2PReversedEdits(t *testing.T) {
+	base := netsim.New()
+	base.AddLink(1, 2, bgp.PeerPeer)
+	base.AddLink(3, 1, bgp.ProviderCustomer)
+	base.AddLink(3, 2, bgp.ProviderCustomer)
+
+	// depeer AS2 plus an explicit remove_link listed as (1,2) — the
+	// depeer walks Peers(2) and emits (2,1).
+	plan := &ScenarioPlan{
+		Depeers:     []ScenarioDepeer{{ASN: 2}},
+		RemoveLinks: []ScenarioLink{{A: 1, B: 2, Kind: bgp.PeerPeer}},
+	}
+	edits := plan.editsAt(0, base)
+	t.Logf("edits: %v", edits)
+	if _, err := base.Overlay(edits); err != nil {
+		t.Errorf("overlay failed: %v", err)
+	}
+
+	// two add_link ops with reversed endpoints, both valid per spec
+	plan2 := &ScenarioPlan{
+		AddLinks: []ScenarioLink{
+			{A: 1, B: 3, Kind: bgp.PeerPeer},
+			{A: 3, B: 1, Kind: bgp.PeerPeer},
+		},
+	}
+	edits2 := plan2.editsAt(0, base)
+	t.Logf("edits2: %v", edits2)
+	if _, err := base.Overlay(edits2); err != nil {
+		t.Errorf("overlay failed: %v", err)
+	}
+}
