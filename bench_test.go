@@ -7,6 +7,7 @@
 package vzlens
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -21,6 +22,9 @@ import (
 	"vzlens/internal/months"
 	"vzlens/internal/netsim"
 	"vzlens/internal/offnet"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
+	"vzlens/internal/sweep"
 	"vzlens/internal/world"
 )
 
@@ -561,5 +565,79 @@ func BenchmarkScenarioDenseRebuild(b *testing.B) {
 		if info := netsim.NewResolver(re).PathInfoFrom(src, world.ASGoogle); !info.OK {
 			b.Fatal("unreachable after rebuild")
 		}
+	}
+}
+
+// BenchmarkSweepWindowedReplay times one sweep spec through the
+// scenario engine against warm baseline campaigns: the op's one-year
+// edit window means only the months inside it re-simulate, the rest
+// splice from the baseline. This per-spec cost, times the batch size,
+// is what a sweep's wall clock scales with.
+func BenchmarkSweepWindowedReplay(b *testing.B) {
+	setup()
+	eng := scenario.NewEngine(scenario.Options{
+		World:         benchW,
+		BaselineTrace: func(context.Context) (*atlas.TraceCampaign, error) { return benchTrace, nil },
+		BaselineChaos: func(context.Context) (*atlas.ChaosCampaign, error) { return benchChaos, nil },
+	})
+	spec := &scenario.Spec{
+		ID:  "bench-depeer",
+		Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 6762, From: "2023-01", Until: "2024-01"}},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var recomputed, reused int
+	for i := 0; i < b.N; i++ {
+		_, st, err := eng.RunWith(context.Background(), spec, scenario.RunConfig{SkipTables: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		recomputed = st.TraceMonthsRecomputed + st.ChaosMonthsRecomputed
+		reused = st.TraceMonthsReused + st.ChaosMonthsReused
+	}
+	b.ReportMetric(float64(recomputed), "months_recomputed")
+	b.ReportMetric(float64(reused), "months_reused")
+}
+
+// BenchmarkSweepResume times restarting a process over a finished
+// 52-spec sweep journal: open, CRC-verify and replay the journal,
+// re-expand the manifest, and serve the sweep — the startup cost a
+// crash adds, with zero re-simulation (the injected runner would fail
+// the benchmark if any spec ran again).
+func BenchmarkSweepResume(b *testing.B) {
+	setup()
+	store, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cheap := func(context.Context, *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		return &scenario.Diff{}, scenario.RunStats{}, nil
+	}
+	seed := sweep.NewManager(sweep.Options{World: benchW, Store: store, Workers: 8, RunSpec: cheap})
+	if _, err := seed.Start(&sweep.Request{ID: "bench", Family: sweep.FamilyRootEach}); err != nil {
+		b.Fatal(err)
+	}
+	for {
+		if st, ok := seed.Get("bench"); ok && st.State == sweep.StateDone {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := seed.Drain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	poison := func(context.Context, *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		b.Fatal("resume re-simulated a journaled spec")
+		return nil, scenario.RunStats{}, nil
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := sweep.NewManager(sweep.Options{World: benchW, Store: store, RunSpec: poison})
+		restored, err := m.Resume()
+		if err != nil || restored != 52 {
+			b.Fatalf("Resume = %d, %v; want 52 restored", restored, err)
+		}
+		m.Kill()
 	}
 }

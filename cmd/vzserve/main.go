@@ -3,7 +3,9 @@
 //
 //	vzserve [-addr :8080] [-quick] [-workers N] [-warm] [-drain 30s] [-timeout 5m]
 //	        [-max-inflight 64] [-queue-timeout 10s] [-store DIR]
-//	        [-debug-addr :6060] [-trace FILE] [-scenario-file FILE]
+//	        [-debug-addr :6060] [-trace FILE]
+//	        [-scenario-file FILE] [-scenario-lenient]
+//	        [-sweep-workers 2] [-sweep-spec-timeout 5m]
 //
 //	GET  /healthz                     (liveness)
 //	GET  /readyz                      (readiness + degradation report + overload stats)
@@ -15,6 +17,22 @@
 //	GET  /api/scenarios               (registered counterfactual scenarios)
 //	POST /api/scenarios               (register a scenario spec)
 //	GET  /api/scenarios/{id}/diff     (baseline-vs-scenario diff; simulates on first request)
+//	GET  /api/sweeps                  (all batch sweeps; requires -store)
+//	POST /api/sweeps                  (start a batch sweep: depeer_each, cable_cut_each, root_each, specs)
+//	GET  /api/sweeps/{id}             (sweep progress + ranked impact leaderboard)
+//
+// A sweep expands one templated request into up to 512 scenario specs
+// and simulates them on -sweep-workers goroutines, journaling every
+// completed spec through the -store so a killed server resumes exactly
+// where it died — completed specs are never re-simulated. A spec that
+// fails to compile, panics, or exceeds -sweep-spec-timeout is
+// quarantined into the leaderboard with its error; the rest of the
+// sweep proceeds. On SIGTERM the server drains in-flight specs and
+// checkpoints before exiting.
+//
+// -scenario-file is validated as a whole at startup: every invalid
+// entry is reported with its spec id, and the process exits nonzero
+// unless -scenario-lenient asks it to serve the valid subset.
 //
 // Campaign-backed experiments (fig6, fig12, fig16, fig20) simulate on
 // first request and are cached for the life of the process; a failed
@@ -41,6 +59,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"net/http"
@@ -68,6 +87,9 @@ func main() {
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max wait for an execution slot before shedding")
 	storeDir := flag.String("store", "", "crash-safe result store directory (empty = no persistence)")
 	scenarioFile := flag.String("scenario-file", "", "preload counterfactual scenario specs from FILE (one spec or a JSON array)")
+	scenarioLenient := flag.Bool("scenario-lenient", false, "serve the valid subset of -scenario-file instead of refusing to start")
+	sweepWorkers := flag.Int("sweep-workers", 2, "concurrent spec simulations per sweep")
+	sweepSpecTimeout := flag.Duration("sweep-spec-timeout", 5*time.Minute, "per-spec watchdog deadline inside a sweep")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty = disabled")
 	traceOut := flag.String("trace", "", "append span JSON lines to FILE (\"-\" = stderr); empty = tracing off")
 	flag.Parse()
@@ -86,10 +108,12 @@ func main() {
 	atlas.InstrumentMetrics(reg)
 	reg.PublishExpvar("vzlens")
 	opts := httpapi.Options{
-		RequestTimeout: *timeout,
-		MaxInFlight:    *maxInflight,
-		QueueTimeout:   *queueTimeout,
-		Metrics:        reg,
+		RequestTimeout:   *timeout,
+		MaxInFlight:      *maxInflight,
+		QueueTimeout:     *queueTimeout,
+		Metrics:          reg,
+		SweepWorkers:     *sweepWorkers,
+		SweepSpecTimeout: *sweepSpecTimeout,
 	}
 	if *traceOut != "" {
 		sink := os.Stderr
@@ -113,12 +137,34 @@ func main() {
 		log.Printf("vzserve: result store at %s", *storeDir)
 	}
 	if *scenarioFile != "" {
-		specs, err := scenario.LoadSpecs(*scenarioFile)
-		if err != nil {
-			log.Fatal(err)
+		// Validate the whole file before serving: every parse error and
+		// every compile failure is reported with its spec id, so the
+		// operator fixes the file in one pass instead of one error per
+		// restart. Strict mode (the default) refuses to start on any
+		// error; -scenario-lenient serves the valid subset.
+		specs, errs := scenario.LoadSpecsLenient(*scenarioFile)
+		valid := specs[:0]
+		for _, sp := range specs {
+			if _, err := sp.Compile(w); err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			valid = append(valid, sp)
 		}
-		opts.Scenarios = specs
-		log.Printf("vzserve: preloaded %d scenario(s) from %s", len(specs), *scenarioFile)
+		for _, e := range errs {
+			log.Printf("vzserve: scenario file: %v", e)
+		}
+		switch {
+		case len(errs) > 0 && !*scenarioLenient:
+			log.Fatalf("vzserve: %s: %d invalid scenario(s), %d valid; fix the file or pass -scenario-lenient to serve the valid subset",
+				*scenarioFile, len(errs), len(valid))
+		case len(errs) > 0:
+			log.Printf("vzserve: -scenario-lenient: serving %d valid scenario(s) from %s, skipped %d invalid",
+				len(valid), *scenarioFile, len(errs))
+		default:
+			log.Printf("vzserve: preloaded %d scenario(s) from %s", len(valid), *scenarioFile)
+		}
+		opts.Scenarios = valid
 	}
 	h := httpapi.NewWithOptions(w, opts)
 	if *warm {
@@ -164,6 +210,14 @@ func main() {
 	log.Printf("vzserve: listening on %s", *addr)
 	if err := httpapi.ListenAndServeGraceful(srv, *drain); err != nil {
 		log.Fatal(err)
+	}
+	// HTTP is drained; now checkpoint the batch work. In-flight sweep
+	// specs finish and journal within the drain budget, so the next
+	// start resumes without re-simulating anything completed here.
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := h.DrainSweeps(dctx); err != nil {
+		log.Printf("vzserve: sweep drain incomplete: %v (journaled progress is kept)", err)
 	}
 	log.Printf("vzserve: drained cleanly, exiting")
 }

@@ -27,6 +27,11 @@ func classify(r *http.Request) (overload.Priority, string) {
 		return overload.PriorityCritical, "metrics"
 	case strings.HasPrefix(r.URL.Path, "/api/experiments/"):
 		return overload.PriorityLow, "experiment"
+	case strings.HasPrefix(r.URL.Path, "/api/sweeps"):
+		// Sweep endpoints themselves are cheap — expansion and status
+		// serving; the expensive simulations run in background workers
+		// that acquire the gate per spec at low priority.
+		return overload.PriorityHigh, "sweep"
 	case strings.HasPrefix(r.URL.Path, "/api/scenarios"):
 		// Scenario diffs can trigger two extra campaign simulations —
 		// the most expensive operation the API exposes — so they shed

@@ -39,6 +39,7 @@ import (
 	"vzlens/internal/resilience"
 	"vzlens/internal/resultstore"
 	"vzlens/internal/scenario"
+	"vzlens/internal/sweep"
 	"vzlens/internal/world"
 )
 
@@ -107,6 +108,14 @@ type Options struct {
 	// file that doesn't apply is an operator mistake worth failing
 	// loudly at startup, not at first request.
 	Scenarios []*scenario.Spec
+
+	// SweepWorkers bounds concurrent spec simulations inside the batch
+	// sweep engine (default 2). Sweeps are only enabled when Store is
+	// set: the journal through the store is what makes them crash-safe.
+	SweepWorkers int
+	// SweepSpecTimeout is the per-spec watchdog deadline inside a sweep
+	// (default 5m; negative disables).
+	SweepSpecTimeout time.Duration
 }
 
 // Handler serves the API over a built world. Campaign-backed
@@ -134,6 +143,8 @@ type Handler struct {
 	scenMu      sync.Mutex
 	scenarios   map[string]*scenario.Spec
 	scenFlights overload.Group[string, []byte]
+
+	sweeps *sweep.Manager // nil without a result store
 }
 
 // New returns a Handler over w with default Options.
@@ -183,6 +194,31 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 			panic(fmt.Sprintf("httpapi: preloaded scenario: %v", err))
 		}
 	}
+	// The sweep engine journals through the result store — that journal
+	// is its crash-safety — so it only exists when a store does. It
+	// shares the handler's scenario engine (and thus the memoized
+	// baseline campaigns) and admits each background simulation through
+	// the gate at low priority, batch work behind live clients.
+	if opts.Store != nil {
+		var admit func(ctx context.Context) (func(), error)
+		if h.gate != nil {
+			admit = h.sweepAdmit
+		}
+		h.sweeps = sweep.NewManager(sweep.Options{
+			World:       w,
+			Engine:      h.engine,
+			Store:       opts.Store,
+			Workers:     opts.SweepWorkers,
+			SpecTimeout: opts.SweepSpecTimeout,
+			Admit:       admit,
+		})
+		h.sweeps.Instrument(h.reg)
+		if restored, err := h.sweeps.Resume(); err != nil {
+			log.Printf("httpapi: resume sweeps: %v", err)
+		} else if restored > 0 {
+			log.Printf("httpapi: resumed sweep journals, %d spec results restored without re-simulation", restored)
+		}
+	}
 	h.mux.HandleFunc("GET /healthz", h.health)
 	h.mux.HandleFunc("GET /readyz", h.ready)
 	h.mux.Handle("GET /metrics", h.reg.Handler())
@@ -194,6 +230,9 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 	h.mux.HandleFunc("GET /api/scenarios", h.listScenarios)
 	h.mux.HandleFunc("POST /api/scenarios", h.postScenario)
 	h.mux.HandleFunc("GET /api/scenarios/{id}/diff", h.scenarioDiff)
+	h.mux.HandleFunc("GET /api/sweeps", h.listSweeps)
+	h.mux.HandleFunc("POST /api/sweeps", h.postSweep)
+	h.mux.HandleFunc("GET /api/sweeps/{id}", h.getSweep)
 	var root http.Handler = h.mux
 	if opts.RequestTimeout > 0 {
 		root = http.TimeoutHandler(root, opts.RequestTimeout,

@@ -1,0 +1,114 @@
+package httpapi
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"vzlens/internal/overload"
+	"vzlens/internal/sweep"
+)
+
+// This file serves the batch sweep engine: POST /api/sweeps expands a
+// templated scenario family (depeer each transit, cut each cable,
+// place a root replica in each candidate city) and runs it on a
+// bounded worker pool, GET /api/sweeps/{id} serves the ranked impact
+// leaderboard. Sweeps journal every completed spec through the result
+// store, so a restarted server resumes mid-sweep without re-simulating
+// anything already journaled — which is why the endpoints require a
+// store and answer 503 without one.
+
+// maxSweepBody bounds a POSTed sweep request. Explicit-specs sweeps
+// carry up to sweep.MaxSpecs full scenario documents, so the cap is
+// larger than a single scenario's.
+const maxSweepBody = 1 << 20
+
+// sweepsEnabled reports whether the sweep engine is live; without a
+// result store there is no journal to make sweeps crash-safe, so the
+// feature is off rather than silently non-durable.
+func (h *Handler) sweepsEnabled(w http.ResponseWriter) bool {
+	if h.sweeps != nil {
+		return true
+	}
+	writeJSON(w, http.StatusServiceUnavailable,
+		map[string]string{"error": "sweeps require a result store (vzserve -store)"})
+	return false
+}
+
+func (h *Handler) postSweep(w http.ResponseWriter, r *http.Request) {
+	if !h.sweepsEnabled(w) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSweepBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			map[string]string{"error": fmt.Sprintf("sweep request larger than %d bytes", maxSweepBody)})
+		return
+	}
+	req, err := sweep.ParseRequest(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	_, existed := h.sweeps.Get(req.ID)
+	st, err := h.sweeps.Start(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, sweep.ErrConflict) {
+			status = http.StatusConflict
+		}
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	// A brand-new sweep is accepted for background execution (202); an
+	// idempotent re-POST of a live one just reports it (200).
+	code := http.StatusAccepted
+	if existed {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+func (h *Handler) listSweeps(w http.ResponseWriter, _ *http.Request) {
+	if !h.sweepsEnabled(w) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sweeps": h.sweeps.List()})
+}
+
+func (h *Handler) getSweep(w http.ResponseWriter, r *http.Request) {
+	if !h.sweepsEnabled(w) {
+		return
+	}
+	id := r.PathValue("id")
+	st, ok := h.sweeps.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": fmt.Sprintf("unknown sweep %q", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// sweepAdmit gates each background spec simulation through the same
+// admission gate as interactive requests, at low priority: a sweep is
+// batch work and must never starve a live client. Sheds surface as
+// retryable errors, so the spec's retry policy backs off and tries
+// again instead of failing the spec.
+func (h *Handler) sweepAdmit(ctx context.Context) (func(), error) {
+	return h.gate.Acquire(ctx, overload.PriorityLow)
+}
+
+// DrainSweeps stops dispatching new sweep specs, waits for in-flight
+// specs to finish and journal, and closes the journals — the SIGTERM
+// path, called after the HTTP server has drained. Unfinished sweeps
+// resume on the next start. A handler without a sweep engine drains
+// trivially.
+func (h *Handler) DrainSweeps(ctx context.Context) error {
+	if h.sweeps == nil {
+		return nil
+	}
+	return h.sweeps.Drain(ctx)
+}

@@ -1,0 +1,225 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"vzlens/internal/httpapi"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/sweep"
+	"vzlens/internal/world"
+)
+
+// sweepBody is the soak sweep: every root letter crossed with every
+// Venezuelan candidate city — 52 specs through the real scenario
+// engine, enough in-flight work to interrupt meaningfully.
+const sweepBody = `{"id":"soak","family":"root_each"}`
+
+func newSweepStack(t *testing.T, w *world.World, dir string) *httpapi.Handler {
+	t.Helper()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := httpapi.NewWithOptions(w, httpapi.Options{Store: store})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		h.DrainSweeps(ctx) //nolint:errcheck // best-effort test cleanup
+	})
+	return h
+}
+
+// sweepStatus GETs one sweep document straight off the handler.
+func sweepStatus(t *testing.T, h http.Handler, id string) *sweep.Status {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, "/api/sweeps/"+id, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET sweep %s: %d %s", id, rec.Code, rec.Body.String())
+	}
+	var st sweep.Status
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	return &st
+}
+
+func awaitSweepDone(t *testing.T, h http.Handler, id string) *sweep.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if st := sweepStatus(t, h, id); st.State == sweep.StateDone {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never finished", id)
+	return nil
+}
+
+// sweepMetric scrapes one unlabeled vz_sweep_* value off /metrics.
+func sweepMetric(t *testing.T, h http.Handler, name string) float64 {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	for _, line := range strings.Split(rec.Body.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: parse %q: %v", name, rest, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestSweepCrashResumeSoak is the crash-safety soak for the batch
+// sweep engine: a 52-spec sweep is interrupted by SIGTERM-style drain
+// mid-flight, the server restarts against the same store, and the
+// resumed run must (a) restore every journaled result without
+// re-simulating it — asserted through the vz_sweep_* counters — and
+// (b) finish with a leaderboard byte-identical to an uninterrupted
+// control run's.
+func TestSweepCrashResumeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process sweep soak")
+	}
+	m := mm(2023, time.July)
+	w := mustBuild(world.Config{
+		TraceStart: m, TraceEnd: m,
+		ChaosStart: m, ChaosEnd: m,
+	})
+
+	// ---- Control: the same sweep, never interrupted ----
+	control := newSweepStack(t, w, t.TempDir())
+	postSweep(t, control, sweepBody, http.StatusAccepted)
+	controlDone := awaitSweepDone(t, control, "soak")
+	controlBoard, err := json.Marshal(controlDone.Leaderboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if controlDone.Total != 52 || controlDone.Completed != 52 || controlDone.Failed != 0 {
+		t.Fatalf("control sweep: %+v", controlDone)
+	}
+
+	// ---- Phase 1: start the sweep on a real server, SIGTERM it ----
+	dir := t.TempDir()
+	h1 := newSweepStack(t, w, dir)
+	base, serveDone := bootServer(t, h1, 30*time.Second)
+	resp, err := http.Post(base+"/api/sweeps", "application/json", strings.NewReader(sweepBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST sweep: %d", resp.StatusCode)
+	}
+	// Let some — ideally not all — specs complete before the signal.
+	for i := 0; i < 2000 && sweepStatus(t, h1, "soak").Completed < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("graceful serve: %v", err)
+	}
+	// The vzserve shutdown sequence: HTTP drained, now checkpoint the
+	// batch work so the journal holds every in-flight spec's result.
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h1.DrainSweeps(dctx); err != nil {
+		t.Fatal(err)
+	}
+	journaled := sweepMetric(t, h1, "vz_sweep_specs_completed_total") +
+		sweepMetric(t, h1, "vz_sweep_specs_failed_total")
+	t.Logf("drained with %.0f/52 specs journaled", journaled)
+
+	// ---- Phase 2: restart against the same store ----
+	h2 := newSweepStack(t, w, dir)
+	final := awaitSweepDone(t, h2, "soak")
+
+	// Every journaled result was restored, not re-simulated: the new
+	// process's restored counter matches what the old one checkpointed,
+	// and its own simulation counters cover exactly the remainder.
+	restored := sweepMetric(t, h2, "vz_sweep_specs_restored_total")
+	if restored != journaled {
+		t.Errorf("restored %.0f specs, want %.0f (journaled before drain)", restored, journaled)
+	}
+	resimulated := sweepMetric(t, h2, "vz_sweep_specs_completed_total") +
+		sweepMetric(t, h2, "vz_sweep_specs_failed_total")
+	if restored+resimulated != 52 {
+		t.Errorf("restored %.0f + simulated %.0f != 52: completed specs were re-simulated", restored, resimulated)
+	}
+
+	// The resumed leaderboard is byte-identical to the control run's.
+	finalBoard, err := json.Marshal(final.Leaderboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(finalBoard) != string(controlBoard) {
+		t.Errorf("resumed leaderboard differs from uninterrupted control:\n%s\n%s", finalBoard, controlBoard)
+	}
+	if final.Key != controlDone.Key {
+		t.Errorf("sweep key differs: %q vs %q", final.Key, controlDone.Key)
+	}
+}
+
+// TestSweepQuarantineEndToEnd runs a sweep whose spec list mixes
+// healthy scenarios with one that cannot compile against the world:
+// the sweep must complete, with the broken spec quarantined into the
+// leaderboard below every success, carrying its compile error.
+func TestSweepQuarantineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign-backed sweep")
+	}
+	m := mm(2023, time.July)
+	w := mustBuild(world.Config{
+		TraceStart: m, TraceEnd: m,
+		ChaosStart: m, ChaosEnd: m,
+	})
+	h := newSweepStack(t, w, t.TempDir())
+	postSweep(t, h, `{"id":"q","family":"specs","specs":[
+		{"id":"healthy-a","ops":[{"op":"add_root","letter":"L","host":8048,"iata":"CCS","from":"2023-07"}]},
+		{"id":"healthy-b","ops":[{"op":"depeer","asn":6762,"from":"2023-07"}]},
+		{"id":"wont-compile","ops":[{"op":"depeer","asn":64999,"from":"2023-07"}]}
+	]}`, http.StatusAccepted)
+	st := awaitSweepDone(t, h, "q")
+	if st.Completed != 3 || st.Failed != 1 {
+		t.Fatalf("quarantine sweep: %+v", st)
+	}
+	last := st.Leaderboard[len(st.Leaderboard)-1]
+	if last.Spec != "wont-compile" || last.Status != sweep.StatusFailed ||
+		!strings.Contains(last.Error, "unknown to the world") {
+		t.Errorf("quarantined entry = %+v", last)
+	}
+	for _, e := range st.Leaderboard[:len(st.Leaderboard)-1] {
+		if e.Status != sweep.StatusOK {
+			t.Errorf("healthy spec %s ranked as %s", e.Spec, e.Status)
+		}
+	}
+}
+
+func postSweep(t *testing.T, h http.Handler, body string, want int) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPost, "/api/sweeps", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != want {
+		t.Fatalf("POST sweep: %d %s, want %d", rec.Code, rec.Body.String(), want)
+	}
+}

@@ -145,6 +145,41 @@ func Retry(ctx context.Context, p Policy, fn func(ctx context.Context) error) er
 	return fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, last)
 }
 
+// RetryValue is the value-returning, context-aware Retry variant the
+// sweep workers use: fn runs under the caller's context, every backoff
+// sleep aborts immediately on context cancellation or deadline expiry
+// (the abort error wraps ctx.Err, so callers can distinguish a
+// canceled retry from an exhausted one), and the zero T accompanies
+// every failure. Permanent errors stop the loop on the spot, exactly
+// like Retry.
+func RetryValue[T any](ctx context.Context, p Policy, fn func(ctx context.Context) (T, error)) (T, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var zero T
+	var last error
+	for attempt := 1; attempt <= p.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return zero, fmt.Errorf("resilience: retry aborted before attempt %d: %w", attempt, err)
+		}
+		v, err := fn(ctx)
+		if err == nil {
+			return v, nil
+		}
+		last = err
+		var pe *permanentError
+		if errors.As(last, &pe) {
+			return zero, fmt.Errorf("resilience: permanent failure on attempt %d: %w", attempt, pe.err)
+		}
+		if attempt == p.MaxAttempts {
+			break
+		}
+		if err := p.Sleep(ctx, p.Delay(attempt, rng)); err != nil {
+			return zero, fmt.Errorf("resilience: retry aborted after attempt %d: %w (last error: %v)", attempt, err, last)
+		}
+	}
+	return zero, fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, last)
+}
+
 // sleepCtx waits d or until ctx is done, whichever comes first.
 func sleepCtx(ctx context.Context, d time.Duration) error {
 	if d <= 0 {

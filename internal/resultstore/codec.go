@@ -41,6 +41,22 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 // validation. Wrapped errors carry the specific failure.
 var ErrCorrupt = errors.New("resultstore: corrupt entry")
 
+// headerSelfChecks reports whether a frame's 20-byte header matches its
+// trailing self-checksum — the test that lets the journal scanner trust
+// the length field of a frame before decoding it in full.
+func headerSelfChecks(frame []byte) bool {
+	if len(frame) < headerSize {
+		return false
+	}
+	return crc32.Checksum(frame[:20], castagnoli) == binary.LittleEndian.Uint32(frame[20:24])
+}
+
+// payloadLen reads the header's payload length field; callers must have
+// validated the header first.
+func payloadLen(frame []byte) uint64 {
+	return binary.LittleEndian.Uint64(frame[8:16])
+}
+
 // EncodeEntry frames payload with the checksummed header.
 func EncodeEntry(payload []byte) []byte {
 	buf := make([]byte, headerSize+len(payload))

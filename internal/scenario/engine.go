@@ -71,13 +71,43 @@ func (e *Engine) Instrument(reg *obs.Registry) {
 	}
 }
 
+// RunConfig tunes one engine run. The zero value is the full run the
+// diff endpoint serves.
+type RunConfig struct {
+	// SkipTables omits the row-level experiment-table diffs — the sweep
+	// engine's leaderboard only needs the campaign-level deltas, and
+	// re-running four experiment tables per spec would dominate a
+	// windowed sweep's cost.
+	SkipTables bool
+}
+
+// RunStats reports how much work a run actually did: the windowed
+// replay re-simulates only the months the plan's edit windows touch and
+// reuses the memoized baseline for the rest.
+type RunStats struct {
+	TraceMonthsRecomputed int // trace months simulated under the overlay
+	TraceMonthsReused     int // trace months spliced from the baseline
+	ChaosMonthsRecomputed int
+	ChaosMonthsReused     int
+}
+
 // Run compiles spec, simulates both campaigns under its overlay, and
-// returns the deterministic baseline-vs-scenario Diff. The run is
+// returns the deterministic baseline-vs-scenario Diff. See RunWith.
+func (e *Engine) Run(ctx context.Context, spec *Spec) (*Diff, error) {
+	diff, _, err := e.RunWith(ctx, spec, RunConfig{})
+	return diff, err
+}
+
+// RunWith is Run with per-run configuration and work accounting. The
+// campaigns replay through the windowed engine: only months inside the
+// spec's edit windows are re-simulated, the baseline's samples are
+// spliced in for the rest, and the result is bit-identical to a full
+// replay (the world's RNG streams are scenario-blind). The run is
 // wrapped in a campaign.scenario span; a panic anywhere below (a
 // compiled plan the world rejects is a programming error surfaced by
 // panic) is converted into an error so a bad scenario can never take
 // down the serving process.
-func (e *Engine) Run(ctx context.Context, spec *Spec) (diff *Diff, err error) {
+func (e *Engine) RunWith(ctx context.Context, spec *Spec, cfg RunConfig) (diff *Diff, stats RunStats, err error) {
 	start := time.Now()
 	defer func() {
 		if r := recover(); r != nil {
@@ -93,7 +123,7 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (diff *Diff, err error) {
 
 	plan, err := spec.Compile(e.w)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	ctx, span := obs.StartSpan(ctx, "campaign.scenario")
 	span.SetAttr("scenario", spec.ID)
@@ -102,14 +132,18 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (diff *Diff, err error) {
 
 	baseTC, err := e.baseTrace(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %q: baseline trace campaign: %w", spec.ID, err)
+		return nil, stats, fmt.Errorf("scenario %q: baseline trace campaign: %w", spec.ID, err)
 	}
 	baseCC, err := e.baseChaos(ctx)
 	if err != nil {
-		return nil, fmt.Errorf("scenario %q: baseline chaos campaign: %w", spec.ID, err)
+		return nil, stats, fmt.Errorf("scenario %q: baseline chaos campaign: %w", spec.ID, err)
 	}
-	scenTC := e.w.TraceCampaignScenario(ctx, plan)
-	scenCC := e.w.ChaosCampaignScenario(ctx, plan)
+	scenTC, traceRecomp := e.w.TraceCampaignScenarioWindowed(ctx, plan, baseTC)
+	scenCC, chaosRecomp := e.w.ChaosCampaignScenarioWindowed(ctx, plan, baseCC)
+	stats.TraceMonthsRecomputed = traceRecomp
+	stats.TraceMonthsReused = len(baseTC.Months()) - traceRecomp
+	stats.ChaosMonthsRecomputed = chaosRecomp
+	stats.ChaosMonthsReused = len(baseCC.Months()) - chaosRecomp
 
 	diff = &Diff{
 		Scenario:    spec.ID,
@@ -122,15 +156,19 @@ func (e *Engine) Run(ctx context.Context, spec *Spec) (diff *Diff, err error) {
 	}
 	// Diff only the campaign-backed experiment tables: the rest render
 	// from baseline world state a scenario cannot move.
-	for _, exp := range core.Experiments() {
-		if exp.Campaign == "" {
-			continue
+	if !cfg.SkipTables {
+		for _, exp := range core.Experiments() {
+			if exp.Campaign == "" {
+				continue
+			}
+			base := exp.Run(e.w, baseTC, baseCC)
+			scen := exp.Run(e.w, scenTC, scenCC)
+			diff.Tables = append(diff.Tables, diffTable(exp.ID, base, scen))
 		}
-		base := exp.Run(e.w, baseTC, baseCC)
-		scen := exp.Run(e.w, scenTC, scenCC)
-		diff.Tables = append(diff.Tables, diffTable(exp.ID, base, scen))
 	}
 	span.SetAttr("trace_deltas", len(diff.Trace))
 	span.SetAttr("reach_deltas", len(diff.Reach))
-	return diff, nil
+	span.SetAttr("trace_recomputed", traceRecomp)
+	span.SetAttr("chaos_recomputed", chaosRecomp)
+	return diff, stats, nil
 }

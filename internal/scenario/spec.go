@@ -121,6 +121,64 @@ func LoadSpecs(path string) ([]*Spec, error) {
 	return []*Spec{s}, nil
 }
 
+// LoadSpecsLenient reads the same file format as LoadSpecs but keeps
+// going past bad entries: it returns every spec that validates plus one
+// error per entry that does not, each error carrying the entry's
+// position and (when recoverable) its declared id. A duplicate id —
+// even of an invalid earlier entry — is itself an error, so the valid
+// subset is always directly servable. len(errs) == 0 iff LoadSpecs
+// would have succeeded.
+func LoadSpecsLenient(path string) (specs []*Spec, errs []error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, []error{fmt.Errorf("scenario: %w", err)}
+	}
+	trimmed := bytes.TrimSpace(data)
+	if len(trimmed) == 0 || trimmed[0] != '[' {
+		s, err := ParseSpec(data)
+		if err != nil {
+			return nil, []error{fmt.Errorf("scenario: %s: %w", path, err)}
+		}
+		return []*Spec{s}, nil
+	}
+	var raws []json.RawMessage
+	if err := json.Unmarshal(trimmed, &raws); err != nil {
+		// The array itself is malformed: nothing inside it is salvageable.
+		return nil, []error{fmt.Errorf("scenario: decode %s: %w", path, err)}
+	}
+	seen := map[string]bool{}
+	for i, raw := range raws {
+		s, err := ParseSpec(raw)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("scenario: %s entry %d (id %q): %w", path, i, looseID(raw), err))
+			if id := looseID(raw); id != "" {
+				seen[id] = true
+			}
+			continue
+		}
+		if seen[s.ID] {
+			errs = append(errs, fmt.Errorf("scenario: %s entry %d: duplicate scenario id %q", path, i, s.ID))
+			continue
+		}
+		seen[s.ID] = true
+		specs = append(specs, s)
+	}
+	return specs, errs
+}
+
+// looseID best-effort extracts the "id" field from a spec document that
+// failed strict parsing, so lenient-load errors can still name the
+// entry they describe.
+func looseID(raw []byte) string {
+	var probe struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return ""
+	}
+	return probe.ID
+}
+
 // Key derives the spec's content-addressed identity: the scenario ID
 // plus a digest of its canonical JSON form. Two specs with equal Keys
 // produce identical plans, so the key scopes caches and the result

@@ -157,6 +157,78 @@ func TestLoadSpecs(t *testing.T) {
 	}
 }
 
+// TestLoadSpecsLenient: the lenient loader must return every valid
+// spec, one error per bad entry naming its position and id, and agree
+// with LoadSpecs when the file is clean.
+func TestLoadSpecsLenient(t *testing.T) {
+	dir := t.TempDir()
+
+	mixed := filepath.Join(dir, "mixed.json")
+	os.WriteFile(mixed, []byte(`[
+		{"id":"good-one","ops":[{"op":"depeer","asn":8048}]},
+		{"id":"BadCase","ops":[{"op":"depeer","asn":8048}]},
+		{"id":"no-ops","ops":[]},
+		{"id":"good-two","ops":[{"op":"depeer","asn":6306}]},
+		{"id":"good-one","ops":[{"op":"depeer","asn":6306}]}]`), 0o644)
+	specs, errs := LoadSpecsLenient(mixed)
+	if len(specs) != 2 || specs[0].ID != "good-one" || specs[1].ID != "good-two" {
+		t.Fatalf("valid subset = %v, want [good-one good-two]", specs)
+	}
+	if len(errs) != 3 {
+		t.Fatalf("errs = %v, want 3", errs)
+	}
+	for want, part := range map[int]string{
+		0: `entry 1 (id "BadCase")`,
+		1: `entry 2 (id "no-ops")`,
+		2: `duplicate scenario id "good-one"`,
+	} {
+		if !strings.Contains(errs[want].Error(), part) {
+			t.Errorf("errs[%d] = %q, missing %q", want, errs[want], part)
+		}
+	}
+
+	clean := filepath.Join(dir, "clean.json")
+	os.WriteFile(clean, []byte(`[
+		{"id":"one","ops":[{"op":"depeer","asn":8048}]},
+		{"id":"two","ops":[{"op":"depeer","asn":6306}]}]`), 0o644)
+	specs, errs = LoadSpecsLenient(clean)
+	if len(errs) != 0 || len(specs) != 2 {
+		t.Fatalf("clean file: specs=%v errs=%v", specs, errs)
+	}
+
+	single := filepath.Join(dir, "one.json")
+	os.WriteFile(single, []byte(`{"id":"solo","ops":[{"op":"depeer","asn":8048}]}`), 0o644)
+	specs, errs = LoadSpecsLenient(single)
+	if len(errs) != 0 || len(specs) != 1 || specs[0].ID != "solo" {
+		t.Fatalf("single object: specs=%v errs=%v", specs, errs)
+	}
+
+	// A later valid spec reusing an invalid entry's id is still a
+	// duplicate: serving it would silently shadow the entry the operator
+	// meant to fix.
+	shadow := filepath.Join(dir, "shadow.json")
+	os.WriteFile(shadow, []byte(`[
+		{"id":"shared","ops":[]},
+		{"id":"shared","ops":[{"op":"depeer","asn":8048}]}]`), 0o644)
+	specs, errs = LoadSpecsLenient(shadow)
+	if len(specs) != 0 {
+		t.Fatalf("shadowing spec served: %v", specs)
+	}
+	if len(errs) != 2 || !strings.Contains(errs[1].Error(), "duplicate") {
+		t.Fatalf("shadow errs = %v", errs)
+	}
+
+	broken := filepath.Join(dir, "broken.json")
+	os.WriteFile(broken, []byte(`[{"id":"one"`), 0o644)
+	if specs, errs = LoadSpecsLenient(broken); len(specs) != 0 || len(errs) != 1 {
+		t.Fatalf("malformed array: specs=%v errs=%v", specs, errs)
+	}
+
+	if _, errs = LoadSpecsLenient(filepath.Join(dir, "missing.json")); len(errs) != 1 {
+		t.Fatalf("missing file errs = %v", errs)
+	}
+}
+
 // FuzzScenarioSpec drives the strict decoder with arbitrary bytes: it
 // must reject or accept but never panic, and anything it accepts must
 // re-validate and produce a stable key.

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"math"
+	"sort"
+
+	"vzlens/internal/scenario"
+)
+
+// Spec result statuses.
+const (
+	StatusOK     = "ok"
+	StatusFailed = "failed" // quarantined: compile error, panic, or deadline
+)
+
+// Result is one spec's outcome — the unit the journal checkpoints and
+// the leaderboard ranks. It carries no timestamps or durations, so the
+// final leaderboard of a resumed sweep is byte-identical to an
+// uninterrupted run's.
+type Result struct {
+	Spec   string `json:"spec"`
+	Key    string `json:"key"`
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+
+	// Impact summary, derived from the scenario diff. ReachLoss counts
+	// probe-months that lost all anycast reachability; MaxRTTDelta is
+	// the largest Venezuelan monthly median move (signed, ms);
+	// CatchmentShift counts months where VE probes' distinct root-site
+	// set changed size.
+	ReachLossProbeMonths int     `json:"reach_loss_probe_months"`
+	MaxRTTDeltaMs        float64 `json:"max_rtt_delta_ms"`
+	CatchmentShiftMonths int     `json:"catchment_shift_months"`
+
+	// Windowed-replay accounting: campaign months re-simulated for this
+	// spec vs spliced from the memoized baseline.
+	MonthsRecomputed int `json:"months_recomputed"`
+	MonthsReused     int `json:"months_reused"`
+}
+
+// summarize reduces a scenario diff plus its run stats to a Result.
+func summarize(sp *scenario.Spec, d *scenario.Diff, st scenario.RunStats) *Result {
+	res := &Result{
+		Spec:             sp.ID,
+		Key:              sp.Key(),
+		Status:           StatusOK,
+		MonthsRecomputed: st.TraceMonthsRecomputed + st.ChaosMonthsRecomputed,
+		MonthsReused:     st.TraceMonthsReused + st.ChaosMonthsReused,
+	}
+	for _, t := range d.Trace {
+		if t.CC == "VE" && math.Abs(t.DeltaMs) > math.Abs(res.MaxRTTDeltaMs) {
+			res.MaxRTTDeltaMs = t.DeltaMs
+		}
+	}
+	for _, rd := range d.Reach {
+		if lost := rd.BaselineProbes - rd.ScenarioProbes; lost > 0 {
+			res.ReachLossProbeMonths += lost
+		}
+	}
+	res.CatchmentShiftMonths = len(d.Catchment)
+	return res
+}
+
+// Entry is one ranked leaderboard row.
+type Entry struct {
+	Rank int `json:"rank"`
+	Result
+}
+
+// Status is the sweep document GET /api/sweeps/{id} serves.
+type Status struct {
+	ID        string   `json:"id"`
+	Key       string   `json:"key"`
+	Family    string   `json:"family"`
+	State     string   `json:"state"` // "running" | "done"
+	Total     int      `json:"total_specs"`
+	Completed int      `json:"completed"` // ok + failed (journaled)
+	Failed    int      `json:"failed"`
+	Skipped   []string `json:"skipped,omitempty"`
+	// Leaderboard ranks the journaled results so far: successful specs
+	// by impact (reachability loss, then RTT delta magnitude, then id),
+	// quarantined failures after them by id.
+	Leaderboard []Entry `json:"leaderboard,omitempty"`
+}
+
+// Sweep states.
+const (
+	StateRunning = "running"
+	StateDone    = "done"
+)
+
+// leaderboard ranks results deterministically. Impact ordering:
+// reachability loss (desc), then |max RTT delta| (desc), then spec id
+// (asc) — ties broken lexically so equal-impact specs rank stably.
+// Failed specs sink below every success, ordered by id, so quarantined
+// work stays visible without polluting the impact ranking.
+func leaderboard(results []*Result) []Entry {
+	rs := make([]*Result, len(results))
+	copy(rs, results)
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := rs[i], rs[j]
+		if (a.Status == StatusOK) != (b.Status == StatusOK) {
+			return a.Status == StatusOK
+		}
+		if a.Status != StatusOK {
+			return a.Spec < b.Spec
+		}
+		if a.ReachLossProbeMonths != b.ReachLossProbeMonths {
+			return a.ReachLossProbeMonths > b.ReachLossProbeMonths
+		}
+		am, bm := math.Abs(a.MaxRTTDeltaMs), math.Abs(b.MaxRTTDeltaMs)
+		if am != bm {
+			return am > bm
+		}
+		if a.CatchmentShiftMonths != b.CatchmentShiftMonths {
+			return a.CatchmentShiftMonths > b.CatchmentShiftMonths
+		}
+		return a.Spec < b.Spec
+	})
+	out := make([]Entry, len(rs))
+	for i, r := range rs {
+		out[i] = Entry{Rank: i + 1, Result: *r}
+	}
+	return out
+}

@@ -1,0 +1,487 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vzlens/internal/obs"
+	"vzlens/internal/resilience"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
+)
+
+// fakeRun is a deterministic stand-in for the scenario engine: impact
+// derives from the spec id alone, so a control run and a resumed run
+// produce identical results without simulating anything.
+func fakeRun(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+	d := &scenario.Diff{
+		Scenario: sp.ID,
+		Key:      sp.Key(),
+		Trace: []scenario.TraceDelta{{
+			Month: "2023-07", CC: "VE",
+			DeltaMs: float64(len(sp.ID)), // deterministic per spec
+		}},
+		Reach: []scenario.ReachDelta{{
+			Month: "2023-07", CC: "VE",
+			BaselineProbes: 10, ScenarioProbes: 10 - len(sp.ID)%4,
+		}},
+	}
+	return d, scenario.RunStats{TraceMonthsRecomputed: 1, ChaosMonthsReused: 1}, nil
+}
+
+// newTestManager wires a Manager over a fresh store in dir.
+func newTestManager(t *testing.T, dir string, opts Options) (*Manager, *resultstore.Store) {
+	t.Helper()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.World = testWorld(t)
+	opts.Store = store
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	m := NewManager(opts)
+	m.Instrument(obs.NewRegistry())
+	t.Cleanup(m.Kill)
+	return m, store
+}
+
+// waitDone polls until the sweep reaches the done state.
+func waitDone(t *testing.T, m *Manager, id string) *Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, ok := m.Get(id)
+		if ok && st.State == StateDone {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st, _ := m.Get(id)
+	t.Fatalf("sweep %q never finished: %+v", id, st)
+	return nil
+}
+
+// depeerReq is the workhorse request: six depeer specs on the test
+// world, windowed to the single campaign month.
+func depeerReq(id string) *Request {
+	return &Request{ID: id, Family: FamilyDepeerEach, From: "2023-07"}
+}
+
+func TestManagerRunsSweepToDone(t *testing.T) {
+	m, store := newTestManager(t, t.TempDir(), Options{RunSpec: fakeRun})
+	st, err := m.Start(depeerReq("run1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total != 6 || st.State != StateRunning && st.State != StateDone {
+		t.Fatalf("initial status: %+v", st)
+	}
+	final := waitDone(t, m, "run1")
+	if final.Completed != 6 || final.Failed != 0 {
+		t.Fatalf("final status: %+v", final)
+	}
+	if len(final.Leaderboard) != 6 {
+		t.Fatalf("leaderboard has %d entries", len(final.Leaderboard))
+	}
+	for i, e := range final.Leaderboard {
+		if e.Rank != i+1 {
+			t.Errorf("entry %d rank = %d", i, e.Rank)
+		}
+		if e.Status != StatusOK {
+			t.Errorf("entry %q status = %q", e.Spec, e.Status)
+		}
+	}
+	// Impact ordering: reach loss desc, then |RTT delta| desc, then id.
+	for i := 1; i < len(final.Leaderboard); i++ {
+		a, b := final.Leaderboard[i-1], final.Leaderboard[i]
+		if a.ReachLossProbeMonths < b.ReachLossProbeMonths {
+			t.Errorf("leaderboard unsorted at %d: %d < %d", i, a.ReachLossProbeMonths, b.ReachLossProbeMonths)
+		}
+	}
+	// The final leaderboard is persisted as a durable store artifact.
+	if _, err := store.Get("sweep-" + final.Key); err != nil {
+		t.Errorf("final status not in store: %v", err)
+	}
+	// And the journal records manifest + 6 specs + done.
+	names, _ := store.Journals()
+	if len(names) != 1 {
+		t.Fatalf("journals = %v", names)
+	}
+}
+
+func TestManagerQuarantinesFailures(t *testing.T) {
+	// One spec panics, one fails persistently; the other compiles fine.
+	boom := func(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		switch sp.ID {
+		case "panics":
+			panic("simulated explosion")
+		case "errors":
+			return nil, scenario.RunStats{}, errors.New("simulated persistent failure")
+		}
+		return fakeRun(ctx, sp)
+	}
+	m, _ := newTestManager(t, t.TempDir(), Options{
+		RunSpec: boom,
+		Retry:   resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	})
+	req := &Request{ID: "q1", Family: FamilySpecs, Specs: []*scenario.Spec{
+		{ID: "healthy", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 8048, From: "2023-07"}}},
+		{ID: "panics", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 6306, From: "2023-07"}}},
+		{ID: "errors", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 27889, From: "2023-07"}}},
+		// References an AS the world has never heard of: a compile
+		// error, quarantined without a single simulation attempt.
+		{ID: "wont-compile", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 64999, From: "2023-07"}}},
+	}}
+	if _, err := m.Start(req); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, "q1")
+	if final.Completed != 4 || final.Failed != 3 {
+		t.Fatalf("final status: %+v", final)
+	}
+	byID := map[string]Entry{}
+	for _, e := range final.Leaderboard {
+		byID[e.Spec] = e
+	}
+	if e := byID["healthy"]; e.Status != StatusOK || e.Rank != 1 {
+		t.Errorf("healthy entry: %+v", e)
+	}
+	if e := byID["panics"]; e.Status != StatusFailed || !strings.Contains(e.Error, "panicked") {
+		t.Errorf("panicking entry: %+v", e)
+	}
+	if e := byID["errors"]; e.Status != StatusFailed || !strings.Contains(e.Error, "attempts exhausted") {
+		t.Errorf("erroring entry: %+v", e)
+	}
+	if e := byID["wont-compile"]; e.Status != StatusFailed || !strings.Contains(e.Error, "unknown to the world") {
+		t.Errorf("compile-failing entry: %+v", e)
+	}
+	// Failures sink below the success regardless of name order.
+	if final.Leaderboard[0].Spec != "healthy" {
+		t.Errorf("leaderboard head = %q, want the healthy spec", final.Leaderboard[0].Spec)
+	}
+}
+
+func TestManagerSpecDeadlineQuarantines(t *testing.T) {
+	hang := func(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		<-ctx.Done() // honors the per-spec watchdog
+		return nil, scenario.RunStats{}, ctx.Err()
+	}
+	m, _ := newTestManager(t, t.TempDir(), Options{
+		RunSpec:     hang,
+		SpecTimeout: 20 * time.Millisecond,
+		Retry:       resilience.Policy{MaxAttempts: 2, BaseDelay: time.Millisecond},
+	})
+	req := &Request{ID: "w1", Family: FamilySpecs, Specs: []*scenario.Spec{
+		{ID: "stuck", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 8048, From: "2023-07"}}},
+	}}
+	if _, err := m.Start(req); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, "w1")
+	e := final.Leaderboard[0]
+	if e.Status != StatusFailed || !strings.Contains(e.Error, "deadline") {
+		t.Errorf("watchdogged entry: %+v", e)
+	}
+}
+
+func TestManagerIdempotentStartAndConflict(t *testing.T) {
+	m, _ := newTestManager(t, t.TempDir(), Options{RunSpec: fakeRun})
+	if _, err := m.Start(depeerReq("dup")); err != nil {
+		t.Fatal(err)
+	}
+	// Identical re-POST: same sweep, no error.
+	st, err := m.Start(depeerReq("dup"))
+	if err != nil || st.ID != "dup" {
+		t.Fatalf("idempotent re-start: %v, %v", st, err)
+	}
+	// Same id, different parameters: conflict.
+	other := &Request{ID: "dup", Family: FamilyRootEach, From: "2023-07", Letters: []string{"L"}, IATAs: []string{"CCS"}}
+	if _, err := m.Start(other); !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting start: %v, want ErrConflict", err)
+	}
+	waitDone(t, m, "dup")
+}
+
+// TestManagerCrashResume is the tentpole contract: kill the manager
+// mid-sweep, restart over the same store, and the resumed run must (a)
+// never re-simulate a journaled spec and (b) finish with a leaderboard
+// byte-identical to an uninterrupted control run.
+func TestManagerCrashResume(t *testing.T) {
+	// Control run in its own store.
+	ctrl, _ := newTestManager(t, t.TempDir(), Options{RunSpec: fakeRun})
+	if _, err := ctrl.Start(depeerReq("cr")); err != nil {
+		t.Fatal(err)
+	}
+	control := waitDone(t, ctrl, "cr")
+
+	// Interrupted run: workers=1, and the fake engine blocks hard after
+	// two completions until the manager dies.
+	dir := t.TempDir()
+	var completed atomic.Int64
+	blocked := make(chan struct{})
+	var blockOnce sync.Once
+	gated := func(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		if completed.Load() >= 2 {
+			blockOnce.Do(func() { close(blocked) })
+			<-ctx.Done() // simulates being mid-simulation at crash time
+			return nil, scenario.RunStats{}, ctx.Err()
+		}
+		d, st, err := fakeRun(ctx, sp)
+		completed.Add(1)
+		return d, st, err
+	}
+	m1, _ := newTestManager(t, dir, Options{RunSpec: gated, Workers: 1})
+	if _, err := m1.Start(depeerReq("cr")); err != nil {
+		t.Fatal(err)
+	}
+	<-blocked // two specs journaled, third in flight
+	m1.Kill() // crash: the in-flight spec never reaches the journal
+
+	// Restart against the same store. The new engine counts invocations:
+	// journaled specs must not come back.
+	var reruns atomic.Int64
+	counting := func(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		reruns.Add(1)
+		return fakeRun(ctx, sp)
+	}
+	m2, store2 := newTestManager(t, dir, Options{RunSpec: counting, Workers: 1})
+	restored, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 2 {
+		t.Fatalf("restored %d results, want 2", restored)
+	}
+	resumed := waitDone(t, m2, "cr")
+	if got := int(reruns.Load()); got != 4 {
+		t.Errorf("resumed run simulated %d specs, want 4 (6 total - 2 journaled)", got)
+	}
+
+	// Byte-identical leaderboards, control vs resumed.
+	cb, _ := json.Marshal(control.Leaderboard)
+	rb, _ := json.Marshal(resumed.Leaderboard)
+	if string(cb) != string(rb) {
+		t.Errorf("leaderboards differ:\ncontrol: %s\nresumed: %s", cb, rb)
+	}
+	if control.Key != resumed.Key {
+		t.Errorf("keys differ: %q vs %q", control.Key, resumed.Key)
+	}
+
+	// A third manager over the now-done journal serves it without
+	// running anything.
+	m3, _ := newTestManager(t, dir, Options{RunSpec: func(context.Context, *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		t.Error("done sweep re-simulated a spec")
+		return nil, scenario.RunStats{}, nil
+	}})
+	if _, err := m3.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	st3, ok := m3.Get("cr")
+	if !ok || st3.State != StateDone || st3.Completed != 6 {
+		t.Fatalf("done sweep not restored: %+v", st3)
+	}
+	_ = store2
+}
+
+// TestManagerDrainCheckpoints: a drained manager finishes in-flight
+// specs, journals them, and a successor picks up only the remainder.
+func TestManagerDrainCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	started := make(chan struct{}, 16)
+	slow := func(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+		started <- struct{}{}
+		time.Sleep(20 * time.Millisecond) // in flight while Drain arrives
+		return fakeRun(ctx, sp)
+	}
+	m1, _ := newTestManager(t, dir, Options{RunSpec: slow, Workers: 1})
+	if _, err := m1.Start(depeerReq("dr")); err != nil {
+		t.Fatal(err)
+	}
+	<-started // first spec is mid-simulation
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := m1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	st, _ := m1.Get("dr")
+	if st.Completed == 0 {
+		t.Fatal("drain checkpointed nothing")
+	}
+	if st.State == StateDone {
+		t.Skip("machine fast enough to finish before drain; nothing to resume")
+	}
+
+	m2, _ := newTestManager(t, dir, Options{RunSpec: fakeRun, Workers: 1})
+	restored, err := m2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != st.Completed {
+		t.Errorf("restored %d, want %d (every drained checkpoint)", restored, st.Completed)
+	}
+	final := waitDone(t, m2, "dr")
+	if final.Completed != 6 {
+		t.Errorf("final completed = %d", final.Completed)
+	}
+}
+
+// TestManagerRealEngine exercises the default engine path end to end
+// on the single-month world: a root replica sweep whose specs recompute
+// only the chaos campaign.
+func TestManagerRealEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation")
+	}
+	m, _ := newTestManager(t, t.TempDir(), Options{})
+	req := &Request{ID: "real", Family: FamilyRootEach, From: "2023-07",
+		Letters: []string{"L"}, IATAs: []string{"CCS", "MAR"}}
+	if _, err := m.Start(req); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, "real")
+	if final.Completed != 2 || final.Failed != 0 {
+		t.Fatalf("final: %+v", final)
+	}
+	for _, e := range final.Leaderboard {
+		// Root-only specs never touch the trace campaign: the windowed
+		// engine must reuse the baseline month and recompute only chaos.
+		if e.MonthsRecomputed != 1 || e.MonthsReused != 1 {
+			t.Errorf("%s: recomputed=%d reused=%d, want 1/1", e.Spec, e.MonthsRecomputed, e.MonthsReused)
+		}
+	}
+}
+
+// TestManagerAdmitGate: every simulation attempt passes through the
+// injected admission hook, and a shed attempt is retried.
+func TestManagerAdmitGate(t *testing.T) {
+	var admits, sheds atomic.Int64
+	admit := func(ctx context.Context) (func(), error) {
+		if admits.Add(1) == 1 {
+			sheds.Add(1)
+			return nil, errors.New("shed")
+		}
+		return func() {}, nil
+	}
+	m, _ := newTestManager(t, t.TempDir(), Options{
+		RunSpec: fakeRun,
+		Admit:   admit,
+		Retry:   resilience.Policy{MaxAttempts: 3, BaseDelay: time.Millisecond},
+	})
+	if _, err := m.Start(depeerReq("ad")); err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, "ad")
+	if final.Failed != 0 {
+		t.Fatalf("shed retry failed: %+v", final)
+	}
+	if admits.Load() < 7 { // 6 specs + 1 retried shed
+		t.Errorf("admit called %d times, want >= 7", admits.Load())
+	}
+	if sheds.Load() != 1 {
+		t.Errorf("sheds = %d", sheds.Load())
+	}
+}
+
+func TestManagerListAndGet(t *testing.T) {
+	m, _ := newTestManager(t, t.TempDir(), Options{RunSpec: fakeRun})
+	if _, ok := m.Get("nope"); ok {
+		t.Error("Get on unknown id succeeded")
+	}
+	for _, id := range []string{"l-b", "l-a"} {
+		if _, err := m.Start(depeerReq(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitDone(t, m, "l-a")
+	waitDone(t, m, "l-b")
+	ls := m.List()
+	if len(ls) != 2 || ls[0].ID != "l-a" || ls[1].ID != "l-b" {
+		ids := make([]string, len(ls))
+		for i, s := range ls {
+			ids[i] = s.ID
+		}
+		t.Errorf("List = %v, want [l-a l-b]", ids)
+	}
+}
+
+func TestLeaderboardRanking(t *testing.T) {
+	rs := []*Result{
+		{Spec: "b", Status: StatusOK, ReachLossProbeMonths: 2, MaxRTTDeltaMs: 1},
+		{Spec: "zz-fail", Status: StatusFailed, Error: "x"},
+		{Spec: "a", Status: StatusOK, ReachLossProbeMonths: 2, MaxRTTDeltaMs: -5},
+		{Spec: "aa-fail", Status: StatusFailed, Error: "y"},
+		{Spec: "c", Status: StatusOK, ReachLossProbeMonths: 9},
+	}
+	got := leaderboard(rs)
+	want := []string{"c", "a", "b", "aa-fail", "zz-fail"}
+	for i, w := range want {
+		if got[i].Spec != w || got[i].Rank != i+1 {
+			t.Errorf("entry %d = %q (rank %d), want %q", i, got[i].Spec, got[i].Rank, w)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sp := &scenario.Spec{ID: "s", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 8048}}}
+	d := &scenario.Diff{
+		Trace: []scenario.TraceDelta{
+			{CC: "VE", DeltaMs: -3.5},
+			{CC: "VE", DeltaMs: 2},
+			{CC: "BR", DeltaMs: 99}, // foreign country never dominates
+		},
+		Reach: []scenario.ReachDelta{
+			{CC: "VE", BaselineProbes: 10, ScenarioProbes: 7},
+			{CC: "VE", BaselineProbes: 5, ScenarioProbes: 9}, // gains don't offset losses
+		},
+		Catchment: []scenario.CatchmentDelta{{Month: "2023-07"}},
+	}
+	res := summarize(sp, d, scenario.RunStats{TraceMonthsRecomputed: 2, TraceMonthsReused: 3, ChaosMonthsRecomputed: 1, ChaosMonthsReused: 4})
+	if res.MaxRTTDeltaMs != -3.5 {
+		t.Errorf("MaxRTTDeltaMs = %v", res.MaxRTTDeltaMs)
+	}
+	if res.ReachLossProbeMonths != 3 {
+		t.Errorf("ReachLossProbeMonths = %d", res.ReachLossProbeMonths)
+	}
+	if res.CatchmentShiftMonths != 1 {
+		t.Errorf("CatchmentShiftMonths = %d", res.CatchmentShiftMonths)
+	}
+	if res.MonthsRecomputed != 3 || res.MonthsReused != 7 {
+		t.Errorf("months = %d/%d", res.MonthsRecomputed, res.MonthsReused)
+	}
+}
+
+func TestStatusJSONShape(t *testing.T) {
+	st := &Status{ID: "s", Key: "s-abc", Family: FamilyRootEach, State: StateDone, Total: 1}
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{`"id"`, `"key"`, `"family"`, `"state"`, `"total_specs"`} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("status JSON missing %s: %s", field, data)
+		}
+	}
+}
+
+func TestManagerKillIsReentrant(t *testing.T) {
+	m, _ := newTestManager(t, t.TempDir(), Options{RunSpec: fakeRun})
+	if _, err := m.Start(depeerReq("k1")); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, m, "k1")
+	m.Kill()
+	m.Kill() // idempotent; Cleanup calls it a third time
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Errorf("drain after kill: %v", err)
+	}
+}

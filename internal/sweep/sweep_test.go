@@ -1,0 +1,274 @@
+package sweep
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+	"vzlens/internal/scenario"
+	"vzlens/internal/world"
+)
+
+// testWorld is the shared single-month world: campaigns collapse to
+// July 2023, so expansion and compilation stay cheap.
+var (
+	testWorldOnce sync.Once
+	testWorldVal  *world.World
+	testWorldErr  error
+)
+
+func testWorld(t *testing.T) *world.World {
+	t.Helper()
+	testWorldOnce.Do(func() {
+		m := months.New(2023, time.July)
+		testWorldVal, testWorldErr = world.Build(world.Config{
+			TraceStart: m, TraceEnd: m, ChaosStart: m, ChaosEnd: m, Step: 1,
+		})
+	})
+	if testWorldErr != nil {
+		t.Fatal(testWorldErr)
+	}
+	return testWorldVal
+}
+
+func TestRequestValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		req  Request
+		part string
+	}{
+		{"empty_id", Request{Family: FamilyRootEach}, "empty id"},
+		{"bad_id", Request{ID: "Bad_ID", Family: FamilyRootEach}, "kebab-case"},
+		{"missing_family", Request{ID: "s1"}, "missing family"},
+		{"unknown_family", Request{ID: "s1", Family: "everything"}, "unknown family"},
+		{"specs_without_family", Request{ID: "s1", Family: FamilySpecs}, "requires specs"},
+		{"specs_on_template_family", Request{ID: "s1", Family: FamilyDepeerEach,
+			Specs: []*scenario.Spec{{ID: "x"}}}, "only valid with"},
+		{"bad_from", Request{ID: "s1", Family: FamilyRootEach, From: "soon"}, "bad from"},
+		{"inverted_window", Request{ID: "s1", Family: FamilyRootEach,
+			From: "2023-07", Until: "2023-01"}, "window inverted"},
+		{"bad_letter", Request{ID: "s1", Family: FamilyRootEach, Letters: []string{"Z"}}, "bad root letter"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.req.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.part) {
+				t.Errorf("Validate = %v, want error containing %q", err, tc.part)
+			}
+		})
+	}
+	ok := Request{ID: "s1", Family: FamilyRootEach, Letters: []string{"L"}, IATAs: []string{"CCS"}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+}
+
+func TestExpandDepeerEach(t *testing.T) {
+	w := testWorld(t)
+	req := &Request{ID: "d1", Family: FamilyDepeerEach, From: "2023-07"}
+	specs, skipped, err := req.Expand(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Errorf("skipped = %v", skipped)
+	}
+	// July 2023 providers: Orange, Telecom Italia, Columbus, Gold Data,
+	// V.tal, Gold Data International — sorted by ASN.
+	wantIDs := []string{
+		"d1-depeer-as5511", "d1-depeer-as6762", "d1-depeer-as23520",
+		"d1-depeer-as28007", "d1-depeer-as52320", "d1-depeer-as262589",
+	}
+	if len(specs) != len(wantIDs) {
+		t.Fatalf("expanded %d specs, want %d", len(specs), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if specs[i].ID != want {
+			t.Errorf("spec[%d] = %q, want %q", i, specs[i].ID, want)
+		}
+	}
+
+	explicit := &Request{ID: "d2", Family: FamilyDepeerEach, ASNs: []uint32{8048, 6306}}
+	specs, _, err = explicit.Expand(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ID != "d2-depeer-as6306" || specs[1].ID != "d2-depeer-as8048" {
+		t.Errorf("explicit candidates = %v", specIDs(specs))
+	}
+}
+
+func TestExpandCableCutEach(t *testing.T) {
+	w := testWorld(t)
+	req := &Request{ID: "c1", Family: FamilyCableCutEach, From: "2023-07"}
+	specs, skipped, err := req.Expand(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := specIDs(specs)
+	if len(specs) != 2 || ids[0] != "c1-cut-americas-ii" || ids[1] != "c1-cut-globenet" {
+		t.Fatalf("cable specs = %v, want [c1-cut-americas-ii c1-cut-globenet]", ids)
+	}
+	// Americas-II carries three modeled transits, GlobeNet one.
+	if len(specs[0].Ops) != 3 || len(specs[1].Ops) != 1 {
+		t.Errorf("op counts = %d, %d, want 3, 1", len(specs[0].Ops), len(specs[1].Ops))
+	}
+	// The VE-landing cables without a modeled transit are reported, not
+	// silently dropped: Festoon, Americas-I, Pan American, ALBA-1.
+	if len(skipped) != 4 {
+		t.Errorf("skipped = %v, want 4 entries", skipped)
+	}
+	for _, s := range skipped {
+		if !strings.Contains(s, "no modeled transit") {
+			t.Errorf("skip reason %q lacks explanation", s)
+		}
+	}
+}
+
+func TestExpandRootEach(t *testing.T) {
+	w := testWorld(t)
+	req := &Request{ID: "r1", Family: FamilyRootEach, From: "2023-07"}
+	specs, _, err := req.Expand(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 letters x 4 Venezuelan cities.
+	if len(specs) != 52 {
+		t.Fatalf("expanded %d specs, want 52", len(specs))
+	}
+	if specs[0].ID != "r1-root-a-ccs" || specs[51].ID != "r1-root-m-sci" {
+		t.Errorf("order = %q .. %q", specs[0].ID, specs[51].ID)
+	}
+
+	narrow := &Request{ID: "r2", Family: FamilyRootEach, From: "2023-07",
+		Letters: []string{"L"}, IATAs: []string{"CCS", "MAR"}, Host: 8048}
+	specs, _, err = narrow.Expand(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ID != "r2-root-l-ccs" || specs[1].ID != "r2-root-l-mar" {
+		t.Errorf("narrow expansion = %v", specIDs(specs))
+	}
+}
+
+func TestExpandSpecsFamily(t *testing.T) {
+	w := testWorld(t)
+	req := &Request{ID: "x1", Family: FamilySpecs, Specs: []*scenario.Spec{
+		{ID: "a", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 8048, From: "2023-07"}}},
+		{ID: "b", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 6306, From: "2023-07"}}},
+	}}
+	specs, _, err := req.Expand(w)
+	if err != nil || len(specs) != 2 {
+		t.Fatalf("specs family: %v, %v", specIDs(specs), err)
+	}
+
+	dup := &Request{ID: "x2", Family: FamilySpecs, Specs: []*scenario.Spec{
+		{ID: "a", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 8048}}},
+		{ID: "a", Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 6306}}},
+	}}
+	if _, _, err := dup.Expand(w); err == nil || !strings.Contains(err.Error(), "duplicate spec id") {
+		t.Errorf("duplicate ids accepted: %v", err)
+	}
+
+	invalid := &Request{ID: "x3", Family: FamilySpecs, Specs: []*scenario.Spec{{ID: "nope"}}}
+	if _, _, err := invalid.Expand(w); err == nil {
+		t.Error("invalid spec accepted")
+	}
+
+	big := &Request{ID: "x4", Family: FamilySpecs}
+	for i := 0; i <= MaxSpecs; i++ {
+		big.Specs = append(big.Specs, &scenario.Spec{
+			ID:  "spec-" + itoa(i),
+			Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: uint32(i + 1)}},
+		})
+	}
+	if _, _, err := big.Expand(w); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Errorf("oversized sweep accepted: %v", err)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for ; i > 0; i /= 10 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+	}
+	return string(b)
+}
+
+func TestRequestKeyTracksContent(t *testing.T) {
+	a := &Request{ID: "k1", Family: FamilyRootEach, Letters: []string{"L"}}
+	b := &Request{ID: "k1", Family: FamilyRootEach, Letters: []string{"F"}}
+	if a.Key() == b.Key() {
+		t.Errorf("same key %q for different requests", a.Key())
+	}
+	if !strings.HasPrefix(a.Key(), "k1-") {
+		t.Errorf("key %q does not embed the id", a.Key())
+	}
+	a2 := &Request{ID: "k1", Family: FamilyRootEach, Letters: []string{"L"}}
+	if a.Key() != a2.Key() {
+		t.Errorf("key not deterministic: %q vs %q", a.Key(), a2.Key())
+	}
+}
+
+func TestParseRequest(t *testing.T) {
+	r, err := ParseRequest([]byte(`{"id":"p1","family":"root_each","letters":["L"],"iatas":["CCS"]}`))
+	if err != nil || r.ID != "p1" {
+		t.Fatalf("ParseRequest: %v, %v", r, err)
+	}
+	if _, err := ParseRequest([]byte(`{"id":"p1","family":"root_each","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseRequest([]byte(`{"id":"p1","family":"root_each"} trailing`)); err == nil {
+		t.Error("trailing data accepted")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	for in, want := range map[string]string{
+		"Americas-II":   "americas-ii",
+		"GlobeNet":      "globenet",
+		"CANTV Festoon": "cantv-festoon",
+		"  A  B  ":      "a-b",
+	} {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// FuzzSweepSpec drives the sweep request decoder with arbitrary bytes:
+// it must accept or reject but never panic, and anything accepted must
+// re-validate, key stably, and (family expansion being pure) never
+// panic during candidate enumeration either.
+func FuzzSweepSpec(f *testing.F) {
+	f.Add([]byte(`{"id":"s1","family":"depeer_each","from":"2019-01"}`))
+	f.Add([]byte(`{"id":"s2","family":"cable_cut_each","until":"2021-06"}`))
+	f.Add([]byte(`{"id":"s3","family":"root_each","letters":["L","F"],"iatas":["CCS"],"host":8048}`))
+	f.Add([]byte(`{"id":"s4","family":"specs","specs":[{"id":"a","ops":[{"op":"depeer","asn":8048}]}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if err := req.Validate(); err != nil {
+			t.Fatalf("accepted request fails re-validation: %v", err)
+		}
+		if k := req.Key(); k == "" || k != req.Key() {
+			t.Fatalf("unstable key %q", k)
+		}
+	})
+}
+
+func specIDs(specs []*scenario.Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.ID
+	}
+	return out
+}

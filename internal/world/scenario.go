@@ -116,12 +116,24 @@ func (p *ScenarioPlan) editsAt(m months.Month, base *netsim.Topology) []netsim.E
 			edits = append(edits, e)
 		}
 	}
+	// Peer links are undirected, so canonicalize their endpoint order:
+	// a depeer walking Peers(b) emits (b, a) while an explicit op may
+	// say (a, b), and both must dedupe to one edit — two removals (or
+	// additions) of the same link would invalidate the whole overlay.
+	canon := func(a, b bgp.ASN, kind bgp.RelKind) (bgp.ASN, bgp.ASN) {
+		if kind == bgp.PeerPeer && b < a {
+			return b, a
+		}
+		return a, b
+	}
 	addLink := func(a, b bgp.ASN, kind bgp.RelKind) {
+		a, b = canon(a, b, kind)
 		if base.HasAS(a) && base.HasAS(b) && !base.HasLink(a, b, kind) {
 			add(netsim.Edit{Op: netsim.EditAddLink, A: a, B: b, Kind: kind})
 		}
 	}
 	removeLink := func(a, b bgp.ASN, kind bgp.RelKind) {
+		a, b = canon(a, b, kind)
 		if base.HasAS(a) && base.HasAS(b) && base.HasLink(a, b, kind) {
 			add(netsim.Edit{Op: netsim.EditRemoveLink, A: a, B: b, Kind: kind})
 		}

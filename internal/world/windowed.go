@@ -1,0 +1,208 @@
+package world
+
+import (
+	"context"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/bgp"
+	"vzlens/internal/months"
+	"vzlens/internal/obs"
+)
+
+// This file is the incremental half of the scenario engine: a scenario
+// whose edits are windowed to a few months only differs from the
+// baseline inside those windows, because the per-probe-month RNG
+// streams are scenario-blind (sampleSeed hashes only seed, month,
+// probe) and every other input to a monthly snapshot is month-local.
+// The windowed campaign runs below therefore re-simulate only the
+// months a plan can touch and splice the caller's memoized baseline in
+// for the rest — for a sweep of hundreds of single-window specs this
+// turns N full campaign replays into N small fractions of one.
+
+// topoActiveAt reports whether the plan's topology edits (links,
+// depeers, moves, or a provider-timeline shift) can alter month m.
+// Conservative by design: a window that covers m counts even if the
+// edit turns out to be a no-op against that month's topology — the
+// recomputation then reproduces the baseline bytes exactly.
+func (p *ScenarioPlan) topoActiveAt(m months.Month) bool {
+	if s := p.EventShiftMonths; s != 0 {
+		if !equalASNs(CANTVProvidersAt(m), CANTVProvidersAt(m.Add(-s))) {
+			return true
+		}
+	}
+	for _, l := range p.AddLinks {
+		if windowActive(l.From, l.Until, m) {
+			return true
+		}
+	}
+	for _, l := range p.RemoveLinks {
+		if windowActive(l.From, l.Until, m) {
+			return true
+		}
+	}
+	for _, d := range p.Depeers {
+		if windowActive(d.From, d.Until, m) {
+			return true
+		}
+	}
+	for _, mv := range p.Moves {
+		if windowActive(mv.From, mv.Until, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectsTraceAt reports whether the plan can change the traceroute
+// campaign's month m: any topology edit, or a GPDNS site change, active
+// that month. Root replica edits never reach the traceroute campaign.
+func (p *ScenarioPlan) AffectsTraceAt(m months.Month) bool {
+	if p.topoActiveAt(m) {
+		return true
+	}
+	for _, ch := range p.GPDNS {
+		if windowActive(ch.From, ch.Until, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// AffectsChaosAt is AffectsTraceAt for the CHAOS sweep, whose anycast
+// targets are the root letters: root replica edits matter, GPDNS edits
+// do not.
+func (p *ScenarioPlan) AffectsChaosAt(m months.Month) bool {
+	if p.topoActiveAt(m) {
+		return true
+	}
+	for _, ch := range p.Roots {
+		if windowActive(ch.From, ch.Until, m) {
+			return true
+		}
+	}
+	return false
+}
+
+// equalASNs compares two sorted provider lists (CANTVProvidersAt
+// returns them sorted).
+func equalASNs(a, b []bgp.ASN) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TraceCampaignScenarioWindowed simulates the traceroute campaign under
+// plan, re-simulating only the months plan can affect and reusing
+// base's samples for the rest. It returns the campaign and the number
+// of months actually re-simulated. The output is bit-identical to
+// TraceCampaignScenario: outside the affected months the overlay is
+// empty and the RNG streams are scenario-blind, so the baseline samples
+// ARE the scenario samples. A nil base falls back to the full replay.
+func (w *World) TraceCampaignScenarioWindowed(ctx context.Context, plan *ScenarioPlan, base *atlas.TraceCampaign) (*atlas.TraceCampaign, int) {
+	if plan == nil {
+		return w.TraceCampaignCtx(ctx), 0
+	}
+	ms := w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd)
+	if base == nil {
+		return w.traceCampaign(ctx, plan), len(ms)
+	}
+	ctx, span := obs.StartSpan(ctx, "campaign.trace")
+	span.SetAttr("scenario", plan.Key)
+	span.SetAttr("windowed", true)
+	affected := make([]bool, len(ms))
+	var idx []int
+	for i, m := range ms {
+		if plan.AffectsTraceAt(m) {
+			affected[i] = true
+			idx = append(idx, i)
+		}
+	}
+	frags := make([][]atlas.TraceSample, len(ms))
+	forEachIndex(len(idx), w.workers(), func(k int) {
+		i := idx[k]
+		frags[i] = w.traceMonth(ctx, ms[i], plan)
+	})
+	byMonth := traceSamplesByMonth(base)
+	tc := atlas.NewTraceCampaign()
+	for i, m := range ms {
+		if affected[i] {
+			tc.AddAll(frags[i])
+		} else {
+			tc.AddAll(byMonth[m])
+		}
+	}
+	span.SetAttr("months", len(ms))
+	span.SetAttr("recomputed", len(idx))
+	span.SetAttr("samples", tc.Len())
+	span.End()
+	return tc, len(idx)
+}
+
+// ChaosCampaignScenarioWindowed is TraceCampaignScenarioWindowed for
+// the CHAOS sweep.
+func (w *World) ChaosCampaignScenarioWindowed(ctx context.Context, plan *ScenarioPlan, base *atlas.ChaosCampaign) (*atlas.ChaosCampaign, int) {
+	if plan == nil {
+		return w.ChaosCampaignCtx(ctx), 0
+	}
+	ms := w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd)
+	if base == nil {
+		return w.chaosCampaign(ctx, plan), len(ms)
+	}
+	ctx, span := obs.StartSpan(ctx, "campaign.chaos")
+	span.SetAttr("scenario", plan.Key)
+	span.SetAttr("windowed", true)
+	affected := make([]bool, len(ms))
+	var idx []int
+	for i, m := range ms {
+		if plan.AffectsChaosAt(m) {
+			affected[i] = true
+			idx = append(idx, i)
+		}
+	}
+	frags := make([][]atlas.ChaosResult, len(ms))
+	forEachIndex(len(idx), w.workers(), func(k int) {
+		i := idx[k]
+		frags[i] = w.chaosMonth(ctx, ms[i], plan)
+	})
+	byMonth := chaosResultsByMonth(base)
+	cc := atlas.NewChaosCampaign()
+	for i, m := range ms {
+		if affected[i] {
+			cc.AddAll(frags[i])
+		} else {
+			cc.AddAll(byMonth[m])
+		}
+	}
+	span.SetAttr("months", len(ms))
+	span.SetAttr("recomputed", len(idx))
+	span.SetAttr("results", cc.Len())
+	span.End()
+	return cc, len(idx)
+}
+
+// traceSamplesByMonth partitions a campaign's samples by month in one
+// pass, preserving encounter order within each month — the order the
+// simulator produced them in, which the splice must reproduce for
+// byte-identical output.
+func traceSamplesByMonth(tc *atlas.TraceCampaign) map[months.Month][]atlas.TraceSample {
+	out := map[months.Month][]atlas.TraceSample{}
+	for _, s := range tc.Samples() {
+		out[s.Month] = append(out[s.Month], s)
+	}
+	return out
+}
+
+// chaosResultsByMonth is traceSamplesByMonth for CHAOS results.
+func chaosResultsByMonth(cc *atlas.ChaosCampaign) map[months.Month][]atlas.ChaosResult {
+	out := map[months.Month][]atlas.ChaosResult{}
+	for _, r := range cc.Results() {
+		out[r.Month] = append(out[r.Month], r)
+	}
+	return out
+}

@@ -29,7 +29,7 @@ if [[ "${1:-}" == "--check" ]]; then
     shift
 fi
 
-pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild}"
+pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay}"
 benchtime="${BENCH_TIME:-1x}"
 tolerance="${BENCH_TOLERANCE:-25}"
 
