@@ -436,6 +436,33 @@ func BenchmarkChaosCampaignFull(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceCampaignWarm times a full traceroute replay on a world
+// whose kernel caches (interned topologies, site lists, localization
+// memos, arena pool) are already hot — the steady-state cost of one
+// sweep iteration. This is the allocation benchmark for the columnar
+// kernel: allocs/op here is output slices plus scheduling, nothing else.
+func BenchmarkTraceCampaignWarm(b *testing.B) {
+	w := mustBuild(world.Config{Step: 3, Workers: 1})
+	_ = w.TraceCampaign()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.TraceCampaign()
+	}
+}
+
+// BenchmarkChaosCampaignWarm is BenchmarkTraceCampaignWarm for the
+// thirteen-letter CHAOS sweep.
+func BenchmarkChaosCampaignWarm(b *testing.B) {
+	w := mustBuild(world.Config{Step: 3, Workers: 1})
+	_ = w.ChaosCampaign()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = w.ChaosCampaign()
+	}
+}
+
 // BenchmarkValleyFreeTree times one single-source valley-free
 // shortest-path tree over the full topology.
 func BenchmarkValleyFreeTree(b *testing.B) {

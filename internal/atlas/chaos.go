@@ -33,6 +33,16 @@ func (c *ChaosCampaign) Add(r ChaosResult) { c.results = append(c.results, r) }
 // parallel campaign engine's per-month fragments.
 func (c *ChaosCampaign) AddAll(rs []ChaosResult) { c.results = append(c.results, rs...) }
 
+// Grow reserves capacity for n additional results, so a merge of
+// known-size fragments costs a single allocation.
+func (c *ChaosCampaign) Grow(n int) {
+	if need := len(c.results) + n; need > cap(c.results) {
+		grown := make([]ChaosResult, len(c.results), need)
+		copy(grown, c.results)
+		c.results = grown
+	}
+}
+
 // Len returns the number of recorded results.
 func (c *ChaosCampaign) Len() int { return len(c.results) }
 

@@ -33,6 +33,16 @@ func (t *TraceCampaign) Add(s TraceSample) { t.samples = append(t.samples, s) }
 // parallel campaign engine's per-month fragments.
 func (t *TraceCampaign) AddAll(ss []TraceSample) { t.samples = append(t.samples, ss...) }
 
+// Grow reserves capacity for n additional samples, so a merge of
+// known-size fragments costs a single allocation.
+func (t *TraceCampaign) Grow(n int) {
+	if need := len(t.samples) + n; need > cap(t.samples) {
+		grown := make([]TraceSample, len(t.samples), need)
+		copy(grown, t.samples)
+		t.samples = grown
+	}
+}
+
 // Len returns the number of recorded samples.
 func (t *TraceCampaign) Len() int { return len(t.samples) }
 

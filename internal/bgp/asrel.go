@@ -104,6 +104,25 @@ func (g *Graph) Peers(asn ASN) []ASN { return sortedCopy(g.peers[asn]) }
 // HasProvider reports whether p is a provider of asn.
 func (g *Graph) HasProvider(asn, p ASN) bool { return containsASN(g.providers[asn], p) }
 
+// AppendProviders appends asn's providers to dst and returns the
+// extended slice, in insertion order (unsorted). It exists so bulk
+// consumers — the dense CSR build walks every AS three times — can
+// reuse one scratch buffer instead of paying Providers' per-call
+// sorted copy.
+func (g *Graph) AppendProviders(dst []ASN, asn ASN) []ASN { return append(dst, g.providers[asn]...) }
+
+// AppendCustomers is AppendProviders for customer edges.
+func (g *Graph) AppendCustomers(dst []ASN, asn ASN) []ASN { return append(dst, g.customers[asn]...) }
+
+// AppendPeers is AppendProviders for peer edges.
+func (g *Graph) AppendPeers(dst []ASN, asn ASN) []ASN { return append(dst, g.peers[asn]...) }
+
+// Degree returns asn's provider, customer, and peer edge counts
+// without copying adjacency.
+func (g *Graph) Degree(asn ASN) (prov, cust, peer int) {
+	return len(g.providers[asn]), len(g.customers[asn]), len(g.peers[asn])
+}
+
 func sortedCopy(xs []ASN) []ASN {
 	out := make([]ASN, len(xs))
 	copy(out, xs)

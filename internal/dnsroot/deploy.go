@@ -29,14 +29,20 @@ func (i Instance) ActiveAt(m months.Month) bool {
 // lRootRename is when ICANN switched L-root instance naming conventions.
 var lRootRename = months.New(2018, time.July)
 
+// NamingEraAt returns the naming generation letter l uses at month m —
+// the era ChaosName resolves internally. Exposed so bulk consumers can
+// intern per-era name tables instead of re-rendering per response.
+func NamingEraAt(l Letter, m months.Month) Era {
+	if l == 'L' && !m.Before(lRootRename) {
+		return EraModern
+	}
+	return EraClassic
+}
+
 // ChaosName returns the CHAOS TXT hostname.bind response the instance
 // gives at month m, honoring the L-root renaming.
 func (i Instance) ChaosName(m months.Month) string {
-	era := EraClassic
-	if i.Letter == 'L' && !m.Before(lRootRename) {
-		era = EraModern
-	}
-	return InstanceName(i.Letter, i.City, i.Index, era)
+	return InstanceName(i.Letter, i.City, i.Index, NamingEraAt(i.Letter, m))
 }
 
 // Deployment is the global set of root instances over time.

@@ -171,14 +171,25 @@ func (a catchCand) better(b catchCand, policy CatchmentPolicy) bool {
 // site within sites, for callers that keep metadata parallel to the site
 // list.
 func (r *Resolver) CatchmentIndex(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy) (int, float64, error) {
+	return r.CatchmentIndexCached(srcAS, srcCity, sites, policy, nil)
+}
+
+// CatchmentIndexCached is CatchmentIndex with an optional PairCache
+// memoizing the great-circle distances the selection recomputes per
+// probe (a nil cache means direct computation). The campaign kernels
+// pass a per-arena cache: the same few hundred city pairs recur across
+// every probe-month, and the cached distance feeds the exact arithmetic
+// the direct path uses, so results are bit-identical.
+func (r *Resolver) CatchmentIndexCached(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy, pc *PairCache) (int, float64, error) {
 	var best catchCand
 	found := false
+	asCity, asCityOK := r.topo.Location(srcAS)
 	for i, site := range sites {
 		var hops int
 		var lat float64
 		if site.Host == srcAS {
 			hops = 1
-			lat = geo.PropagationDelayMs(geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon))
+			lat = geo.PropagationDelayMs(pc.DistKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon))
 		} else {
 			info := r.PathInfoFrom(srcAS, site.Host)
 			if !info.OK {
@@ -187,17 +198,17 @@ func (r *Resolver) CatchmentIndex(srcAS bgp.ASN, srcCity geo.City, sites []Site,
 			hops = info.Hops
 			lat = info.LatencyMs
 			// First segment: the source's city to its AS's location.
-			if asCity, ok := r.topo.Location(srcAS); ok {
-				lat += geo.PropagationDelayMs(geo.HaversineKm(srcCity.Lat, srcCity.Lon, asCity.Lat, asCity.Lon))
+			if asCityOK {
+				lat += geo.PropagationDelayMs(pc.DistKm(srcCity.Lat, srcCity.Lon, asCity.Lat, asCity.Lon))
 			}
 			// Final segment: the host AS's location to the replica city.
 			if hostCity, ok := r.topo.Location(site.Host); ok {
-				lat += geo.PropagationDelayMs(geo.HaversineKm(hostCity.Lat, hostCity.Lon, site.City.Lat, site.City.Lon))
+				lat += geo.PropagationDelayMs(pc.DistKm(hostCity.Lat, hostCity.Lon, site.City.Lat, site.City.Lon))
 			}
 		}
 		cand := catchCand{
 			index: i, site: site, hops: hops, latency: lat,
-			distKm: geo.HaversineKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon),
+			distKm: pc.DistKm(srcCity.Lat, srcCity.Lon, site.City.Lat, site.City.Lon),
 		}
 		if !found || cand.better(best, policy) {
 			best = cand

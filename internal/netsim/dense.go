@@ -1,8 +1,10 @@
 package netsim
 
 import (
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vzlens/internal/bgp"
 	"vzlens/internal/geo"
@@ -35,7 +37,26 @@ type denseTopo struct {
 	provPatch map[int32][]int32
 	peerPatch map[int32][]int32
 	custPatch map[int32][]int32
+
+	// edgeDelay memoizes the propagation delay of each CSR edge slot
+	// (provider slots first, then peer slots from peerSlotBase, then
+	// customer slots from custSlotBase) as math.Float64bits, filled
+	// lazily by the BFS. Haversine dominates tree-build CPU, and the
+	// delay of a located→located edge is a pure function of the two
+	// endpoints' coordinates, so the cached bits are exactly what the
+	// direct computation produces. Entries hold delayUnset until
+	// computed; access is atomic (concurrent fills recompute the same
+	// value, so lost races are harmless). Overlays share the cache —
+	// patched rows carry no slot and bypass it — except relocation
+	// overlays, which nil it out because coordinates changed.
+	edgeDelay    []uint64
+	peerSlotBase int32
+	custSlotBase int32
 }
+
+// delayUnset marks an edgeDelay slot as not yet computed. The bit
+// pattern is a NaN, which no real propagation delay produces.
+const delayUnset = ^uint64(0)
 
 // buildDense interns every AS that appears in the graph or carries a
 // location and flattens the adjacency. Index order follows ASN order, so
@@ -73,25 +94,52 @@ func buildDense(t *Topology) *denseTopo {
 			d.locLon[i] = c.Lon
 		}
 	}
-	fill := func(neighbors func(bgp.ASN) []bgp.ASN) (off, adj []int32) {
+	// Rows are gathered through the graph's append accessors into one
+	// scratch buffer and sorted in place: the per-AS sorted copies of
+	// Providers/Customers/Peers would otherwise dominate the build's
+	// allocation count.
+	var buf []bgp.ASN
+	fill := func(degree func(bgp.ASN) int, appendRow func([]bgp.ASN, bgp.ASN) []bgp.ASN) (off, adj []int32) {
 		off = make([]int32, n+1)
 		for i, a := range asns {
-			off[i+1] = off[i] + int32(len(neighbors(a)))
+			off[i+1] = off[i] + int32(degree(a))
 		}
 		adj = make([]int32, off[n])
-		k := 0
-		for _, a := range asns {
-			for _, b := range neighbors(a) {
+		for i, a := range asns {
+			buf = appendRow(buf[:0], a)
+			sortASNRow(buf)
+			k := off[i]
+			for _, b := range buf {
 				adj[k] = d.index[b]
 				k++
 			}
 		}
 		return off, adj
 	}
-	d.provOff, d.provAdj = fill(t.graph.Providers)
-	d.peerOff, d.peerAdj = fill(t.graph.Peers)
-	d.custOff, d.custAdj = fill(t.graph.Customers)
+	provDeg := func(a bgp.ASN) int { p, _, _ := t.graph.Degree(a); return p }
+	custDeg := func(a bgp.ASN) int { _, c, _ := t.graph.Degree(a); return c }
+	peerDeg := func(a bgp.ASN) int { _, _, p := t.graph.Degree(a); return p }
+	d.provOff, d.provAdj = fill(provDeg, t.graph.AppendProviders)
+	d.peerOff, d.peerAdj = fill(peerDeg, t.graph.AppendPeers)
+	d.custOff, d.custAdj = fill(custDeg, t.graph.AppendCustomers)
+
+	d.peerSlotBase = int32(len(d.provAdj))
+	d.custSlotBase = d.peerSlotBase + int32(len(d.peerAdj))
+	d.edgeDelay = make([]uint64, len(d.provAdj)+len(d.peerAdj)+len(d.custAdj))
+	for i := range d.edgeDelay {
+		d.edgeDelay[i] = delayUnset
+	}
 	return d
+}
+
+// sortASNRow sorts a small adjacency row ascending by ASN (insertion
+// sort: rows are short and this path must not allocate).
+func sortASNRow(row []bgp.ASN) {
+	for i := 1; i < len(row); i++ {
+		for j := i; j > 0 && row[j] < row[j-1]; j-- {
+			row[j], row[j-1] = row[j-1], row[j]
+		}
+	}
 }
 
 func (d *denseTopo) providers(i int32) []int32 {
@@ -119,6 +167,50 @@ func (d *denseTopo) customers(i int32) []int32 {
 		}
 	}
 	return d.custAdj[d.custOff[i]:d.custOff[i+1]]
+}
+
+// providersRow returns AS i's provider row plus the edgeDelay slot of
+// its first element, or -1 when the row carries no cache slots (a
+// patched row, or a view whose delay cache is disabled).
+func (d *denseTopo) providersRow(i int32) ([]int32, int32) {
+	if d.provPatch != nil {
+		if row, ok := d.provPatch[i]; ok {
+			return row, -1
+		}
+	}
+	lo := d.provOff[i]
+	if d.edgeDelay == nil {
+		return d.provAdj[lo:d.provOff[i+1]], -1
+	}
+	return d.provAdj[lo:d.provOff[i+1]], lo
+}
+
+// peersRow is providersRow for peer edges.
+func (d *denseTopo) peersRow(i int32) ([]int32, int32) {
+	if d.peerPatch != nil {
+		if row, ok := d.peerPatch[i]; ok {
+			return row, -1
+		}
+	}
+	lo := d.peerOff[i]
+	if d.edgeDelay == nil {
+		return d.peerAdj[lo:d.peerOff[i+1]], -1
+	}
+	return d.peerAdj[lo:d.peerOff[i+1]], d.peerSlotBase + lo
+}
+
+// customersRow is providersRow for customer edges.
+func (d *denseTopo) customersRow(i int32) ([]int32, int32) {
+	if d.custPatch != nil {
+		if row, ok := d.custPatch[i]; ok {
+			return row, -1
+		}
+	}
+	lo := d.custOff[i]
+	if d.edgeDelay == nil {
+		return d.custAdj[lo:d.custOff[i+1]], -1
+	}
+	return d.custAdj[lo:d.custOff[i+1]], d.custSlotBase + lo
 }
 
 // buildOverlayDense derives the dense view of an overlay from its
@@ -162,6 +254,10 @@ func buildOverlayDense(d0 *denseTopo, o *Topology) *denseTopo {
 	apply(d.peerPatch, d.peers, o.peer)
 
 	if len(o.locOverride) > 0 {
+		// Relocations invalidate cached edge delays for this view (and
+		// any view derived from it): coordinates changed, so fall back
+		// to direct computation.
+		d.edgeDelay = nil
 		d.hasLoc = append([]bool(nil), d0.hasLoc...)
 		d.locLat = append([]float64(nil), d0.locLat...)
 		d.locLon = append([]float64(nil), d0.locLon...)
@@ -282,7 +378,7 @@ func (d *denseTopo) expand(sc *scratch, next []int32, cur int32, withParents boo
 	curLat := sc.lat[cur]
 	curLoc := sc.locIdx[cur]
 
-	visit := func(nbrIdx int32, nph phase) []int32 {
+	visit := func(nbrIdx int32, nph phase, slot int32) []int32 {
 		ns := nbrIdx*numPhases + int32(nph)
 		if sc.settled[ns] == sc.epoch {
 			return next
@@ -291,8 +387,24 @@ func (d *denseTopo) expand(sc *scratch, next []int32, cur int32, withParents boo
 		loc := curLoc
 		if d.hasLoc[nbrIdx] {
 			if loc >= 0 {
-				lat += geo.PropagationDelayMs(geo.HaversineKm(
-					d.locLat[loc], d.locLon[loc], d.locLat[nbrIdx], d.locLon[nbrIdx]))
+				// The edge cache is keyed by CSR slot, which identifies
+				// the (asIdx, nbrIdx) endpoint pair; it applies only
+				// when the path's last located AS is the edge's own
+				// tail (loc == asIdx), i.e. when the cached coordinates
+				// match this traversal's.
+				if slot >= 0 && loc == asIdx {
+					if bits := atomic.LoadUint64(&d.edgeDelay[slot]); bits != delayUnset {
+						lat += math.Float64frombits(bits)
+					} else {
+						delay := geo.PropagationDelayMs(geo.HaversineKm(
+							d.locLat[loc], d.locLon[loc], d.locLat[nbrIdx], d.locLon[nbrIdx]))
+						atomic.StoreUint64(&d.edgeDelay[slot], math.Float64bits(delay))
+						lat += delay
+					}
+				} else {
+					lat += geo.PropagationDelayMs(geo.HaversineKm(
+						d.locLat[loc], d.locLon[loc], d.locLat[nbrIdx], d.locLon[nbrIdx]))
+				}
 			}
 			loc = nbrIdx
 		}
@@ -315,20 +427,31 @@ func (d *denseTopo) expand(sc *scratch, next []int32, cur int32, withParents boo
 		return next
 	}
 
+	slotted := func(slot0 int32, k int) int32 {
+		if slot0 < 0 {
+			return -1
+		}
+		return slot0 + int32(k)
+	}
+
 	switch ph {
 	case phaseUp:
-		for _, p := range d.providers(asIdx) {
-			next = visit(p, phaseUp)
+		row, slot0 := d.providersRow(asIdx)
+		for k, p := range row {
+			next = visit(p, phaseUp, slotted(slot0, k))
 		}
-		for _, p := range d.peers(asIdx) {
-			next = visit(p, phasePeer)
+		row, slot0 = d.peersRow(asIdx)
+		for k, p := range row {
+			next = visit(p, phasePeer, slotted(slot0, k))
 		}
-		for _, c := range d.customers(asIdx) {
-			next = visit(c, phaseDown)
+		row, slot0 = d.customersRow(asIdx)
+		for k, c := range row {
+			next = visit(c, phaseDown, slotted(slot0, k))
 		}
 	default: // phasePeer, phaseDown: only customer edges remain
-		for _, c := range d.customers(asIdx) {
-			next = visit(c, phaseDown)
+		row, slot0 := d.customersRow(asIdx)
+		for k, c := range row {
+			next = visit(c, phaseDown, slotted(slot0, k))
 		}
 	}
 	return next

@@ -285,6 +285,20 @@ func (t *Topology) peersOf(asn bgp.ASN) []bgp.ASN {
 	return t.peer.merged(asn, t.base.peersOf(asn))
 }
 
+// ProvidersOf returns the effective sorted provider list of asn in
+// this view, overlay edits included. Unlike Graph().Providers — which
+// reads the base graph and therefore misses edits — this answers for
+// the view itself; scenario compilation walks it when stripping an
+// AS's upstreams. The returned slice may share storage with internal
+// state and must not be modified.
+func (t *Topology) ProvidersOf(asn bgp.ASN) []bgp.ASN { return t.providersOf(asn) }
+
+// CustomersOf is ProvidersOf for the customer direction.
+func (t *Topology) CustomersOf(asn bgp.ASN) []bgp.ASN { return t.customersOf(asn) }
+
+// PeersOf is ProvidersOf for peer edges.
+func (t *Topology) PeersOf(asn bgp.ASN) []bgp.ASN { return t.peersOf(asn) }
+
 // HasAS reports whether asn exists in the topology (it appears in the
 // relationship graph or carries a location). Overlays never introduce
 // new ASes, so the answer is the base's.

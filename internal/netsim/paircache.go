@@ -1,0 +1,35 @@
+package netsim
+
+import "vzlens/internal/geo"
+
+// PairCache memoizes great-circle distances by raw coordinate pair.
+// Catchment selection recomputes HaversineKm for the same few hundred
+// (probe city, site city) and (AS city, site city) pairs on every
+// probe-month, and profiling puts that trigonometry at ~40% of a full
+// campaign; caching the distance — not the derived delay — keeps every
+// downstream value bit-identical, because PropagationDelayMs is pure
+// arithmetic on the cached number.
+//
+// The zero value is ready to use. A nil *PairCache degrades to direct
+// computation, so call sites don't branch. Not safe for concurrent
+// use; the campaign kernels keep one per arena.
+type PairCache struct {
+	m map[[4]float64]float64
+}
+
+// DistKm returns geo.HaversineKm(aLat, aLon, bLat, bLon), memoized.
+func (pc *PairCache) DistKm(aLat, aLon, bLat, bLon float64) float64 {
+	if pc == nil {
+		return geo.HaversineKm(aLat, aLon, bLat, bLon)
+	}
+	k := [4]float64{aLat, aLon, bLat, bLon}
+	if v, ok := pc.m[k]; ok {
+		return v
+	}
+	v := geo.HaversineKm(aLat, aLon, bLat, bLon)
+	if pc.m == nil {
+		pc.m = make(map[[4]float64]float64, 256)
+	}
+	pc.m[k] = v
+	return v
+}

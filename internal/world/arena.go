@@ -1,0 +1,73 @@
+package world
+
+import (
+	"math/rand"
+	"time"
+
+	"vzlens/internal/netsim"
+)
+
+// campaignArena is the reusable scratch a month shard simulates into:
+// flat per-class columns (reachability, selected site, one-way
+// latency, access delay), the shared great-circle distance cache, and
+// the value-type jitter source its *rand.Rand draws from. Arenas live
+// in a World-level pool, so columns allocated for one month — or one
+// sweep spec — are reused by the next instead of re-made per shard;
+// steady-state campaign months allocate only their exactly-sized
+// output slice. An arena is owned by one goroutine between acquire and
+// release and carries no cross-month state: every column is fully
+// overwritten per month and the RNG is re-seeded per probe.
+type campaignArena struct {
+	jit  jitterSource
+	rng  *rand.Rand
+	pair netsim.PairCache
+
+	ok     []bool    // class (or letter x class) reachability
+	idx    []int32   // selected site index per slot
+	oneWay []float64 // one-way latency per slot
+	access []float64 // access delay per slot
+}
+
+// newCampaignArena builds an empty arena whose Rand permanently wraps
+// its own jitter source: re-seeding jit re-aims the existing Rand, so
+// the per-probe rand.New of the old inner loop becomes a free Seed.
+func newCampaignArena() *campaignArena {
+	ar := &campaignArena{}
+	ar.rng = rand.New(&ar.jit)
+	return ar
+}
+
+// ensure sizes the columns to n slots, reporting whether backing
+// arrays had to grow. Contents are unspecified afterwards; the kernels
+// write every slot they read.
+func (ar *campaignArena) ensure(n int) bool {
+	if cap(ar.ok) >= n && cap(ar.idx) >= n && cap(ar.oneWay) >= n && cap(ar.access) >= n {
+		ar.ok = ar.ok[:n]
+		ar.idx = ar.idx[:n]
+		ar.oneWay = ar.oneWay[:n]
+		ar.access = ar.access[:n]
+		return false
+	}
+	ar.ok = make([]bool, n)
+	ar.idx = make([]int32, n)
+	ar.oneWay = make([]float64, n)
+	ar.access = make([]float64, n)
+	return true
+}
+
+// acquireArena checks an arena out of the pool (building one when the
+// pool is dry) and reports how long the acquisition took, so campaign
+// utilization can discount pool overhead from simulation busy time.
+func (w *World) acquireArena() (*campaignArena, time.Duration) {
+	t0 := time.Now()
+	ar, _ := w.arenas.Get().(*campaignArena)
+	if ar == nil {
+		ar = newCampaignArena()
+		w.met.arenaBuilds.Inc()
+	}
+	w.met.arenaAcquires.Inc()
+	return ar, time.Since(t0)
+}
+
+// releaseArena returns an arena to the pool.
+func (w *World) releaseArena(ar *campaignArena) { w.arenas.Put(ar) }

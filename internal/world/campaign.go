@@ -2,13 +2,13 @@ package world
 
 import (
 	"context"
-	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vzlens/internal/atlas"
+	"vzlens/internal/bgp"
 	"vzlens/internal/dnsroot"
 	"vzlens/internal/months"
 	"vzlens/internal/netsim"
@@ -121,7 +121,9 @@ func (w *World) TraceCampaignCtx(ctx context.Context) *atlas.TraceCampaign {
 }
 
 // traceCampaign simulates the traceroute campaign under plan (nil =
-// baseline), fanning monthly snapshots over the worker pool.
+// baseline), fanning monthly snapshots over the worker pool. Each
+// worker iteration checks a scratch arena out of the World's pool, so
+// steady-state shards reuse columns instead of reallocating them.
 func (w *World) traceCampaign(ctx context.Context, plan *ScenarioPlan) *atlas.TraceCampaign {
 	ctx, span := obs.StartSpan(ctx, "campaign.trace")
 	if plan != nil {
@@ -130,23 +132,32 @@ func (w *World) traceCampaign(ctx context.Context, plan *ScenarioPlan) *atlas.Tr
 	ms := w.campaignMonths(w.Config.TraceStart, w.Config.TraceEnd)
 	frags := make([][]atlas.TraceSample, len(ms))
 	start := time.Now()
-	var busy atomic.Int64
+	var busy, arenaWait atomic.Int64
 	forEachIndex(len(ms), w.workers(), func(i int) {
 		t0 := time.Now()
-		frags[i] = w.traceMonth(ctx, ms[i], plan)
+		ar, acq := w.acquireArena()
+		frags[i] = w.traceMonth(ctx, ms[i], plan, ar)
+		w.releaseArena(ar)
 		d := time.Since(t0)
 		busy.Add(int64(d))
+		arenaWait.Add(int64(acq))
 		w.met.traceMonthDur.ObserveDuration(d)
 	})
 	wall := time.Since(start)
+	total := 0
+	for _, f := range frags {
+		total += len(f)
+	}
 	tc := atlas.NewTraceCampaign()
+	tc.Grow(total)
 	for _, f := range frags {
 		tc.AddAll(f)
 	}
 	w.met.traceRuns.Inc()
 	w.met.traceResults.Add(uint64(tc.Len()))
 	w.met.traceWall.Set(wall.Seconds())
-	w.met.traceUtil.Set(utilization(busy.Load(), wall, w.workers(), len(ms)))
+	w.met.traceUtil.Set(utilization(busy.Load()-arenaWait.Load(), wall, w.workers(), len(ms)))
+	w.met.traceArenaWait.Set(time.Duration(arenaWait.Load()).Seconds())
 	span.SetAttr("months", len(ms))
 	span.SetAttr("samples", tc.Len())
 	span.End()
@@ -154,7 +165,10 @@ func (w *World) traceCampaign(ctx context.Context, plan *ScenarioPlan) *atlas.Tr
 }
 
 // utilization is summed per-shard busy time over wall time times the
-// effective worker count — 1.0 means the pool never idled.
+// effective worker count — 1.0 means the pool never idled. Callers
+// subtract arena-acquisition time from the busy sum first, so the
+// gauge reports time spent simulating, not time spent checking scratch
+// out of the pool (that overhead is reported separately).
 func utilization(busyNS int64, wall time.Duration, workers, shards int) float64 {
 	if workers > shards {
 		workers = shards
@@ -165,37 +179,75 @@ func utilization(busyNS int64, wall time.Duration, workers, shards int) float64 
 	return float64(busyNS) / (float64(wall) * float64(workers))
 }
 
-// traceMonth simulates one monthly snapshot of the traceroute
-// campaign, under plan's overlay when non-nil. The jitter RNG streams
-// are scenario-blind (sampleSeed hashes only seed, month, probe), so a
-// baseline-vs-scenario RTT delta reflects the topology change alone.
-func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPlan) []atlas.TraceSample {
+// traceMonth simulates one monthly snapshot of the traceroute campaign
+// into the arena's columns, under plan's overlay when non-nil (a nil
+// arena checks one out for the call). The simulation runs in two
+// passes: one catchment per probe CLASS — probes sharing (country, AS,
+// city) are indistinguishable upstream of their RNG — materialized
+// into flat columns, then one exactly-sized emission pass in probe
+// order. The jitter RNG streams are scenario-blind (sampleSeed hashes
+// only seed, month, probe) and per-probe, so the columnar order of
+// computation cannot change a single draw: a baseline-vs-scenario RTT
+// delta reflects the topology change alone, and output is
+// byte-identical to the per-probe loop this replaced.
+func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPlan, ar *campaignArena) []atlas.TraceSample {
 	_, span := obs.StartSpan(ctx, "campaign.month")
+	if ar == nil {
+		var own *campaignArena
+		own, _ = w.acquireArena()
+		defer w.releaseArena(own)
+		ar = own
+	}
 	resolver := w.topologyFor(m, plan)
-	sites := w.gpdnsSitesFor(m, plan)
-	var out []atlas.TraceSample
-	probes := w.activeProbesAt(m)
-	for _, p := range probes {
-		local := localizeSites(sites, p)
-		_, oneWay, err := resolver.CatchmentFrom(p.ASN, p.City, local, w.Config.Policy)
+	list, sites := w.traceSiteListAt(m, plan)
+	mc := w.classesAt(m)
+	nc := len(mc.keys)
+	if ar.ensure(nc) {
+		w.met.arenaGrows.Inc()
+	}
+	for c, k := range mc.keys {
+		var local []netsim.Site
+		if list != nil {
+			local = w.localizedSites(list, k.asn, k.country)
+		} else {
+			local = localizeSitesFor(sites, k.country, k.asn)
+		}
+		_, oneWay, err := resolver.CatchmentIndexCached(k.asn, k.city, local, w.Config.Policy, &ar.pair)
 		if err != nil {
+			ar.ok[c] = false
 			continue
 		}
-		access := AccessDelayMs(p.Country, m)
-		rng := rand.New(rand.NewSource(sampleSeed(w.Config.Seed, m, p.ID)))
+		ar.ok[c] = true
+		ar.oneWay[c] = oneWay
+		ar.access[c] = AccessDelayMs(k.country, m)
+	}
+	reach := 0
+	for i := range mc.probes {
+		if ar.ok[mc.classOf[i]] {
+			reach++
+		}
+	}
+	out := make([]atlas.TraceSample, 0, reach*w.Config.SamplesPerProbe)
+	for i := range mc.probes {
+		c := mc.classOf[i]
+		if !ar.ok[c] {
+			continue
+		}
+		p := &mc.probes[i]
+		ar.jit.Seed(sampleSeed(w.Config.Seed, m, p.ID))
 		for s := 0; s < w.Config.SamplesPerProbe; s++ {
 			out = append(out, atlas.TraceSample{
 				Month:   m,
 				ProbeID: p.ID,
 				ProbeCC: p.Country,
-				RTTms:   netsim.RTT(oneWay, access, rng),
+				RTTms:   netsim.RTT(ar.oneWay[c], ar.access[c], ar.rng),
 			})
 		}
 	}
 	if span != nil {
 		span.SetAttr("campaign", "trace")
 		span.SetAttr("month", m.String())
-		span.SetAttr("probes", len(probes))
+		span.SetAttr("probes", len(mc.probes))
 		span.SetAttr("samples", len(out))
 		span.End()
 	}
@@ -232,78 +284,161 @@ func (w *World) chaosCampaign(ctx context.Context, plan *ScenarioPlan) *atlas.Ch
 	ms := w.campaignMonths(w.Config.ChaosStart, w.Config.ChaosEnd)
 	frags := make([][]atlas.ChaosResult, len(ms))
 	start := time.Now()
-	var busy atomic.Int64
+	var busy, arenaWait atomic.Int64
 	forEachIndex(len(ms), w.workers(), func(i int) {
 		t0 := time.Now()
-		frags[i] = w.chaosMonth(ctx, ms[i], plan)
+		ar, acq := w.acquireArena()
+		frags[i] = w.chaosMonth(ctx, ms[i], plan, ar)
+		w.releaseArena(ar)
 		d := time.Since(t0)
 		busy.Add(int64(d))
+		arenaWait.Add(int64(acq))
 		w.met.chaosMonthDur.ObserveDuration(d)
 	})
 	wall := time.Since(start)
+	total := 0
+	for _, f := range frags {
+		total += len(f)
+	}
 	cc := atlas.NewChaosCampaign()
+	cc.Grow(total)
 	for _, f := range frags {
 		cc.AddAll(f)
 	}
 	w.met.chaosRuns.Inc()
 	w.met.chaosResults.Add(uint64(cc.Len()))
 	w.met.chaosWall.Set(wall.Seconds())
-	w.met.chaosUtil.Set(utilization(busy.Load(), wall, w.workers(), len(ms)))
+	w.met.chaosUtil.Set(utilization(busy.Load()-arenaWait.Load(), wall, w.workers(), len(ms)))
+	w.met.chaosArenaWait.Set(time.Duration(arenaWait.Load()).Seconds())
 	span.SetAttr("months", len(ms))
 	span.SetAttr("results", cc.Len())
 	span.End()
 	return cc
 }
 
-// chaosMonth simulates one monthly snapshot of the CHAOS sweep, under
-// plan's overlay when non-nil. The active probe set is computed once
-// for the month, not once per letter.
-func (w *World) chaosMonth(ctx context.Context, m months.Month, plan *ScenarioPlan) []atlas.ChaosResult {
+// chaosMonth simulates one monthly snapshot of the CHAOS sweep into
+// the arena's columns, under plan's overlay when non-nil (a nil arena
+// checks one out for the call). Like traceMonth it factors the fleet
+// into probe classes, but the column space is letters x classes: one
+// catchment per (letter, class), then one exactly-sized emission pass
+// in the letter-major, probe-minor order of the loop this replaced.
+// TXT answers come from the letter's interned per-era name table
+// instead of being re-rendered per probe.
+func (w *World) chaosMonth(ctx context.Context, m months.Month, plan *ScenarioPlan, ar *campaignArena) []atlas.ChaosResult {
 	_, span := obs.StartSpan(ctx, "campaign.month")
+	if ar == nil {
+		var own *campaignArena
+		own, _ = w.acquireArena()
+		defer w.releaseArena(own)
+		ar = own
+	}
 	resolver := w.topologyFor(m, plan)
-	probes := w.activeProbesAt(m)
-	var out []atlas.ChaosResult
-	for _, letter := range dnsroot.Letters() {
-		sites, insts := w.rootSitesFor(letter, m, plan)
+	mc := w.classesAt(m)
+	nc := len(mc.keys)
+	letters := dnsroot.Letters()
+	if ar.ensure(len(letters) * nc) {
+		w.met.arenaGrows.Inc()
+	}
+	// Per-letter views: the instance slice and the interned TXT table
+	// (nil for scenario-fresh site lists, which fall back to rendering).
+	type letterView struct {
+		insts []dnsroot.Instance
+		txt   []string
+		any   bool
+	}
+	var viewBuf [16]letterView
+	views := viewBuf[:len(letters)]
+	for li, letter := range letters {
+		rl, sites, insts := w.rootSiteListAt(letter, m, plan)
 		if len(sites) == 0 {
 			continue
 		}
-		for _, p := range probes {
-			local := localizeSites(sites, p)
-			idx, _, err := resolver.CatchmentIndex(p.ASN, p.City, local, w.Config.Policy)
+		v := &views[li]
+		v.insts = insts
+		v.any = true
+		if rl != nil {
+			v.txt = w.txtFor(rl, m)
+		}
+		base := li * nc
+		for c, k := range mc.keys {
+			var local []netsim.Site
+			if rl != nil {
+				local = w.localizedSites(&rl.siteList, k.asn, k.country)
+			} else {
+				local = localizeSitesFor(sites, k.country, k.asn)
+			}
+			idx, _, err := resolver.CatchmentIndexCached(k.asn, k.city, local, w.Config.Policy, &ar.pair)
 			if err != nil {
+				ar.ok[base+c] = false
 				continue
+			}
+			ar.ok[base+c] = true
+			ar.idx[base+c] = int32(idx)
+		}
+	}
+	total := 0
+	for li := range views {
+		if !views[li].any {
+			continue
+		}
+		base := li * nc
+		for i := range mc.probes {
+			if ar.ok[base+int(mc.classOf[i])] {
+				total++
+			}
+		}
+	}
+	out := make([]atlas.ChaosResult, 0, total)
+	for li, letter := range letters {
+		v := &views[li]
+		if !v.any {
+			continue
+		}
+		base := li * nc
+		for i := range mc.probes {
+			c := int(mc.classOf[i])
+			if !ar.ok[base+c] {
+				continue
+			}
+			p := &mc.probes[i]
+			idx := ar.idx[base+c]
+			var txt string
+			if v.txt != nil {
+				txt = v.txt[idx]
+			} else {
+				txt = v.insts[idx].ChaosName(m)
 			}
 			out = append(out, atlas.ChaosResult{
 				Month:   m,
 				ProbeID: p.ID,
 				ProbeCC: p.Country,
 				Letter:  letter,
-				TXT:     insts[idx].ChaosName(m),
+				TXT:     txt,
 			})
 		}
 	}
 	if span != nil {
 		span.SetAttr("campaign", "chaos")
 		span.SetAttr("month", m.String())
-		span.SetAttr("probes", len(probes))
+		span.SetAttr("probes", len(mc.probes))
 		span.SetAttr("results", len(out))
 		span.End()
 	}
 	return out
 }
 
-// localizeSites returns the probe's view of an anycast site list:
-// replicas deployed in the probe's own country are reachable over the
-// domestic peering fabric, modeled as hosting inside the probe's AS (one
-// hop, direct city-to-city distance). Cross-border replicas keep their
-// interdomain path. Detection and rewrite happen in one pass, and the
-// list is returned as-is when nothing needs rewriting.
-func localizeSites(sites []netsim.Site, p atlas.Probe) []netsim.Site {
+// localizeSitesFor returns the (country, asn) view of an anycast site
+// list: replicas deployed in the probe's own country are reachable
+// over the domestic peering fabric, modeled as hosting inside the
+// probe's AS (one hop, direct city-to-city distance). Cross-border
+// replicas keep their interdomain path. Detection and rewrite happen
+// in one pass, and the list is returned as-is when nothing needs
+// rewriting.
+func localizeSitesFor(sites []netsim.Site, country string, asn bgp.ASN) []netsim.Site {
 	out := sites
 	copied := false
 	for i, s := range sites {
-		if s.City.Country != p.Country || s.Host == p.ASN {
+		if s.City.Country != country || s.Host == asn {
 			continue
 		}
 		if !copied {
@@ -311,7 +446,12 @@ func localizeSites(sites []netsim.Site, p atlas.Probe) []netsim.Site {
 			copy(out, sites)
 			copied = true
 		}
-		out[i].Host = p.ASN
+		out[i].Host = asn
 	}
 	return out
+}
+
+// localizeSites is localizeSitesFor keyed by a probe.
+func localizeSites(sites []netsim.Site, p atlas.Probe) []netsim.Site {
+	return localizeSitesFor(sites, p.Country, p.ASN)
 }

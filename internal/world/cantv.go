@@ -73,6 +73,11 @@ func sortASNs(xs []bgp.ASN) {
 	}
 }
 
+// maxCANTVCustomers is the ceiling of cantvCustomerCount: the campaign
+// kernel's static base topology wires all of them and per-month
+// overlays remove the ones not yet active.
+const maxCANTVCustomers = 21
+
 // cantvCustomerCount models CANTV's domestic transit expansion after its
 // 2007 re-nationalization: academic institutions and local banks join
 // steadily, reaching roughly twenty customers (Figure 8, bottom).
@@ -82,8 +87,8 @@ func cantvCustomerCount(m months.Month) int {
 		return 0
 	}
 	n := m.Sub(start) / 10 // one new customer roughly every ten months
-	if n > 21 {
-		n = 21
+	if n > maxCANTVCustomers {
+		n = maxCANTVCustomers
 	}
 	return n
 }

@@ -1,0 +1,126 @@
+package world
+
+import (
+	"fmt"
+	"sort"
+
+	"vzlens/internal/bgp"
+	"vzlens/internal/months"
+	"vzlens/internal/netsim"
+)
+
+// This file is the campaign kernel's topology layer. Building a month
+// of topology from scratch costs a few thousand allocations (graph
+// maps, sorted copies, the dense CSR), and the only thing that varies
+// between months is Venezuela: CANTV's transit providers per the
+// documented timeline and the size of its domestic customer cone.
+// Campaigns therefore run off ONE statically assembled base (built by
+// assembleTopology + wireVenezuelaKernel: no CANTV providers, every
+// eventual customer wired) plus an O(edits) overlay per distinct
+// monthly signature — the (provider set, customer count) pair. A
+// ten-year campaign sees ~20 distinct signatures, and every month with
+// the same signature shares one resolver and its memoized path trees.
+//
+// Exactness: the overlay's effective adjacency equals the fresh
+// month's exactly — providers are added back verbatim, inactive
+// customers removed — except that not-yet-active customer ASes still
+// exist as fully isolated, located leaves. An isolated AS is never
+// expanded by the valley-free BFS (it has no edges), never hosts an
+// anycast site, and never originates a probe, so path trees, latencies
+// and catchments over the real ASes are bit-identical. TopologyAt
+// keeps building faithful per-month topologies for the archive
+// exports; only the campaign hot path uses kernel cells.
+
+// kernelSig identifies a month's Venezuelan wiring: a bitmask of
+// active CANTV providers over cantvTransitOrder plus the active
+// customer count.
+type kernelSig struct {
+	prov uint32
+	cust uint8
+}
+
+// cantvTransitOrder fixes a bit position per possible CANTV provider.
+var cantvTransitOrder []bgp.ASN
+
+func init() {
+	for asn := range cantvTransits {
+		cantvTransitOrder = append(cantvTransitOrder, asn)
+	}
+	sort.Slice(cantvTransitOrder, func(i, j int) bool {
+		return cantvTransitOrder[i] < cantvTransitOrder[j]
+	})
+	if len(cantvTransitOrder) > 32 {
+		panic("world: cantvTransits exceeds kernelSig's 32-bit provider mask")
+	}
+}
+
+// kernelSigAt computes month m's signature.
+func kernelSigAt(m months.Month) kernelSig {
+	var sig kernelSig
+	for i, asn := range cantvTransitOrder {
+		for _, s := range cantvTransits[asn] {
+			if s.active(m) {
+				sig.prov |= 1 << i
+				break
+			}
+		}
+	}
+	sig.cust = uint8(cantvCustomerCount(m))
+	return sig
+}
+
+// kernelBaseTopology returns the static base, built once per World.
+func (w *World) kernelBaseTopology() *netsim.Topology {
+	w.kernelMu.Lock()
+	cell := w.kernelBase
+	if cell == nil {
+		cell = &baseCell{}
+		w.kernelBase = cell
+	}
+	w.kernelMu.Unlock()
+	cell.once.Do(func() { cell.t = w.assembleTopology(w.wireVenezuelaKernel) })
+	return cell.t
+}
+
+// kernelEditsAt compiles month m's Venezuelan wiring into overlay
+// edits against the kernel base: add the active providers, remove the
+// not-yet-active customers.
+func kernelEditsAt(m months.Month) []netsim.Edit {
+	provs := CANTVProvidersAt(m)
+	active := cantvCustomerCount(m)
+	edits := make([]netsim.Edit, 0, len(provs)+maxCANTVCustomers-active)
+	for _, p := range provs {
+		edits = append(edits, netsim.Edit{Op: netsim.EditAddLink, A: p, B: ASCANTV, Kind: bgp.ProviderCustomer})
+	}
+	for i := active; i < maxCANTVCustomers; i++ {
+		edits = append(edits, netsim.Edit{Op: netsim.EditRemoveLink, A: ASCANTV, B: cantvCustomerASN(i), Kind: bgp.ProviderCustomer})
+	}
+	return edits
+}
+
+// kernelTopologyAt returns the campaign resolver for month m: the
+// kernel base under the month's signature overlay, interned per
+// signature so same-wiring months share path trees.
+func (w *World) kernelTopologyAt(m months.Month) *netsim.Resolver {
+	sig := kernelSigAt(m)
+	w.kernelMu.Lock()
+	if w.kernelCells == nil {
+		w.kernelCells = map[kernelSig]*topoCell{}
+	}
+	cell, ok := w.kernelCells[sig]
+	if !ok {
+		cell = &topoCell{}
+		w.kernelCells[sig] = cell
+	}
+	w.kernelMu.Unlock()
+	cell.once.Do(func() {
+		ov, err := w.kernelBaseTopology().Overlay(kernelEditsAt(m))
+		if err != nil {
+			// Impossible by construction: every provider is a located
+			// tier-1 of the base and every removed customer edge exists.
+			panic(fmt.Sprintf("world: kernel overlay %s: %v", m, err))
+		}
+		cell.r = netsim.NewResolver(ov)
+	})
+	return cell.r
+}

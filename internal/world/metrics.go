@@ -13,6 +13,13 @@ type worldMetrics struct {
 	traceMonthDur, chaosMonthDur *obs.Histogram
 	traceWall, chaosWall         *obs.Gauge
 	traceUtil, chaosUtil         *obs.Gauge
+
+	// Arena-pool hooks: acquisitions, pool misses that built a fresh
+	// arena, column regrowths, and the per-campaign time spent checking
+	// arenas out (excluded from the utilization gauges, so those keep
+	// reporting time spent simulating).
+	arenaAcquires, arenaBuilds, arenaGrows *obs.Counter
+	traceArenaWait, chaosArenaWait         *obs.Gauge
 }
 
 // Instrument registers the campaign engine's metrics on reg: full-run
@@ -42,8 +49,18 @@ func (w *World) Instrument(reg *obs.Registry) {
 		chaosWall: reg.Gauge("vz_campaign_last_run_seconds",
 			"Wall time of the most recent full campaign simulation.", chaos),
 		traceUtil: reg.Gauge("vz_campaign_worker_utilization",
-			"Busy/(wall x workers) for the most recent full simulation.", trace),
+			"Simulating/(wall x workers) for the most recent full simulation, arena acquisition excluded.", trace),
 		chaosUtil: reg.Gauge("vz_campaign_worker_utilization",
-			"Busy/(wall x workers) for the most recent full simulation.", chaos),
+			"Simulating/(wall x workers) for the most recent full simulation, arena acquisition excluded.", chaos),
+		arenaAcquires: reg.Counter("vz_campaign_arena_acquires_total",
+			"Arena checkouts from the campaign scratch pool."),
+		arenaBuilds: reg.Counter("vz_campaign_arena_builds_total",
+			"Pool misses that constructed a fresh campaign arena."),
+		arenaGrows: reg.Counter("vz_campaign_arena_grows_total",
+			"Arena column regrowths (a month needed more slots than the arena held)."),
+		traceArenaWait: reg.Gauge("vz_campaign_arena_wait_seconds",
+			"Summed arena-acquisition time of the most recent full simulation.", trace),
+		chaosArenaWait: reg.Gauge("vz_campaign_arena_wait_seconds",
+			"Summed arena-acquisition time of the most recent full simulation.", chaos),
 	}
 }

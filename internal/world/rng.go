@@ -1,0 +1,205 @@
+package world
+
+import "math/rand"
+
+// This file implements jitterSource: a value-type, allocation-free
+// replacement for the rand.NewSource generator the campaign kernels
+// draw their queueing jitter from. The campaign engine seeds one RNG
+// per probe-month (sampleSeed), so the original code paid one ~5KB
+// rngSource allocation plus a full 607-word reseed (≈1800 Lehmer
+// steps) for every three jitter draws. jitterSource produces the
+// exact same stream — bit for bit, so every golden table survives —
+// but seeds in O(1) and materializes only the lagged-Fibonacci words a
+// draw actually touches, by jumping the underlying Lehmer generator
+// directly to the word's position with a precomputed power table.
+//
+// How it works. math/rand's generator is an additive lagged Fibonacci
+// sequence over 607 words with tap 273. Seeding normalizes the seed
+// into a Lehmer generator x → 48271·x mod (2³¹−1), warms it up 20
+// steps, then derives word i from three consecutive Lehmer values
+// (steps 21+3i, 22+3i, 23+3i) XORed with a constant table
+// (math/rand's rngCooked). Because the Lehmer step is multiplication
+// in a cyclic group, the value at step 21+3i is (48271^(21+3i)·x₀)
+// mod (2³¹−1) — one modular multiplication against a precomputed
+// power, no iteration. jitterSource exploits this to fill words
+// lazily: Seed just records x₀ and bumps an epoch; a word is computed
+// on first touch. A probe-month consumes ~4 draws, touching ~8 of the
+// 607 words, so the per-probe cost drops by two orders of magnitude.
+//
+// The cooked table is recovered at init time from an actual
+// rand.NewSource stream rather than copied out of the runtime: the
+// first 607 raw draws of a known seed determine the seeded word
+// vector exactly (see recoverCooked), and XORing out the known
+// seed-derived part leaves the constants. rng_test.go pins stream
+// equality against math/rand across seeds, draw counts past the
+// 607-word wraparound, and the ExpFloat64 consumer the campaigns use.
+
+const (
+	lehmerM = 1<<31 - 1 // Lehmer modulus, the Mersenne prime 2³¹−1
+	lehmerQ = 44488     // lehmerM / 48271 (Schrage decomposition)
+	lehmerR = 3399      // lehmerM % 48271
+	rngLen  = 607       // lagged-Fibonacci state words
+	rngTap  = 273       // feed-tap distance
+	rngMask = 1<<63 - 1 // Int63 mask
+)
+
+// seedrand is math/rand's Lehmer step x → 48271·x mod (2³¹−1),
+// computed with Schrage's method exactly as the stdlib does.
+func seedrand(x int32) int32 {
+	hi := x / lehmerQ
+	lo := x % lehmerQ
+	x = 48271*lo - lehmerR*hi
+	if x < 0 {
+		x += lehmerM
+	}
+	return x
+}
+
+// lehmerMul is a·b mod (2³¹−1); both operands are below 2³¹ so the
+// product fits 64 bits.
+func lehmerMul(a, b uint64) uint64 { return a * b % lehmerM }
+
+// seedJump[i] = 48271^(21+3i) mod (2³¹−1): the Lehmer power that jumps
+// the normalized seed directly to word i's first derived value (20
+// warm-up steps, three steps per preceding word, one step into this
+// word).
+var seedJump [rngLen]uint64
+
+// rngCooked mirrors math/rand's additive constant table: the seeded
+// word i equals seedWords(x₀, i) XOR rngCooked[i]. Recovered at init
+// by recoverCooked.
+var rngCooked [rngLen]uint64
+
+func init() {
+	p := uint64(1)
+	for i := 0; i < 21; i++ {
+		p = lehmerMul(p, 48271)
+	}
+	a3 := lehmerMul(lehmerMul(48271, 48271), 48271)
+	for i := range seedJump {
+		seedJump[i] = p
+		p = lehmerMul(p, a3)
+	}
+	recoverCooked()
+}
+
+// normalizeSeed folds an int64 seed into the Lehmer domain [1, 2³¹−2]
+// the way math/rand's Seed does.
+func normalizeSeed(seed int64) uint64 {
+	seed %= lehmerM
+	if seed < 0 {
+		seed += lehmerM
+	}
+	if seed == 0 {
+		seed = 89482311
+	}
+	return uint64(seed)
+}
+
+// seedWords derives word i's seed-dependent part: three consecutive
+// Lehmer values packed as (x₁<<40) ^ (x₂<<20) ^ x₃, with x₁ reached by
+// a single modular multiplication against seedJump[i].
+func seedWords(x0 uint64, i int32) uint64 {
+	x := int32(lehmerMul(x0, seedJump[i]))
+	u := uint64(x) << 40
+	x = seedrand(x)
+	u ^= uint64(x) << 20
+	x = seedrand(x)
+	u ^= uint64(x)
+	return u
+}
+
+// recoverCooked reconstructs math/rand's constant table from observable
+// output. Seed a reference source and take its first 607 raw draws
+// u[1..607]. Draw n adds positions feed=334−n (mod 607) and tap=607−n
+// (mod 607) and stores the sum at feed. Tracking which positions still
+// hold their post-Seed ("original") values at each draw gives three
+// regimes, each solvable for one range of originals:
+//
+//	n=274..334: tap was overwritten at draw n−273, feed is original
+//	            → orig[334−n] = u[n] − u[n−273]      (orig[0..60])
+//	n=335..607: feed is original, tap was overwritten at draw n−273
+//	            → orig[941−n] = u[n] − u[n−273]      (orig[334..606])
+//	n=1..273:   both positions are original
+//	            → orig[334−n] = u[n] − orig[607−n]   (orig[61..333])
+//
+// Subtraction wraps mod 2⁶⁴ like the generator's addition. XORing the
+// known seed-derived parts out of the originals leaves the constants.
+func recoverCooked() {
+	const refSeed = 20240804
+	src := rand.NewSource(refSeed).(rand.Source64)
+	var u [rngLen + 1]uint64
+	for n := 1; n <= rngLen; n++ {
+		u[n] = src.Uint64()
+	}
+	var orig [rngLen]uint64
+	for n := 274; n <= 334; n++ {
+		orig[334-n] = u[n] - u[n-273]
+	}
+	for n := 335; n <= rngLen; n++ {
+		orig[941-n] = u[n] - u[n-273]
+	}
+	for n := 1; n <= rngTap; n++ {
+		orig[334-n] = u[n] - orig[607-n]
+	}
+	x0 := normalizeSeed(refSeed)
+	for i := range rngCooked {
+		rngCooked[i] = orig[i] ^ seedWords(x0, int32(i))
+	}
+}
+
+// jitterSource is a rand.Source64 reproducing rand.NewSource's stream
+// exactly, with O(1) reseeding and lazy state materialization. The
+// zero value must be Seeded before use. Not safe for concurrent use;
+// each campaign arena embeds its own.
+type jitterSource struct {
+	x0        uint64 // normalized seed of the current epoch
+	tap, feed int32
+	epoch     uint32
+	vec       [rngLen]uint64 // word i is valid only when stamp[i] == epoch
+	stamp     [rngLen]uint32
+}
+
+// Seed resets the stream to the same state rand.NewSource(seed) would
+// start in, in O(1): words are invalidated by epoch stamp, not cleared.
+func (s *jitterSource) Seed(seed int64) {
+	s.tap, s.feed = 0, rngLen-rngTap
+	s.x0 = normalizeSeed(seed)
+	s.epoch++
+	if s.epoch == 0 { // stamp wraparound: invalidate everything once
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// word returns state word i, deriving it from the seed on first touch
+// in this epoch.
+func (s *jitterSource) word(i int32) uint64 {
+	if s.stamp[i] != s.epoch {
+		s.vec[i] = seedWords(s.x0, i) ^ rngCooked[i]
+		s.stamp[i] = s.epoch
+	}
+	return s.vec[i]
+}
+
+// Uint64 advances the lagged-Fibonacci recurrence one step, exactly as
+// math/rand's rngSource.Uint64 does.
+func (s *jitterSource) Uint64() uint64 {
+	s.tap--
+	if s.tap < 0 {
+		s.tap += rngLen
+	}
+	s.feed--
+	if s.feed < 0 {
+		s.feed += rngLen
+	}
+	x := s.word(s.feed) + s.word(s.tap)
+	s.vec[s.feed] = x
+	return x
+}
+
+// Int63 returns the low 63 bits of the next word, matching
+// rngSource.Int63.
+func (s *jitterSource) Int63() int64 { return int64(s.Uint64() & rngMask) }

@@ -167,11 +167,13 @@ func (p *ScenarioPlan) editsAt(m months.Month, base *netsim.Topology) []netsim.E
 		if !windowActive(d.From, d.Until, m) || !base.HasAS(d.ASN) {
 			continue
 		}
-		g := base.Graph()
-		for _, prov := range g.Providers(d.ASN) {
+		// Walk the view's effective adjacency, not Graph()'s: when base
+		// is itself an overlay (the campaign kernel's monthly cells),
+		// the raw graph misses the month's own link edits.
+		for _, prov := range base.ProvidersOf(d.ASN) {
 			removeLink(prov, d.ASN, bgp.ProviderCustomer)
 		}
-		for _, peer := range g.Peers(d.ASN) {
+		for _, peer := range base.PeersOf(d.ASN) {
 			removeLink(d.ASN, peer, bgp.PeerPeer)
 		}
 	}
@@ -199,15 +201,18 @@ func hasASN(xs []bgp.ASN, a bgp.ASN) bool {
 const maxScenarioCacheKeys = 8
 
 // topologyFor returns the resolver for month m under plan; a nil plan
-// is the baseline. Scenario resolvers are cached per (plan key, month)
+// is the baseline, served from the campaign kernel's per-signature
+// cells (bit-identical to TopologyAt for every campaign observable —
+// see kernel.go). Scenario resolvers are cached per (plan key, month)
 // like baseline ones, because the trace and chaos campaigns — and every
-// experiment table re-run — visit the same months. The overlay shares
-// the cached baseline topology; an invalid compiled edit list is a
-// programming error and panics (the serving layer converts campaign
-// panics into retryable errors).
+// experiment table re-run — visit the same months. The overlay stacks
+// on the kernel's monthly cell, so a scenario month shares the
+// signature resolver's base arrays and pays only O(edits) on top; an
+// invalid compiled edit list is a programming error and panics (the
+// serving layer converts campaign panics into retryable errors).
 func (w *World) topologyFor(m months.Month, plan *ScenarioPlan) *netsim.Resolver {
 	if plan == nil {
-		return w.TopologyAt(m)
+		return w.kernelTopologyAt(m)
 	}
 	w.scenMu.Lock()
 	byMonth, ok := w.scenCache[plan.Key]
@@ -230,7 +235,7 @@ func (w *World) topologyFor(m months.Month, plan *ScenarioPlan) *netsim.Resolver
 	}
 	w.scenMu.Unlock()
 	cell.once.Do(func() {
-		base := w.TopologyAt(m).Topology()
+		base := w.kernelTopologyAt(m).Topology()
 		ov, err := base.Overlay(plan.editsAt(m, base))
 		if err != nil {
 			panic(fmt.Sprintf("world: scenario %q month %s: %v", plan.Key, m, err))

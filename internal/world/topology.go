@@ -93,6 +93,18 @@ func (w *World) TopologyAt(m months.Month) *netsim.Resolver {
 
 // buildTopologyAt constructs month m's topology and resolver.
 func (w *World) buildTopologyAt(m months.Month) *netsim.Resolver {
+	return netsim.NewResolver(w.assembleTopology(func(t *netsim.Topology) {
+		w.wireVenezuela(t, m)
+	}))
+}
+
+// assembleTopology constructs the month-independent part of the
+// interdomain topology — the tier-1 mesh, foreign nationals, and every
+// non-Venezuelan country fleet — delegating the Venezuelan wiring
+// (the only month-dependent piece) to wireVE. buildTopologyAt passes
+// the documented monthly timeline; the campaign kernel passes a
+// superset variant whose months are carved out by overlay edits.
+func (w *World) assembleTopology(wireVE func(*netsim.Topology)) *netsim.Topology {
 	t := netsim.New()
 
 	// Global transit core: full peer mesh among tier-1s plus Google.
@@ -133,7 +145,7 @@ func (w *World) buildTopologyAt(m months.Month) *netsim.Resolver {
 		capital := capitalOf(cc)
 		t.Locate(net.Transit, capital)
 		if cc == "VE" {
-			w.wireVenezuela(t, m)
+			wireVE(t)
 			continue
 		}
 		if via, ok := regionalUpstreams[cc]; ok {
@@ -150,7 +162,7 @@ func (w *World) buildTopologyAt(m months.Month) *netsim.Resolver {
 		}
 	}
 
-	return netsim.NewResolver(t)
+	return t
 }
 
 // wireVenezuela adds the Venezuelan edges for month m: CANTV's transit
@@ -164,6 +176,39 @@ func (w *World) wireVenezuela(t *netsim.Topology, m months.Month) {
 		t.AddLink(p, ASCANTV, bgp.ProviderCustomer)
 	}
 	for i := 0; i < cantvCustomerCount(m); i++ {
+		cust := cantvCustomerASN(i)
+		t.Locate(cust, ccs)
+		t.AddLink(ASCANTV, cust, bgp.ProviderCustomer)
+	}
+	for _, eb := range w.Nets["VE"].Eyeballs {
+		if eb == ASCANTV {
+			continue
+		}
+		if iata, ok := veBorderASes[eb]; ok {
+			t.Locate(eb, cityAt(iata))
+			t.AddLink(w.Nets["CO"].Transit, eb, bgp.ProviderCustomer)
+			continue
+		}
+		t.Locate(eb, ccs)
+		if upstream, ok := veOwnTransitASes[eb]; ok {
+			t.AddLink(upstream, eb, bgp.ProviderCustomer)
+			continue
+		}
+		t.AddLink(ASCANTV, eb, bgp.ProviderCustomer)
+	}
+}
+
+// wireVenezuelaKernel is the campaign kernel's variant of
+// wireVenezuela: a month-independent superset. CANTV carries no
+// transit providers (each month's overlay adds the documented ones)
+// and every domestic customer that will ever exist is wired (overlays
+// remove the not-yet-active tail). The eyeball, border, and
+// own-transit edges are identical to wireVenezuela — they never vary
+// by month.
+func (w *World) wireVenezuelaKernel(t *netsim.Topology) {
+	ccs := cityAt("CCS")
+	t.Locate(ASCANTV, ccs)
+	for i := 0; i < maxCANTVCustomers; i++ {
 		cust := cantvCustomerASN(i)
 		t.Locate(cust, ccs)
 		t.AddLink(ASCANTV, cust, bgp.ProviderCustomer)
@@ -263,7 +308,7 @@ func (w *World) GPDNSSitesAt(m months.Month) []netsim.Site {
 func (w *World) RootSitesAt(letter dnsroot.Letter, m months.Month) ([]netsim.Site, []dnsroot.Instance) {
 	var sites []netsim.Site
 	var insts []dnsroot.Instance
-	for _, inst := range w.Roots.ActiveAt(m) {
+	for _, inst := range w.activeRootsAt(m) {
 		if inst.Letter != letter {
 			continue
 		}

@@ -126,7 +126,11 @@ func (w *World) TraceCampaignScenarioWindowed(ctx context.Context, plan *Scenari
 	frags := make([][]atlas.TraceSample, len(ms))
 	forEachIndex(len(idx), w.workers(), func(k int) {
 		i := idx[k]
-		frags[i] = w.traceMonth(ctx, ms[i], plan)
+		// The arena pool is World-level, so a sweep of many specs reuses
+		// the same scratch columns across specs, not just across months.
+		ar, _ := w.acquireArena()
+		frags[i] = w.traceMonth(ctx, ms[i], plan, ar)
+		w.releaseArena(ar)
 	})
 	byMonth := traceSamplesByMonth(base)
 	tc := atlas.NewTraceCampaign()
@@ -168,7 +172,9 @@ func (w *World) ChaosCampaignScenarioWindowed(ctx context.Context, plan *Scenari
 	frags := make([][]atlas.ChaosResult, len(ms))
 	forEachIndex(len(idx), w.workers(), func(k int) {
 		i := idx[k]
-		frags[i] = w.chaosMonth(ctx, ms[i], plan)
+		ar, _ := w.acquireArena()
+		frags[i] = w.chaosMonth(ctx, ms[i], plan, ar)
+		w.releaseArena(ar)
 	})
 	byMonth := chaosResultsByMonth(base)
 	cc := atlas.NewChaosCampaign()

@@ -118,6 +118,35 @@ type World struct {
 	scenCache map[string]map[months.Month]*topoCell
 	scenOrder []string
 
+	// Campaign-kernel state (see kernel.go and views.go): the static
+	// base topology plus per-signature overlay resolvers, the per-month
+	// probe-class factorings, the interned GPDNS/root site lists and
+	// their localized views, and the interned CHAOS TXT strings. All of
+	// it memoizes pure functions of the month (or list identity), so
+	// concurrent fills are idempotent. Lock ordering: siteMu may take
+	// rootsMu (root-list builds read the active-instance memo); nothing
+	// else nests.
+	kernelMu         sync.Mutex
+	kernelBase       *baseCell
+	kernelCells      map[kernelSig]*topoCell
+	classMu          sync.Mutex
+	classCache       map[months.Month]*monthClasses
+	siteMu           sync.Mutex
+	siteSeq          int32
+	gpdnsLists       map[uint32]*siteList
+	rootLists        map[rootListKey]*rootList
+	rootsMu          sync.Mutex
+	activeRootsCache map[months.Month][]dnsroot.Instance
+	localMu          sync.Mutex
+	localized        map[localKey][]netsim.Site
+	txtMu            sync.Mutex
+	txtIntern        map[txtKey]string
+
+	// arenas pools campaignArena scratch across month shards, campaign
+	// runs, and sweep specs. No New hook: misses are counted as builds
+	// in acquireArena.
+	arenas sync.Pool
+
 	// met is the campaign engine's observability surface (see
 	// Instrument); the zero value records nothing.
 	met worldMetrics
@@ -127,6 +156,12 @@ type World struct {
 type topoCell struct {
 	once sync.Once
 	r    *netsim.Resolver
+}
+
+// baseCell is a once-cell for the kernel's static base topology.
+type baseCell struct {
+	once sync.Once
+	t    *netsim.Topology
 }
 
 // validate rejects configurations the pipeline cannot honor. It runs on

@@ -8,17 +8,23 @@
 #
 # With --check, the fresh run is compared against the committed baseline
 # (default BENCH_campaigns.json) instead of overwriting it: any benchmark
-# whose ns/op or allocs/op regressed by more than BENCH_TOLERANCE percent
-# (default 25) fails the script with a per-benchmark report. Benchmarks
-# missing from either side are reported but never fail the check, so
-# adding or retiring a benchmark does not break CI.
+# whose ns/op regressed by more than BENCH_TOLERANCE percent (default 25)
+# or whose allocs/op regressed by more than BENCH_ALLOC_TOLERANCE percent
+# (default 10 — allocation counts are deterministic, so the gate is much
+# tighter than the timing one) fails the script with a per-benchmark
+# report. Benchmarks missing from either side are reported but never fail
+# the check, so adding or retiring a benchmark does not break CI.
 #
 # Environment:
-#   BENCH_PATTERN    benchmarks to run (default: the campaign + BFS set)
-#   BENCH_TIME       -benchtime value (default: 1x — one timed iteration
-#                    per benchmark keeps the sweep fast; raise for stable
-#                    numbers, e.g. BENCH_TIME=3x or BENCH_TIME=2s)
-#   BENCH_TOLERANCE  --check regression threshold in percent (default 25)
+#   BENCH_PATTERN          benchmarks to run (default: the campaign +
+#                          columnar-kernel + BFS set)
+#   BENCH_TIME             -benchtime value (default: 1x — one timed
+#                          iteration per benchmark keeps the sweep fast;
+#                          raise for stable numbers, e.g. BENCH_TIME=3x)
+#   BENCH_TOLERANCE        --check ns/op regression threshold in percent
+#                          (default 25)
+#   BENCH_ALLOC_TOLERANCE  --check allocs/op regression threshold in
+#                          percent (default 10)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,9 +35,10 @@ if [[ "${1:-}" == "--check" ]]; then
     shift
 fi
 
-pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay}"
+pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignWarm|ChaosCampaignWarm|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay}"
 benchtime="${BENCH_TIME:-1x}"
 tolerance="${BENCH_TOLERANCE:-25}"
+alloc_tolerance="${BENCH_ALLOC_TOLERANCE:-10}"
 
 if [[ "$check" == 1 ]]; then
     baseline="${1:-BENCH_campaigns.json}"
@@ -89,7 +96,7 @@ fi
 # Compare the fresh run against the baseline. The JSON is our own
 # one-benchmark-per-line format, so awk is enough — no extra tooling.
 status=0
-awk -v tol="$tolerance" '
+awk -v tol="$tolerance" -v atol="$alloc_tolerance" '
 function extract(line, key,   rest) {
     if (index(line, "\"" key "\":") == 0) return ""
     rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
@@ -128,7 +135,7 @@ END {
         if (base_allocs[name] != "" && base_allocs[name] + 0 > 0) {
             apct = (cur_allocs[name] - base_allocs[name]) * 100.0 / base_allocs[name]
             detail = detail sprintf(", allocs/op %s -> %s (%+.1f%%)", base_allocs[name], cur_allocs[name], apct)
-            if (apct > tol) verdict = "FAIL"
+            if (apct > atol) verdict = "FAIL"
         }
         printf "  %-5s %s: %s\n", verdict, name, detail
         if (verdict == "FAIL") failed++
@@ -137,10 +144,10 @@ END {
         if (!(name in in_cur)) printf "  GONE  %s (in baseline, not in this run)\n", name
     }
     if (failed > 0) {
-        printf "bench.sh --check: %d benchmark(s) regressed more than %s%%\n", failed, tol
+        printf "bench.sh --check: %d benchmark(s) regressed beyond ns %s%% / allocs %s%%\n", failed, tol, atol
         exit 1
     }
-    printf "bench.sh --check: no regression beyond %s%%\n", tol
+    printf "bench.sh --check: no regression beyond ns %s%% / allocs %s%%\n", tol, atol
 }' "$baseline" "$out" || status=1
 
 rm -f "$out"
