@@ -6,6 +6,8 @@
 //	        [-debug-addr :6060] [-trace FILE]
 //	        [-scenario-file FILE] [-scenario-lenient]
 //	        [-sweep-workers 2] [-sweep-spec-timeout 5m]
+//	        [-role standalone|coordinator|worker] [-peers URL,URL,...]
+//	        [-cluster-self URL] [-replicas 2] [-hedge-delay 500ms] [-probe-interval 1s]
 //
 //	GET  /healthz                     (liveness)
 //	GET  /readyz                      (readiness + degradation report + overload stats)
@@ -29,6 +31,18 @@
 // quarantined into the leaderboard with its error; the rest of the
 // sweep proceeds. On SIGTERM the server drains in-flight specs and
 // checkpoints before exiting.
+//
+// Several vzserve processes built from the same flags can form a
+// fault-tolerant serving tier. A -role coordinator consistent-hashes
+// scenario and sweep simulations across the -peers worker ring with
+// health probing, hedged dispatch, and automatic reassignment when a
+// worker dies; -role worker mounts the /cluster/* endpoints next to
+// the normal API and replicates computed result frames to its ring
+// successors so a restarted peer warms without re-simulating. Sweep
+// leaderboards are byte-identical at any worker count, including with
+// workers killed mid-sweep; a coordinator whose whole fleet is down
+// simulates locally. The default -role standalone is exactly the
+// single-process server described above.
 //
 // -scenario-file is validated as a whole at startup: every invalid
 // entry is reported with its spec id, and the process exits nonzero
@@ -64,6 +78,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"vzlens/internal/atlas"
@@ -90,6 +105,12 @@ func main() {
 	scenarioLenient := flag.Bool("scenario-lenient", false, "serve the valid subset of -scenario-file instead of refusing to start")
 	sweepWorkers := flag.Int("sweep-workers", 2, "concurrent spec simulations per sweep")
 	sweepSpecTimeout := flag.Duration("sweep-spec-timeout", 5*time.Minute, "per-spec watchdog deadline inside a sweep")
+	role := flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+	peers := flag.String("peers", "", "comma-separated worker base URLs (coordinator: the ring; worker: peers to warm from)")
+	clusterSelf := flag.String("cluster-self", "", "this worker's own base URL as it appears in the coordinator's -peers")
+	replicas := flag.Int("replicas", 2, "result-frame replicas per content key (coordinator)")
+	hedgeDelay := flag.Duration("hedge-delay", 500*time.Millisecond, "latency hedge before trying the next worker (coordinator)")
+	probeInterval := flag.Duration("probe-interval", time.Second, "worker health probe interval (coordinator)")
 	debugAddr := flag.String("debug-addr", "", "debug listener (pprof, expvar, metrics); empty = disabled")
 	traceOut := flag.String("trace", "", "append span JSON lines to FILE (\"-\" = stderr); empty = tracing off")
 	flag.Parse()
@@ -108,12 +129,27 @@ func main() {
 	atlas.InstrumentMetrics(reg)
 	reg.PublishExpvar("vzlens")
 	opts := httpapi.Options{
-		RequestTimeout:   *timeout,
-		MaxInFlight:      *maxInflight,
-		QueueTimeout:     *queueTimeout,
-		Metrics:          reg,
-		SweepWorkers:     *sweepWorkers,
-		SweepSpecTimeout: *sweepSpecTimeout,
+		RequestTimeout:       *timeout,
+		MaxInFlight:          *maxInflight,
+		QueueTimeout:         *queueTimeout,
+		Metrics:              reg,
+		SweepWorkers:         *sweepWorkers,
+		SweepSpecTimeout:     *sweepSpecTimeout,
+		ClusterRole:          *role,
+		ClusterSelf:          *clusterSelf,
+		ClusterReplicas:      *replicas,
+		ClusterHedgeDelay:    *hedgeDelay,
+		ClusterProbeInterval: *probeInterval,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				opts.ClusterPeers = append(opts.ClusterPeers, p)
+			}
+		}
+	}
+	if *role == "coordinator" || *role == "worker" {
+		log.Printf("vzserve: cluster role %s (%d peers)", *role, len(opts.ClusterPeers))
 	}
 	if *traceOut != "" {
 		sink := os.Stderr
@@ -219,5 +255,9 @@ func main() {
 	if err := h.DrainSweeps(dctx); err != nil {
 		log.Printf("vzserve: sweep drain incomplete: %v (journaled progress is kept)", err)
 	}
+	// Stop cluster machinery (health prober, replication queue,
+	// assignment journal) only after sweeps drain: draining specs may
+	// still be dispatching to workers.
+	h.Close()
 	log.Printf("vzserve: drained cleanly, exiting")
 }

@@ -1,0 +1,122 @@
+// Package cluster is the fault-tolerant sharded serving tier: a
+// coordinator consistent-hashes scenario and sweep work across a fixed
+// set of HTTP-reachable worker replicas, probes their health, hedges
+// slow dispatches, fails over dead workers, and replicates immutable
+// result frames to ring successors so a restarted worker warms from a
+// peer instead of re-simulating its shard.
+//
+// The design keeps one invariant above all others: a sweep's ranked
+// leaderboard is byte-identical whether it ran standalone, on a healthy
+// ring, or on a ring that lost a worker mid-sweep. The coordinator
+// achieves that by reusing the local sweep engine wholesale — the
+// manager still expands, journals, retries, and ranks exactly as in a
+// single process — and injecting only the spec-simulation step, which
+// dispatches to whichever worker the ring (and its health) selects.
+// Workers return the raw diff and stats; summarization and ranking
+// never leave the coordinator. See DESIGN.md §15.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// State is a worker's health-gated participation level, a three-state
+// machine the prober drives:
+//
+//	StateActive   — in the ring, takes new work.
+//	StateDraining — the worker asked to wind down: sticky assignments
+//	                may still land on it, new keys go elsewhere.
+//	StateDown     — failed FailThreshold consecutive probes: excluded
+//	                entirely, its pending keys reassign to survivors.
+//
+// A down worker that answers a probe again re-enters at Active (or
+// Draining, if that is what it reports): recovery is automatic, and
+// the ring positions are static, so a returning worker reclaims
+// exactly the shard it owned before.
+type State int32
+
+const (
+	StateActive State = iota
+	StateDraining
+	StateDown
+)
+
+// String renders the state for /readyz and metrics labels.
+func (s State) String() string {
+	switch s {
+	case StateActive:
+		return "active"
+	case StateDraining:
+		return "draining"
+	case StateDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Member is one worker replica as the coordinator sees it: a stable
+// address plus mutable health. All fields are safe for concurrent use
+// by the prober and the dispatch path.
+type Member struct {
+	// Addr is the worker's base URL, e.g. "http://10.0.0.7:8080".
+	Addr string
+
+	state   atomic.Int32
+	fails   atomic.Int32  // consecutive probe failures
+	ewma    atomic.Uint64 // smoothed probe latency, float64 seconds bits
+	lastErr atomic.Value  // string: most recent probe error, "" when healthy
+}
+
+// NewMember returns an active member for addr.
+func NewMember(addr string) *Member {
+	m := &Member{Addr: addr}
+	m.lastErr.Store("")
+	return m
+}
+
+// State returns the member's current participation level.
+func (m *Member) State() State { return State(m.state.Load()) }
+
+// setState transitions the member; the prober is the only writer.
+func (m *Member) setState(s State) { m.state.Store(int32(s)) }
+
+// Available reports whether the member may receive any work at all
+// (sticky or new). Down members are never available.
+func (m *Member) Available() bool { return m.State() != StateDown }
+
+// TakesNewWork reports whether the member accepts keys not already
+// assigned to it. Draining members do not.
+func (m *Member) TakesNewWork() bool { return m.State() == StateActive }
+
+// EWMALatency returns the smoothed probe round-trip in seconds.
+func (m *Member) EWMALatency() float64 {
+	return math.Float64frombits(m.ewma.Load())
+}
+
+// observeLatency folds one probe sample into the EWMA (α = 0.3; the
+// first sample seeds it directly).
+func (m *Member) observeLatency(seconds float64) {
+	for {
+		old := m.ewma.Load()
+		prev := math.Float64frombits(old)
+		next := seconds
+		if old != 0 {
+			next = 0.3*seconds + 0.7*prev
+		}
+		if m.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// LastError returns the most recent probe failure, "" when healthy.
+func (m *Member) LastError() string {
+	s, _ := m.lastErr.Load().(string)
+	return s
+}
+
+// Fails returns the consecutive probe-failure count.
+func (m *Member) Fails() int { return int(m.fails.Load()) }

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vzlens/internal/obs"
+	"vzlens/internal/resilience"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
+)
+
+// testSpec returns a distinct valid scenario spec per n.
+func testSpec(n uint32) *scenario.Spec {
+	return &scenario.Spec{
+		ID:  "t",
+		Ops: []scenario.Op{{Op: scenario.OpDepeer, ASN: 1000 + n}},
+	}
+}
+
+// testDiff is a deterministic non-trivial diff for fake simulations.
+func testDiff() *scenario.Diff { return &scenario.Diff{} }
+
+// newTestWorker builds a Worker with a fake counting RunSpec, mounts
+// it on an httptest server, and returns both plus the simulation
+// counter.
+func newTestWorker(t *testing.T, scope string, peers []string) (*Worker, *httptest.Server, *atomic.Int32) {
+	t.Helper()
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runs atomic.Int32
+	w := NewWorker(WorkerOptions{
+		Peers: peers,
+		Store: store,
+		Scope: scope,
+		RunSpec: func(_ context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+			runs.Add(1)
+			return testDiff(), scenario.RunStats{TraceMonthsRecomputed: 1}, nil
+		},
+	})
+	w.Instrument(obs.NewRegistry())
+	w.Start()
+	mux := http.NewServeMux()
+	w.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() { srv.Close(); w.Close() })
+	return w, srv, &runs
+}
+
+func postSpec(t *testing.T, addr string, sp *scenario.Spec) (*SpecFrame, int) {
+	t.Helper()
+	body, _ := json.Marshal(specRequest{Spec: sp})
+	resp, err := http.Post(addr+"/cluster/spec", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var frame SpecFrame
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &frame, resp.StatusCode
+}
+
+func TestWorkerSimulatesOnceThenServesCache(t *testing.T) {
+	_, srv, runs := newTestWorker(t, "s", nil)
+	sp := testSpec(1)
+	for i := 0; i < 3; i++ {
+		frame, code := postSpec(t, srv.URL, sp)
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+		if frame.Key != sp.Key() {
+			t.Fatalf("request %d: frame key %q, want %q", i, frame.Key, sp.Key())
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("simulations = %d, want 1 (repeat requests must hit the frame cache)", n)
+	}
+}
+
+func TestWorkerWarmsFromPeer(t *testing.T) {
+	scope := "warm"
+	_, srvA, runsA := newTestWorker(t, scope, nil)
+	wB, srvB, runsB := newTestWorker(t, scope, []string{srvA.URL})
+	sp := testSpec(2)
+
+	// A simulates the spec; B then serves the same spec by pulling
+	// A's frame instead of re-simulating.
+	if _, code := postSpec(t, srvA.URL, sp); code != http.StatusOK {
+		t.Fatalf("A: status %d", code)
+	}
+	if _, code := postSpec(t, srvB.URL, sp); code != http.StatusOK {
+		t.Fatalf("B: status %d", code)
+	}
+	if n := runsB.Load(); n != 0 {
+		t.Fatalf("B simulated %d times, want 0 (peer pull)", n)
+	}
+	if n := wB.WarmPullCount(); n != 1 {
+		t.Fatalf("B warm pulls = %d, want 1", n)
+	}
+	if n := runsA.Load(); n != 1 {
+		t.Fatalf("A simulations = %d, want 1", n)
+	}
+}
+
+func TestWorkerFramePutGet(t *testing.T) {
+	_, srv, _ := newTestWorker(t, "pg", nil)
+	payload, _ := json.Marshal(SpecFrame{Spec: "t", Key: "t-abc", Diff: testDiff()})
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/cluster/frames/cframe-pg-t-abc", strings.NewReader(string(payload)))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT: status %d", resp.StatusCode)
+	}
+	got, err := http.Get(srv.URL + "/cluster/frames/cframe-pg-t-abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Body.Close()
+	var frame SpecFrame
+	if err := json.NewDecoder(got.Body).Decode(&frame); err != nil || frame.Key != "t-abc" {
+		t.Fatalf("GET round-trip: frame %+v, err %v", frame, err)
+	}
+
+	// Malformed frames are rejected, and misses are 404.
+	req, _ = http.NewRequest(http.MethodPut, srv.URL+"/cluster/frames/bad", strings.NewReader("not json"))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed PUT: status %d, want 400", resp.StatusCode)
+	}
+	missing, err := http.Get(srv.URL + "/cluster/frames/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing.Body.Close()
+	if missing.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing frame: status %d, want 404", missing.StatusCode)
+	}
+}
+
+func TestProberStateMachine(t *testing.T) {
+	var mode atomic.Value // "active" | "draining" | "fail"
+	mode.Store("active")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if mode.Load() == "fail" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		writeDoc(w, http.StatusOK, healthDoc{Status: mode.Load().(string)})
+	}))
+	defer srv.Close()
+
+	m := NewMember(srv.URL)
+	p := NewProber([]*Member{m}, ProberOptions{FailThreshold: 2, Interval: time.Hour})
+	defer p.Close()
+
+	p.ProbeAll()
+	if m.State() != StateActive {
+		t.Fatalf("after healthy probe: state %s, want active", m.State())
+	}
+	if m.EWMALatency() <= 0 {
+		t.Fatal("EWMA latency not observed")
+	}
+
+	mode.Store("draining")
+	p.ProbeAll()
+	if m.State() != StateDraining {
+		t.Fatalf("after draining probe: state %s, want draining", m.State())
+	}
+
+	mode.Store("fail")
+	p.ProbeAll()
+	if m.State() != StateDraining {
+		t.Fatalf("one failure below threshold flipped state to %s", m.State())
+	}
+	p.ProbeAll()
+	if m.State() != StateDown {
+		t.Fatalf("after %d failures: state %s, want down", m.Fails(), m.State())
+	}
+	if m.LastError() == "" {
+		t.Fatal("down member carries no last error")
+	}
+
+	// Recovery: one healthy probe brings it straight back.
+	mode.Store("active")
+	p.ProbeAll()
+	if m.State() != StateActive {
+		t.Fatalf("after recovery probe: state %s, want active", m.State())
+	}
+	if m.Fails() != 0 || m.LastError() != "" {
+		t.Fatalf("recovery did not clear failure state: fails=%d lastErr=%q", m.Fails(), m.LastError())
+	}
+}
+
+// newTestCoordinator builds a coordinator over the given worker URLs
+// with fast probe/retry settings, probes once, and cleans up.
+func newTestCoordinator(t *testing.T, scope string, store *resultstore.Store, workers ...string) *Coordinator {
+	t.Helper()
+	c := NewCoordinator(CoordinatorOptions{
+		Workers:       workers,
+		Scope:         scope,
+		Store:         store,
+		Replicas:      2,
+		HedgeDelay:    50 * time.Millisecond,
+		ProbeInterval: 50 * time.Millisecond,
+		FailThreshold: 2,
+		Retry: resilience.Policy{
+			MaxAttempts: 3, BaseDelay: 10 * time.Millisecond,
+			MaxDelay: 50 * time.Millisecond, Multiplier: 2,
+		},
+	})
+	c.Instrument(obs.NewRegistry())
+	c.Start()
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestCoordinatorDispatchAndFailover(t *testing.T) {
+	scope := "fo"
+	_, srvA, runsA := newTestWorker(t, scope, nil)
+	_, srvB, runsB := newTestWorker(t, scope, nil)
+	c := newTestCoordinator(t, scope, nil, srvA.URL, srvB.URL)
+	c.ProbeNow()
+
+	sp := testSpec(7)
+	d, st, err := c.RunSpec(context.Background(), sp)
+	if err != nil || d == nil {
+		t.Fatalf("healthy dispatch: %v", err)
+	}
+	if st.TraceMonthsRecomputed != 1 {
+		t.Fatalf("stats did not round-trip: %+v", st)
+	}
+	if runsA.Load()+runsB.Load() != 1 {
+		t.Fatalf("total simulations = %d, want 1", runsA.Load()+runsB.Load())
+	}
+
+	// Kill the spec's primary owner; dispatch of a fresh spec owned by
+	// it must fail over to the survivor and count a reassignment.
+	before := c.met.reassignments.Value()
+	var killed *httptest.Server
+	var sp2 *scenario.Spec
+	for n := uint32(100); ; n++ {
+		cand := testSpec(n)
+		primary := c.ring.Owners(FrameKey(scope, cand.Key()), 1)[0]
+		if primary == srvA.URL {
+			killed, sp2 = srvA, cand
+			break
+		}
+	}
+	killed.Close()
+	if _, _, err := c.RunSpec(context.Background(), sp2); err != nil {
+		t.Fatalf("failover dispatch: %v", err)
+	}
+	if got := c.met.reassignments.Value(); got != before+1 {
+		t.Fatalf("reassignments = %d, want %d", got, before+1)
+	}
+}
+
+func TestCoordinatorSingleflightCoalesces(t *testing.T) {
+	scope := "sf"
+	_, srv, runs := newTestWorker(t, scope, nil)
+	c := newTestCoordinator(t, scope, nil, srv.URL)
+	c.ProbeNow()
+
+	sp := testSpec(9)
+	const n = 8
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			_, _, err := c.RunSpec(context.Background(), sp)
+			errs <- err
+		}()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent dispatch: %v", err)
+		}
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("simulations = %d, want 1 (coordinator + worker singleflight)", got)
+	}
+	leaders, followers := c.FlightStats()
+	if leaders+followers != n {
+		t.Fatalf("flight stats %d+%d do not cover %d requests", leaders, followers, n)
+	}
+}
+
+func TestCoordinatorNoWorkers(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	srv.Close() // dead from the start
+	c := newTestCoordinator(t, "nw", nil, srv.URL)
+	c.ProbeNow()
+	c.ProbeNow() // two failed rounds: threshold reached, marked down
+
+	_, _, err := c.RunSpec(context.Background(), testSpec(3))
+	if err == nil || !strings.Contains(err.Error(), ErrNoWorkers.Error()) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestCoordinatorStickyAssignmentsResume(t *testing.T) {
+	store, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scope := "sticky"
+	_, srv, _ := newTestWorker(t, scope, nil)
+
+	c1 := NewCoordinator(CoordinatorOptions{Workers: []string{srv.URL}, Scope: scope, Store: store})
+	c1.recordAssign("cframe-sticky-k1", srv.URL)
+	c1.recordAssign("cframe-sticky-k2", srv.URL)
+	c1.Close()
+
+	c2 := NewCoordinator(CoordinatorOptions{Workers: []string{srv.URL}, Scope: scope, Store: store})
+	defer c2.Close()
+	c2.assignMu.Lock()
+	got := len(c2.assign)
+	worker := c2.assign["cframe-sticky-k1"]
+	c2.assignMu.Unlock()
+	if got != 2 || worker != srv.URL {
+		t.Fatalf("restored %d assignments (k1 -> %q), want 2 with k1 -> %q", got, worker, srv.URL)
+	}
+}
+
+func TestSnapshotShapes(t *testing.T) {
+	scope := "snap"
+	w, srv, _ := newTestWorker(t, scope, []string{"http://peer"})
+	c := newTestCoordinator(t, scope, nil, srv.URL)
+	c.ProbeNow()
+
+	cs := c.Snapshot()
+	if cs.Role != "coordinator" || len(cs.Workers) != 1 || cs.Workers[0].State != "active" {
+		t.Fatalf("coordinator snapshot: %+v", cs)
+	}
+	if cs.Workers[0].EWMALatencyMs <= 0 {
+		t.Fatalf("coordinator snapshot missing probe latency: %+v", cs.Workers[0])
+	}
+	w.Drain()
+	ws := w.Snapshot()
+	if ws.Role != "worker" || ws.State != "draining" || len(ws.Peers) != 1 {
+		t.Fatalf("worker snapshot: %+v", ws)
+	}
+}

@@ -1,0 +1,515 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"vzlens/internal/overload"
+	"vzlens/internal/resilience"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
+)
+
+// This file is the coordinator: the node that owns the ring, the
+// health plane, and the dispatch policy. It exposes exactly the
+// function signatures the serving layer already injects — a sweep
+// RunSpec and a scenario diff renderer — so becoming a cluster is a
+// wiring change, not a semantics change. Dispatch composes three
+// resilience layers, innermost first:
+//
+//	hedge     — the request races across the key's owners: a latency
+//	            hedge after HedgeDelay, an immediate failover on
+//	            error, first success cancels the losers.
+//	retry     — a failed hedge round (every candidate errored) backs
+//	            off with jitter and re-snapshots the candidate list,
+//	            picking up whatever the prober learned meanwhile.
+//	reassign  — a key whose ring-primary owner is down simply
+//	            executes on a successor; the sticky-assignment
+//	            journal records the move so a coordinator restart
+//	            keeps routing it to the same survivor.
+//
+// Exactly-once is layered, not assumed: the coordinator singleflights
+// concurrent requests per content key, each worker singleflights and
+// caches frames in its store, and the sweep journal upstream already
+// refuses duplicate results. A lost response re-dispatches, but the
+// re-dispatch hits the worker's frame cache — simulation happens once.
+
+// ErrNoWorkers reports a dispatch with zero available candidates. The
+// serving layer treats it as "cluster absent" and falls back to local
+// simulation, so a coordinator whose whole worker fleet died degrades
+// to a (slower) standalone server instead of failing sweeps.
+var ErrNoWorkers = errors.New("cluster: no available workers")
+
+// assignRecord is one sticky-assignment journal entry: key k now
+// executes on worker w.
+type assignRecord struct {
+	Key    string `json:"key"`
+	Worker string `json:"worker"`
+}
+
+// assignCompactFactor triggers assignment-journal compaction once the
+// record count exceeds this multiple of the live key count.
+const assignCompactFactor = 4
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// Workers are the replica base URLs. Required, at least one.
+	Workers []string
+	// Replicas is how many ring owners each frame replicates to,
+	// executor included (default 2, capped at len(Workers)).
+	Replicas int
+	// Scope is the world-configuration scope for frame keys; must
+	// match the workers'.
+	Scope string
+	// Store, when set, persists the sticky-assignment journal so a
+	// coordinator restart resumes routing mid-sweep keys to the same
+	// workers. Nil keeps assignments in memory only.
+	Store *resultstore.Store
+	// HedgeDelay is how long a dispatch may stay silent before racing
+	// the next owner (default 500ms).
+	HedgeDelay time.Duration
+	// DispatchTimeout bounds one spec dispatch end to end, all hedges
+	// and retries included (default 2m).
+	DispatchTimeout time.Duration
+	// Retry is the backoff policy between failed hedge rounds
+	// (default: 3 attempts, 100ms base, jittered).
+	Retry resilience.Policy
+	// ProbeInterval, ProbeTimeout, FailThreshold tune the prober (see
+	// ProberOptions).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	FailThreshold int
+	// VNodes tunes ring granularity (default 64 per worker).
+	VNodes int
+	// Client performs dispatches; nil uses a private client.
+	Client *http.Client
+}
+
+// Coordinator routes content-keyed work across the worker ring.
+type Coordinator struct {
+	opts   CoordinatorOptions
+	ring   *Ring
+	member map[string]*Member
+	prober *Prober
+	client *http.Client
+
+	flights overload.Group[string, []byte]
+
+	assignMu      sync.Mutex
+	assign        map[string]string // spec content key -> sticky worker
+	assignJournal *resultstore.Journal
+	assignRecords int // records in the journal, for compaction pacing
+
+	met coordMetrics
+}
+
+// NewCoordinator builds the coordinator. Call Instrument (optional)
+// and then Start before dispatching. Construction never fails: a
+// broken assignment journal degrades to in-memory stickiness with a
+// logged warning.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if len(opts.Workers) == 0 {
+		panic("cluster: NewCoordinator requires at least one worker")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas > len(opts.Workers) {
+		opts.Replicas = len(opts.Workers)
+	}
+	if opts.HedgeDelay <= 0 {
+		opts.HedgeDelay = 500 * time.Millisecond
+	}
+	if opts.DispatchTimeout <= 0 {
+		opts.DispatchTimeout = 2 * time.Minute
+	}
+	if opts.Retry.MaxAttempts == 0 {
+		opts.Retry = resilience.Policy{
+			MaxAttempts: 3, BaseDelay: 100 * time.Millisecond,
+			MaxDelay: 2 * time.Second, Multiplier: 2, Jitter: 0.2,
+		}
+	}
+	c := &Coordinator{
+		opts:   opts,
+		ring:   NewRing(opts.Workers, opts.VNodes),
+		member: make(map[string]*Member, len(opts.Workers)),
+		assign: map[string]string{},
+		client: opts.Client,
+	}
+	if c.client == nil {
+		c.client = &http.Client{}
+	}
+	members := make([]*Member, 0, len(opts.Workers))
+	for _, addr := range c.ring.Members() {
+		m := NewMember(addr)
+		c.member[addr] = m
+		members = append(members, m)
+	}
+	c.prober = NewProber(members, ProberOptions{
+		Interval:      opts.ProbeInterval,
+		Timeout:       opts.ProbeTimeout,
+		FailThreshold: opts.FailThreshold,
+		Client:        c.client,
+		OnTransition: func(m *Member, from, to State) {
+			log.Printf("cluster: worker %s %s -> %s", m.Addr, from, to)
+			c.met.transitions.Inc()
+		},
+	})
+	c.openAssignJournal()
+	return c
+}
+
+// Start launches the health plane. Call after Instrument so the probe
+// loop observes its metric hooks.
+func (c *Coordinator) Start() { c.prober.Start() }
+
+// openAssignJournal restores sticky assignments from a previous
+// coordinator process and compacts the journal down to one record per
+// live key.
+func (c *Coordinator) openAssignJournal() {
+	if c.opts.Store == nil {
+		return
+	}
+	path := c.opts.Store.JournalPath("cluster-assign-" + c.opts.Scope)
+	j, recs, truncated, err := resultstore.OpenJournal(path)
+	if err != nil {
+		log.Printf("cluster: open assignment journal: %v (stickiness is in-memory only)", err)
+		return
+	}
+	if truncated > 0 {
+		log.Printf("cluster: assignment journal: %d torn bytes truncated", truncated)
+	}
+	for _, raw := range recs {
+		var rec assignRecord
+		if json.Unmarshal(raw, &rec) == nil && rec.Key != "" && rec.Worker != "" {
+			c.assign[rec.Key] = rec.Worker
+		}
+	}
+	c.assignJournal = j
+	c.assignRecords = len(recs)
+}
+
+// Close stops the prober and releases the journal and connections.
+func (c *Coordinator) Close() {
+	c.prober.Close()
+	c.assignMu.Lock()
+	if c.assignJournal != nil {
+		c.assignJournal.Close()
+	}
+	c.assignMu.Unlock()
+	c.client.CloseIdleConnections()
+}
+
+// ProbeNow forces one synchronous probe round — tests and the serving
+// layer's readiness path use it to observe fresh health.
+func (c *Coordinator) ProbeNow() { c.prober.ProbeAll() }
+
+// FlightStats returns the coordinator singleflight counters: leaders
+// are dispatches that did work, followers coalesced onto one.
+func (c *Coordinator) FlightStats() (leaders, followers uint64) {
+	return c.flights.Stats()
+}
+
+// candidates returns the dispatch order for key: the sticky worker
+// first when it is still available, then the key's ring owners that
+// take new work. The second return is the ring-primary owner (health
+// ignored), against which reassignment is measured.
+func (c *Coordinator) candidates(key string) (cands []string, primary string) {
+	owners := c.ring.Owners(key, len(c.opts.Workers))
+	if len(owners) > 0 {
+		primary = owners[0]
+	}
+	seen := map[string]bool{}
+	c.assignMu.Lock()
+	sticky := c.assign[key]
+	c.assignMu.Unlock()
+	if sticky != "" {
+		if m := c.member[sticky]; m != nil && m.Available() {
+			cands = append(cands, sticky)
+			seen[sticky] = true
+		}
+	}
+	for _, addr := range owners {
+		if seen[addr] {
+			continue
+		}
+		if m := c.member[addr]; m != nil && m.TakesNewWork() {
+			cands = append(cands, addr)
+			seen[addr] = true
+		}
+	}
+	return cands, primary
+}
+
+// recordAssign journals a sticky assignment, compacting the journal
+// once superseded records dominate it.
+func (c *Coordinator) recordAssign(key, worker string) {
+	c.assignMu.Lock()
+	defer c.assignMu.Unlock()
+	if c.assign[key] == worker {
+		return
+	}
+	c.assign[key] = worker
+	if c.assignJournal == nil {
+		return
+	}
+	payload, _ := json.Marshal(assignRecord{Key: key, Worker: worker})
+	if err := c.assignJournal.Append(payload); err != nil {
+		log.Printf("cluster: journal assignment %s -> %s: %v", key, worker, err)
+		return
+	}
+	c.assignRecords++
+	if c.assignRecords > assignCompactFactor*len(c.assign) && c.assignRecords > 64 {
+		dropped, err := c.assignJournal.Compact(lastPerKey)
+		if err != nil {
+			log.Printf("cluster: compact assignment journal: %v", err)
+			return
+		}
+		c.assignRecords -= dropped
+	}
+}
+
+// lastPerKey is the assignment journal's compaction policy: only the
+// newest record per key survives, in first-seen order.
+func lastPerKey(records [][]byte) [][]byte {
+	latest := map[string]int{}
+	order := []string{}
+	for i, raw := range records {
+		var rec assignRecord
+		if json.Unmarshal(raw, &rec) != nil || rec.Key == "" {
+			continue
+		}
+		if _, ok := latest[rec.Key]; !ok {
+			order = append(order, rec.Key)
+		}
+		latest[rec.Key] = i
+	}
+	kept := make([][]byte, 0, len(order))
+	for _, k := range order {
+		kept = append(kept, records[latest[k]])
+	}
+	return kept
+}
+
+// RunSpec simulates one scenario spec on the cluster — the function
+// the coordinator's sweep manager injects as Options.RunSpec. The
+// returned diff and stats are exactly what a local engine run would
+// produce, so the manager's summarize/rank path yields byte-identical
+// leaderboards.
+func (c *Coordinator) RunSpec(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+	fkey := FrameKey(c.opts.Scope, sp.Key())
+	payload, err, shared := c.flights.Do(fkey, func() ([]byte, error) {
+		return c.dispatchSpec(ctx, sp)
+	})
+	if shared {
+		c.met.flightFollowers.Inc()
+	} else {
+		c.met.flightLeaders.Inc()
+	}
+	if err != nil {
+		return nil, scenario.RunStats{}, err
+	}
+	frame, ok := decodeFrame(payload, sp.Key())
+	if !ok {
+		return nil, scenario.RunStats{}, fmt.Errorf("cluster: worker returned malformed frame for %s", sp.Key())
+	}
+	return frame.Diff, frame.Stats, nil
+}
+
+// dispatchSpec runs the retry-of-hedges loop for one spec and records
+// the executing worker.
+func (c *Coordinator) dispatchSpec(ctx context.Context, sp *scenario.Spec) ([]byte, error) {
+	// Everything keys on the frame key — placement, stickiness, and
+	// replication agree on one ring position per spec content.
+	fkey := FrameKey(c.opts.Scope, sp.Key())
+	replicaOwners := c.ring.Owners(fkey, c.opts.Replicas)
+	body := func(self string) ([]byte, error) {
+		var replicateTo []string
+		for _, o := range replicaOwners {
+			if o != self {
+				replicateTo = append(replicateTo, o)
+			}
+		}
+		return json.Marshal(specRequest{Spec: sp, ReplicateTo: replicateTo})
+	}
+	payload, executor, err := c.dispatch(ctx, fkey, func(ctx context.Context, addr string) ([]byte, error) {
+		reqBody, err := body(addr)
+		if err != nil {
+			return nil, resilience.Permanent(err)
+		}
+		return c.post(ctx, addr+"/cluster/spec", reqBody)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(replicaOwners) > 0 && executor != replicaOwners[0] {
+		// The spec ran somewhere other than its ring-primary owner —
+		// either a sticky re-route or a health failover. Both are the
+		// reassignments operators alert on during an incident.
+		c.met.reassignments.Inc()
+	}
+	c.recordAssign(fkey, executor)
+	return payload, nil
+}
+
+// DiffPayload renders one scenario's full diff document on the cluster
+// — the serving layer proxies GET /api/scenarios/{id}/diff through
+// here before falling back to local simulation.
+func (c *Coordinator) DiffPayload(ctx context.Context, sp *scenario.Spec) ([]byte, error) {
+	reqBody, err := json.Marshal(sp)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := c.dispatch(ctx, sp.Key(), func(ctx context.Context, addr string) ([]byte, error) {
+		return c.post(ctx, addr+"/cluster/diff", reqBody)
+	})
+	return payload, err
+}
+
+// ProxyGET fetches path from one of key's owners with the full hedged
+// dispatch stack — the serving layer routes experiment reads through
+// it so heavy table computation lands on the worker that owns (and
+// has likely cached) the result.
+func (c *Coordinator) ProxyGET(ctx context.Context, key, path string) ([]byte, error) {
+	payload, _, err := c.dispatch(ctx, key, func(ctx context.Context, addr string) ([]byte, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+path, nil)
+		if err != nil {
+			return nil, resilience.Permanent(err)
+		}
+		return c.roundTrip(req)
+	})
+	return payload, err
+}
+
+// dispatch is the shared retry-of-hedges engine: each retry round
+// snapshots the candidate list (health may have changed) and hedges
+// the call across it; the winning worker's address is returned with
+// the payload.
+func (c *Coordinator) dispatch(ctx context.Context, key string, call func(ctx context.Context, addr string) ([]byte, error)) ([]byte, string, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.DispatchTimeout)
+	defer cancel()
+	start := time.Now()
+	type winner struct {
+		payload []byte
+		addr    string
+	}
+	attempts := 0
+	w, err := resilience.RetryValue(ctx, c.opts.Retry, func(ctx context.Context) (winner, error) {
+		attempts++
+		cands, _ := c.candidates(key)
+		if len(cands) == 0 {
+			// Every worker is down or draining. Retrying is pointless
+			// within one backoff window only if the fleet is truly
+			// gone; the prober may revive someone, so retry unless
+			// this is the last attempt — RetryValue handles pacing.
+			return winner{}, ErrNoWorkers
+		}
+		payload, i, err := resilience.Hedge(ctx, resilience.HedgePolicy{
+			Delay:       c.opts.HedgeDelay,
+			MaxAttempts: len(cands),
+			OnHedge:     c.met.hedges.Inc,
+		}, func(ctx context.Context, i int) ([]byte, error) {
+			return call(ctx, cands[i])
+		})
+		if err != nil {
+			return winner{}, err
+		}
+		return winner{payload: payload, addr: cands[i]}, nil
+	})
+	if attempts > 1 {
+		c.met.retries.Add(uint64(attempts - 1))
+	}
+	c.met.dispatchSeconds.ObserveDuration(time.Since(start))
+	if err != nil {
+		c.met.dispatchErrors.Inc()
+		if errors.Is(err, ErrNoWorkers) {
+			return nil, "", fmt.Errorf("%w (key %s)", ErrNoWorkers, key)
+		}
+		return nil, "", err
+	}
+	return w.payload, w.addr, nil
+}
+
+// post POSTs body and returns the response payload; non-200 statuses
+// are errors carrying the worker's error document.
+func (c *Coordinator) post(ctx context.Context, url string, body []byte) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, resilience.Permanent(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.roundTrip(req)
+}
+
+// roundTrip executes one request, bounding and validating the reply.
+func (c *Coordinator) roundTrip(req *http.Request) ([]byte, error) {
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	payload, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := ""
+		var doc map[string]string
+		if json.Unmarshal(payload, &doc) == nil {
+			msg = doc["error"]
+		}
+		return nil, fmt.Errorf("cluster: %s %s: status %d %s", req.Method, req.URL, resp.StatusCode, msg)
+	}
+	return payload, nil
+}
+
+// Snapshot reports ring membership and per-worker health for /readyz.
+func (c *Coordinator) Snapshot() *Snapshot {
+	snap := &Snapshot{
+		Role:     "coordinator",
+		Replicas: c.opts.Replicas,
+	}
+	for _, addr := range c.ring.Members() {
+		m := c.member[addr]
+		ws := WorkerStatus{
+			Addr:          addr,
+			State:         m.State().String(),
+			EWMALatencyMs: m.EWMALatency() * 1000,
+			Fails:         m.Fails(),
+			LastError:     m.LastError(),
+		}
+		snap.Workers = append(snap.Workers, ws)
+	}
+	return snap
+}
+
+// Snapshot is the cluster section of the /readyz document — the ring
+// as the reporting node sees it.
+type Snapshot struct {
+	Role     string `json:"role"`
+	Replicas int    `json:"replicas,omitempty"`
+	// Coordinator view: one entry per ring member.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+	// Worker view.
+	Self           string   `json:"self,omitempty"`
+	Peers          []string `json:"peers,omitempty"`
+	State          string   `json:"state,omitempty"`
+	ReplicationLag int      `json:"replication_lag"`
+}
+
+// WorkerStatus is one worker's health as the coordinator sees it.
+type WorkerStatus struct {
+	Addr          string  `json:"addr"`
+	State         string  `json:"state"`
+	EWMALatencyMs float64 `json:"ewma_latency_ms"`
+	Fails         int     `json:"fails,omitempty"`
+	LastError     string  `json:"last_error,omitempty"`
+}

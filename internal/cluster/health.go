@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is the health plane: a Prober that periodically hits every
+// member's /cluster/health endpoint, folds the round-trip into the
+// member's EWMA latency, and drives the active → draining → down state
+// machine. Health is deliberately decoupled from the ring — the ring
+// says who *should* own a key, the prober says who currently *can* —
+// so a worker's return needs no rebalance, only a state flip.
+
+// healthDoc is the worker's /cluster/health response body.
+type healthDoc struct {
+	Status string `json:"status"` // "active" | "draining"
+}
+
+// ProberOptions configures a Prober.
+type ProberOptions struct {
+	// Interval between probe rounds (default 1s).
+	Interval time.Duration
+	// Timeout for one probe request (default Interval, capped at 2s).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive failed probes mark a
+	// member down (default 3).
+	FailThreshold int
+	// Client issues the probes; nil uses a private client.
+	Client *http.Client
+	// OnTransition, when set, is called (from the probe goroutine)
+	// whenever a member changes state. Metrics hook; may be nil.
+	OnTransition func(m *Member, from, to State)
+}
+
+func (o ProberOptions) withDefaults() ProberOptions {
+	if o.Interval <= 0 {
+		o.Interval = time.Second
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = o.Interval
+		if o.Timeout > 2*time.Second {
+			o.Timeout = 2 * time.Second
+		}
+	}
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 3
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// Prober owns the health loop for a fixed member set.
+type Prober struct {
+	opts    ProberOptions
+	members []*Member
+
+	probes   func() // nil-safe metric hooks, set by instrument
+	failures func()
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewProber returns a prober over members; call Start to begin.
+func NewProber(members []*Member, opts ProberOptions) *Prober {
+	return &Prober{
+		opts:    opts.withDefaults(),
+		members: members,
+		stop:    make(chan struct{}),
+	}
+}
+
+// Start launches the probe loop. An immediate first round runs before
+// the ticker so dispatch never waits a full interval for initial
+// health.
+func (p *Prober) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.ProbeAll()
+		t := time.NewTicker(p.opts.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.ProbeAll()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop and waits for it.
+func (p *Prober) Close() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+	p.opts.Client.CloseIdleConnections()
+}
+
+// ProbeAll probes every member concurrently and waits for the round to
+// finish. Exposed so tests (and a coordinator that just saw a dispatch
+// fail) can force a round instead of waiting out the interval.
+func (p *Prober) ProbeAll() {
+	var wg sync.WaitGroup
+	for _, m := range p.members {
+		wg.Add(1)
+		go func(m *Member) {
+			defer wg.Done()
+			p.probeOne(m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probeOne performs one health check and applies the state machine.
+func (p *Prober) probeOne(m *Member) {
+	if p.probes != nil {
+		p.probes()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.opts.Timeout)
+	defer cancel()
+	start := time.Now()
+	doc, err := p.fetchHealth(ctx, m.Addr)
+	if err != nil {
+		if p.failures != nil {
+			p.failures()
+		}
+		m.lastErr.Store(err.Error())
+		fails := m.fails.Add(1)
+		if int(fails) >= p.opts.FailThreshold {
+			p.transition(m, StateDown)
+		}
+		return
+	}
+	m.observeLatency(time.Since(start).Seconds())
+	m.fails.Store(0)
+	m.lastErr.Store("")
+	if doc.Status == "draining" {
+		p.transition(m, StateDraining)
+	} else {
+		p.transition(m, StateActive)
+	}
+}
+
+// transition applies a state change, firing the hook only on an actual
+// edge.
+func (p *Prober) transition(m *Member, to State) {
+	from := m.State()
+	if from == to {
+		return
+	}
+	m.setState(to)
+	if p.opts.OnTransition != nil {
+		p.opts.OnTransition(m, from, to)
+	}
+}
+
+// fetchHealth GETs the member's cluster health document.
+func (p *Prober) fetchHealth(ctx context.Context, addr string) (*healthDoc, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, addr+"/cluster/health", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.opts.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("probe %s: status %d", addr, resp.StatusCode)
+	}
+	var doc healthDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, fmt.Errorf("probe %s: bad health document: %w", addr, err)
+	}
+	return &doc, nil
+}

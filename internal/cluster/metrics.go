@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"vzlens/internal/obs"
+	"vzlens/internal/resultstore"
+)
+
+// This file registers the vz_cluster_* metric families. Both halves of
+// the tier hold nil-safe counters, so an un-instrumented coordinator
+// or worker (unit tests, tools) runs at full speed with no registry.
+
+// coordMetrics is the coordinator's instrument set.
+type coordMetrics struct {
+	reassignments   *obs.Counter
+	hedges          *obs.Counter
+	retries         *obs.Counter
+	dispatchErrors  *obs.Counter
+	transitions     *obs.Counter
+	flightLeaders   *obs.Counter
+	flightFollowers *obs.Counter
+	dispatchSeconds *obs.Histogram
+}
+
+// Instrument registers the coordinator's metrics on reg, including
+// per-state worker gauges and the prober's probe counters.
+func (c *Coordinator) Instrument(reg *obs.Registry) {
+	c.met = coordMetrics{
+		reassignments: reg.Counter("vz_cluster_reassignments_total",
+			"Specs executed by a worker other than their ring-primary owner."),
+		hedges: reg.Counter("vz_cluster_hedges_total",
+			"Latency hedges fired (backup dispatch launched while the primary was still silent)."),
+		retries: reg.Counter("vz_cluster_dispatch_retries_total",
+			"Extra dispatch rounds beyond each request's first (all candidates failed)."),
+		dispatchErrors: reg.Counter("vz_cluster_dispatch_errors_total",
+			"Dispatches that exhausted every candidate and retry."),
+		transitions: reg.Counter("vz_cluster_state_transitions_total",
+			"Worker health-state edges (active/draining/down)."),
+		flightLeaders: reg.Counter("vz_cluster_flight_leaders_total",
+			"Coordinator singleflight leaders: dispatches that did the work."),
+		flightFollowers: reg.Counter("vz_cluster_flight_followers_total",
+			"Coordinator singleflight followers: requests coalesced onto an in-flight dispatch."),
+		dispatchSeconds: reg.Histogram("vz_cluster_dispatch_seconds",
+			"End-to-end duration of one cluster dispatch (hedges and retries included).",
+			obs.LatencyBuckets),
+	}
+	c.prober.probes = reg.Counter("vz_cluster_probes_total",
+		"Worker health probes issued.").Inc
+	c.prober.failures = reg.Counter("vz_cluster_probe_failures_total",
+		"Worker health probes that failed.").Inc
+	for _, state := range []State{StateActive, StateDraining, StateDown} {
+		state := state
+		reg.GaugeFunc("vz_cluster_workers",
+			"Ring members currently in each health state.",
+			func() float64 {
+				n := 0
+				for _, m := range c.member {
+					if m.State() == state {
+						n++
+					}
+				}
+				return float64(n)
+			}, obs.L("state", state.String()))
+	}
+	if c.assignJournal != nil {
+		c.assignJournal.Instrument(resultstore.InstrumentCompactions(reg))
+	}
+}
+
+// workerMetrics is the worker's instrument set.
+type workerMetrics struct {
+	simulations       *obs.Counter
+	cacheHits         *obs.Counter
+	warmPulls         *obs.Counter
+	specErrors        *obs.Counter
+	framesIngested    *obs.Counter
+	framesReplicated  *obs.Counter
+	replicationErrors *obs.Counter
+}
+
+// Instrument registers the worker's metrics on reg.
+func (w *Worker) Instrument(reg *obs.Registry) {
+	w.met = workerMetrics{
+		simulations: reg.Counter("vz_cluster_spec_simulations_total",
+			"Spec simulations actually executed on this worker (cache and peer misses)."),
+		cacheHits: reg.Counter("vz_cluster_spec_cache_hits_total",
+			"Spec requests served from this worker's local frame store."),
+		warmPulls: reg.Counter("vz_cluster_warm_pulls_total",
+			"Spec frames pulled from a peer instead of re-simulating (warm restart path)."),
+		specErrors: reg.Counter("vz_cluster_spec_errors_total",
+			"Spec requests that failed on this worker."),
+		framesIngested: reg.Counter("vz_cluster_frames_ingested_total",
+			"Replicated frames accepted via PUT /cluster/frames."),
+		framesReplicated: reg.Counter("vz_cluster_frames_replicated_total",
+			"Frames successfully pushed to a ring successor."),
+		replicationErrors: reg.Counter("vz_cluster_replication_errors_total",
+			"Frame replication pushes dropped or failed."),
+	}
+	reg.GaugeFunc("vz_cluster_replication_lag",
+		"Frames queued for replication and not yet pushed.",
+		func() float64 { return float64(len(w.repl)) })
+}
+
+// SimulationCount returns the number of spec simulations this worker
+// has executed — the integration soak's zero-re-simulation assertion
+// reads it directly.
+func (w *Worker) SimulationCount() uint64 { return w.met.simulations.Value() }
+
+// WarmPullCount returns the number of frames this worker pulled from
+// peers instead of simulating.
+func (w *Worker) WarmPullCount() uint64 { return w.met.warmPulls.Value() }

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// This file is the consistent-hash ring that maps content keys onto
+// workers. Each worker contributes vnodes points (its address hashed
+// with a per-vnode suffix) to a sorted circle; a key routes to the
+// first point clockwise of its own hash. Vnodes smooth the key
+// distribution across a small fixed membership, and because the ring
+// is built purely from addresses — never from health — a worker that
+// dies and returns reclaims exactly the shard it owned, which is what
+// lets it warm from the successors that held its replicas meanwhile.
+
+// defaultVNodes gives each worker 64 points on the circle: with the
+// 2–5 workers a test ring or small deployment has, that keeps the
+// per-worker key share within a few percent of even.
+const defaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over a fixed membership.
+type Ring struct {
+	members []string
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds a ring over members (order-insensitive: the ring
+// sorts them so every node building from the same membership set
+// agrees on ownership). vnodes <= 0 selects the default.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	r := &Ring{members: sorted}
+	for i, m := range sorted {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hashKey(fmt.Sprintf("%s#%d", m, v)),
+				member: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		p, q := r.points[a], r.points[b]
+		if p.hash != q.hash {
+			return p.hash < q.hash
+		}
+		return p.member < q.member // deterministic tie-break
+	})
+	return r
+}
+
+// Members returns the ring's membership, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Owners returns up to n distinct members in preference order for key:
+// the key's primary owner first, then its ring successors. Successors
+// are exactly where the primary's frames replicate, so the failover
+// order and the replica placement are the same list.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	owners := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			owners = append(owners, r.members[p.member])
+		}
+	}
+	return owners
+}
+
+// hashKey is FNV-64a: fast, dependency-free, and plenty uniform for
+// placement (this is not an adversarial setting — keys are our own
+// content hashes).
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

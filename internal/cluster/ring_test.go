@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderInsensitive(t *testing.T) {
+	a := NewRing([]string{"http://w1", "http://w2", "http://w3"}, 32)
+	b := NewRing([]string{"http://w3", "http://w1", "http://w2"}, 32)
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		oa, ob := a.Owners(key, 3), b.Owners(key, 3)
+		if len(oa) != len(ob) {
+			t.Fatalf("key %s: owner counts differ: %v vs %v", key, oa, ob)
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("key %s: owners differ: %v vs %v", key, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndCapped(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 16)
+	owners := r.Owners("some-key", 10)
+	if len(owners) != 3 {
+		t.Fatalf("owners = %v, want all 3 distinct members", owners)
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Fatalf("duplicate owner %q in %v", o, owners)
+		}
+		seen[o] = true
+	}
+	if got := r.Owners("some-key", 0); got != nil {
+		t.Fatalf("Owners(n=0) = %v, want nil", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://w1", "http://w2", "http://w3"}
+	r := NewRing(members, 0) // default vnodes
+	counts := map[string]int{}
+	const keys = 3000
+	for i := 0; i < keys; i++ {
+		counts[r.Owners(fmt.Sprintf("cframe-scope-spec-%d", i), 1)[0]]++
+	}
+	for _, m := range members {
+		// Loose bound: no member owns less than half or more than
+		// double its fair share.
+		if counts[m] < keys/6 || counts[m] > keys*2/3 {
+			t.Fatalf("member %s owns %d of %d keys — ring badly unbalanced: %v", m, counts[m], keys, counts)
+		}
+	}
+}
+
+func TestRingStableOwnershipAcrossRestart(t *testing.T) {
+	// The ring is built from addresses only, so the same membership
+	// always yields the same shard map — a returning worker reclaims
+	// its keys.
+	members := []string{"http://w1", "http://w2", "http://w3"}
+	before := NewRing(members, 0)
+	after := NewRing(members, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if before.Owners(key, 1)[0] != after.Owners(key, 1)[0] {
+			t.Fatalf("key %s changed owner across identical ring builds", key)
+		}
+	}
+}
+
+func TestLastPerKeyCompaction(t *testing.T) {
+	recs := [][]byte{
+		[]byte(`{"key":"a","worker":"w1"}`),
+		[]byte(`{"key":"b","worker":"w1"}`),
+		[]byte(`{"key":"a","worker":"w2"}`),
+		[]byte(`not json`),
+		[]byte(`{"key":"a","worker":"w3"}`),
+	}
+	kept := lastPerKey(recs)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d records, want 2: %q", len(kept), kept)
+	}
+	if string(kept[0]) != `{"key":"a","worker":"w3"}` {
+		t.Errorf("key a latest = %s, want w3 record", kept[0])
+	}
+	if string(kept[1]) != `{"key":"b","worker":"w1"}` {
+		t.Errorf("key b = %s, want w1 record", kept[1])
+	}
+}

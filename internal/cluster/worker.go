@@ -1,0 +1,422 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vzlens/internal/overload"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/scenario"
+)
+
+// This file is the worker side of the tier: a handler bundle the HTTP
+// layer mounts under /cluster/*. A worker simulates specs on demand,
+// but only as a last resort — the read order for a spec frame is
+// local store, then peers, then simulate — so a worker restarted with
+// an empty disk warms its shard from whichever ring successor holds
+// the replicas, with zero re-simulation. Frames are immutable and
+// content-addressed (the key embeds the spec's content hash and the
+// world configuration), which is what makes both the peer pull and the
+// replicated PUT idempotent: ingesting the same frame twice is a
+// no-op by construction.
+
+// maxFrameBody bounds a frame or spec document on the wire. Diffs over
+// a decade of monthly campaigns serialize well under this.
+const maxFrameBody = 8 << 20
+
+// SpecFrame is the immutable result of simulating one scenario spec —
+// the unit of storage, replication, and peer warm-up. It carries the
+// raw diff and stats; ranking (summarize) happens coordinator-side so
+// leaderboards are computed by exactly one code path.
+type SpecFrame struct {
+	Spec  string            `json:"spec"` // scenario ID
+	Key   string            `json:"key"`  // scenario content key (Spec.Key())
+	Diff  *scenario.Diff    `json:"diff"`
+	Stats scenario.RunStats `json:"stats"`
+}
+
+// FrameKey scopes a spec's frame to the world configuration: two
+// workers (or a worker and the coordinator's store) only share frames
+// when they simulate the same world.
+func FrameKey(scope, specKey string) string {
+	return "cframe-" + scope + "-" + specKey
+}
+
+// specRequest is the coordinator's POST /cluster/spec body.
+type specRequest struct {
+	Spec *scenario.Spec `json:"spec"`
+	// ReplicateTo lists the ring successors the executing worker
+	// should push the finished frame to (asynchronously; replication
+	// is an optimization for warm restarts, never a durability
+	// requirement — the executor's own store already has the frame).
+	ReplicateTo []string `json:"replicate_to,omitempty"`
+}
+
+// WorkerOptions configures a Worker.
+type WorkerOptions struct {
+	// Self is this worker's advertised base URL, excluded from peer
+	// pulls. May be empty when Peers never includes the worker itself.
+	Self string
+	// Peers are the other workers' base URLs, tried in order on a
+	// local frame miss.
+	Peers []string
+	// Store persists frames locally. Required.
+	Store *resultstore.Store
+	// Scope is the world-configuration scope baked into frame keys;
+	// must match the coordinator's.
+	Scope string
+	// RunSpec simulates one spec locally. Required.
+	RunSpec func(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error)
+	// DiffPayload renders one scenario's full diff document locally
+	// (the coordinator proxies GET /api/scenarios/{id}/diff here).
+	// Optional; nil returns 501 from /cluster/diff.
+	DiffPayload func(ctx context.Context, sp *scenario.Spec) ([]byte, error)
+	// Client performs peer pulls and replication pushes; nil uses a
+	// private client.
+	Client *http.Client
+	// PullTimeout bounds one peer pull (default 10s).
+	PullTimeout time.Duration
+	// ReplicationQueue bounds the async replication backlog (default
+	// 256); a full queue drops the push and counts an error — the
+	// frame is still durable locally.
+	ReplicationQueue int
+}
+
+// Worker serves the /cluster/* endpoints for one replica.
+type Worker struct {
+	opts    WorkerOptions
+	client  *http.Client
+	flights overload.Group[string, []byte]
+
+	draining atomic.Bool
+
+	repl     chan replJob
+	replWG   sync.WaitGroup
+	stopOnce sync.Once
+
+	met workerMetrics
+}
+
+type replJob struct {
+	addr    string
+	key     string
+	payload []byte
+}
+
+// NewWorker returns a worker; mount it with Register and stop it with
+// Close.
+func NewWorker(opts WorkerOptions) *Worker {
+	if opts.Store == nil || opts.RunSpec == nil {
+		panic("cluster: NewWorker requires Store and RunSpec")
+	}
+	if opts.PullTimeout <= 0 {
+		opts.PullTimeout = 10 * time.Second
+	}
+	if opts.ReplicationQueue <= 0 {
+		opts.ReplicationQueue = 256
+	}
+	w := &Worker{opts: opts, client: opts.Client}
+	if w.client == nil {
+		w.client = &http.Client{}
+	}
+	w.repl = make(chan replJob, opts.ReplicationQueue)
+	return w
+}
+
+// Start launches the replication loop. Call after Instrument so the
+// loop observes its metric hooks.
+func (w *Worker) Start() {
+	w.replWG.Add(1)
+	go w.replicationLoop()
+}
+
+// Register mounts the worker endpoints on mux.
+func (w *Worker) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /cluster/health", w.handleHealth)
+	mux.HandleFunc("POST /cluster/spec", w.handleSpec)
+	mux.HandleFunc("POST /cluster/diff", w.handleDiff)
+	mux.HandleFunc("GET /cluster/frames/{key}", w.handleGetFrame)
+	mux.HandleFunc("PUT /cluster/frames/{key}", w.handlePutFrame)
+}
+
+// Drain flips the worker to draining: the prober sees it within one
+// interval, the coordinator stops assigning new keys, and in-flight
+// work completes normally.
+func (w *Worker) Drain() { w.draining.Store(true) }
+
+// Draining reports the drain flag.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// Close stops the replication loop, flushing any queued pushes.
+func (w *Worker) Close() {
+	w.stopOnce.Do(func() { close(w.repl) })
+	w.replWG.Wait()
+	w.client.CloseIdleConnections()
+}
+
+// Snapshot reports the worker's cluster state for /readyz.
+func (w *Worker) Snapshot() *Snapshot {
+	state := StateActive
+	if w.Draining() {
+		state = StateDraining
+	}
+	return &Snapshot{
+		Role:           "worker",
+		Self:           w.opts.Self,
+		Peers:          append([]string(nil), w.opts.Peers...),
+		State:          state.String(),
+		ReplicationLag: len(w.repl),
+	}
+}
+
+func (w *Worker) handleHealth(rw http.ResponseWriter, _ *http.Request) {
+	status := "active"
+	if w.Draining() {
+		status = "draining"
+	}
+	writeDoc(rw, http.StatusOK, healthDoc{Status: status})
+}
+
+// handleSpec simulates (or serves) one spec frame. Concurrent requests
+// for the same frame coalesce, so even a coordinator retrying into a
+// slow worker cannot double-simulate on it.
+func (w *Worker) handleSpec(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxFrameBody))
+	if err != nil {
+		writeDoc(rw, http.StatusRequestEntityTooLarge, errDoc("spec request too large"))
+		return
+	}
+	var req specRequest
+	if err := json.Unmarshal(body, &req); err != nil || req.Spec == nil {
+		writeDoc(rw, http.StatusBadRequest, errDoc("malformed spec request"))
+		return
+	}
+	if err := req.Spec.Validate(); err != nil {
+		writeDoc(rw, http.StatusBadRequest, errDoc(err.Error()))
+		return
+	}
+	fkey := FrameKey(w.opts.Scope, req.Spec.Key())
+	payload, err, _ := w.flights.Do(fkey, func() ([]byte, error) {
+		return w.framePayload(r.Context(), fkey, req.Spec, req.ReplicateTo)
+	})
+	if err != nil {
+		w.met.specErrors.Inc()
+		writeDoc(rw, http.StatusInternalServerError, errDoc(err.Error()))
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rw.Write(payload) //nolint:errcheck // client gone is the only failure
+}
+
+// framePayload produces the frame bytes for one spec: local store,
+// then peers, then simulate.
+func (w *Worker) framePayload(ctx context.Context, fkey string, sp *scenario.Spec, replicateTo []string) ([]byte, error) {
+	if stored, err := w.opts.Store.Get(fkey); err == nil {
+		if _, ok := decodeFrame(stored, sp.Key()); ok {
+			w.met.cacheHits.Inc()
+			return stored, nil
+		}
+	}
+	if payload := w.pullFromPeers(ctx, fkey, sp.Key()); payload != nil {
+		return payload, nil
+	}
+	d, st, err := w.opts.RunSpec(ctx, sp)
+	if err != nil {
+		return nil, err
+	}
+	w.met.simulations.Inc()
+	payload, err := json.Marshal(SpecFrame{Spec: sp.ID, Key: sp.Key(), Diff: d, Stats: st})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode frame %s: %w", fkey, err)
+	}
+	if err := w.opts.Store.Put(fkey, payload); err != nil {
+		// Not fatal: the response still carries the frame; only the
+		// warm restart loses out.
+		log.Printf("cluster: worker persist frame %s: %v", fkey, err)
+	}
+	for _, addr := range replicateTo {
+		if addr == w.opts.Self || addr == "" {
+			continue
+		}
+		select {
+		case w.repl <- replJob{addr: addr, key: fkey, payload: payload}:
+		default:
+			w.met.replicationErrors.Inc()
+		}
+	}
+	return payload, nil
+}
+
+// pullFromPeers tries each peer for the frame; a hit is validated,
+// ingested locally, and returned. This is the warm-restart path: the
+// restarted worker's first request for each shard key lands here and
+// costs one HTTP GET instead of one simulation.
+func (w *Worker) pullFromPeers(ctx context.Context, fkey, specKey string) []byte {
+	for _, peer := range w.opts.Peers {
+		if peer == w.opts.Self || peer == "" {
+			continue
+		}
+		payload, err := w.fetchFrame(ctx, peer, fkey)
+		if err != nil {
+			continue
+		}
+		if _, ok := decodeFrame(payload, specKey); !ok {
+			continue
+		}
+		w.met.warmPulls.Inc()
+		if err := w.opts.Store.Put(fkey, payload); err != nil {
+			log.Printf("cluster: worker ingest pulled frame %s: %v", fkey, err)
+		}
+		return payload
+	}
+	return nil
+}
+
+// fetchFrame GETs one frame from a peer.
+func (w *Worker) fetchFrame(ctx context.Context, peer, fkey string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, w.opts.PullTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/cluster/frames/"+url.PathEscape(fkey), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: frame %s from %s: status %d", fkey, peer, resp.StatusCode)
+	}
+	return body, nil
+}
+
+// handleDiff renders a full scenario diff document locally — the
+// coordinator's proxy target for GET /api/scenarios/{id}/diff.
+func (w *Worker) handleDiff(rw http.ResponseWriter, r *http.Request) {
+	if w.opts.DiffPayload == nil {
+		writeDoc(rw, http.StatusNotImplemented, errDoc("diff rendering not configured"))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxFrameBody))
+	if err != nil {
+		writeDoc(rw, http.StatusRequestEntityTooLarge, errDoc("spec too large"))
+		return
+	}
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		writeDoc(rw, http.StatusBadRequest, errDoc(err.Error()))
+		return
+	}
+	payload, err := w.opts.DiffPayload(r.Context(), spec)
+	if err != nil {
+		writeDoc(rw, http.StatusInternalServerError, errDoc(err.Error()))
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rw.Write(payload) //nolint:errcheck
+}
+
+// handleGetFrame serves a stored frame verbatim.
+func (w *Worker) handleGetFrame(rw http.ResponseWriter, r *http.Request) {
+	fkey := r.PathValue("key")
+	payload, err := w.opts.Store.Get(fkey)
+	if err != nil {
+		writeDoc(rw, http.StatusNotFound, errDoc("no such frame"))
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rw.Write(payload) //nolint:errcheck
+}
+
+// handlePutFrame ingests a replicated frame. Ingestion is idempotent:
+// frames are content-addressed, so overwriting an existing entry with
+// the same key rewrites identical bytes.
+func (w *Worker) handlePutFrame(rw http.ResponseWriter, r *http.Request) {
+	fkey := r.PathValue("key")
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxFrameBody))
+	if err != nil {
+		writeDoc(rw, http.StatusRequestEntityTooLarge, errDoc("frame too large"))
+		return
+	}
+	if _, ok := decodeFrame(body, ""); !ok {
+		writeDoc(rw, http.StatusBadRequest, errDoc("malformed frame"))
+		return
+	}
+	if err := w.opts.Store.Put(fkey, body); err != nil {
+		writeDoc(rw, http.StatusInternalServerError, errDoc(err.Error()))
+		return
+	}
+	w.met.framesIngested.Inc()
+	writeDoc(rw, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// replicationLoop pushes finished frames to ring successors in the
+// background. Failures are counted, not retried: replication only
+// accelerates a peer's warm restart, and the next simulation of the
+// key on the successor would recreate the frame anyway.
+func (w *Worker) replicationLoop() {
+	defer w.replWG.Done()
+	for job := range w.repl {
+		ctx, cancel := context.WithTimeout(context.Background(), w.opts.PullTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+			job.addr+"/cluster/frames/"+url.PathEscape(job.key),
+			bytes.NewReader(job.payload))
+		if err != nil {
+			cancel()
+			w.met.replicationErrors.Inc()
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := w.client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+			resp.Body.Close()
+		}
+		cancel()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			w.met.replicationErrors.Inc()
+			continue
+		}
+		w.met.framesReplicated.Inc()
+	}
+}
+
+// decodeFrame validates frame bytes, optionally pinning the spec
+// content key (specKey == "" skips the pin; the PUT path accepts any
+// well-formed frame because its key is already content-scoped).
+func decodeFrame(payload []byte, specKey string) (*SpecFrame, bool) {
+	var f SpecFrame
+	if err := json.Unmarshal(payload, &f); err != nil || f.Key == "" || f.Diff == nil {
+		return nil, false
+	}
+	if specKey != "" && f.Key != specKey {
+		return nil, false
+	}
+	return &f, true
+}
+
+// writeDoc is the worker's JSON response helper.
+func writeDoc(rw http.ResponseWriter, status int, v any) {
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	rw.WriteHeader(status)
+	if err := json.NewEncoder(rw).Encode(v); err != nil {
+		log.Printf("cluster: encode %T response: %v", v, err)
+	}
+}
+
+func errDoc(msg string) map[string]string { return map[string]string{"error": msg} }

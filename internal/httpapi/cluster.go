@@ -1,0 +1,118 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+
+	"vzlens/internal/cluster"
+	"vzlens/internal/core"
+	"vzlens/internal/scenario"
+)
+
+// This file wires the handler into the sharded serving tier
+// (internal/cluster). Roles are declarative: a "worker" mounts the
+// /cluster/* simulation endpoints next to its normal API, a
+// "coordinator" dispatches scenario and sweep simulations across the
+// worker ring and proxies experiment reads to content owners, and
+// "standalone" (the default) is exactly the single-process server the
+// rest of this package describes. Every cluster path degrades to the
+// local one: a coordinator whose entire fleet is down simulates
+// locally, so correctness never depends on the ring.
+
+// initCluster constructs this node's cluster half, if any. Called
+// from NewWithOptions after the engine exists and before the sweep
+// manager (which captures the coordinator's RunSpec).
+func (h *Handler) initCluster() {
+	switch role := h.opts.ClusterRole; role {
+	case "", "standalone":
+	case "worker":
+		if h.opts.Store == nil {
+			panic("httpapi: cluster worker role requires a result store")
+		}
+		w := cluster.NewWorker(cluster.WorkerOptions{
+			Self:        h.opts.ClusterSelf,
+			Peers:       h.opts.ClusterPeers,
+			Store:       h.opts.Store,
+			Scope:       h.configScope(),
+			RunSpec:     h.localRunSpec,
+			DiffPayload: h.localDiffPayload,
+		})
+		w.Instrument(h.reg)
+		w.Start()
+		h.clusterWorker = w
+	case "coordinator":
+		if len(h.opts.ClusterPeers) == 0 {
+			panic("httpapi: cluster coordinator role requires at least one worker in ClusterPeers")
+		}
+		c := cluster.NewCoordinator(cluster.CoordinatorOptions{
+			Workers:       h.opts.ClusterPeers,
+			Replicas:      h.opts.ClusterReplicas,
+			Scope:         h.configScope(),
+			Store:         h.opts.Store,
+			HedgeDelay:    h.opts.ClusterHedgeDelay,
+			ProbeInterval: h.opts.ClusterProbeInterval,
+		})
+		c.Instrument(h.reg)
+		c.Start()
+		h.cluster = c
+	default:
+		panic(fmt.Sprintf("httpapi: unknown cluster role %q (want standalone, coordinator, or worker)", role))
+	}
+}
+
+// Close releases the handler's cluster resources — the coordinator's
+// prober and assignment journal, the worker's replication queue. Call
+// it after the HTTP server has stopped and sweeps have drained; a
+// non-clustered handler closes trivially.
+func (h *Handler) Close() {
+	if h.cluster != nil {
+		h.cluster.Close()
+	}
+	if h.clusterWorker != nil {
+		h.clusterWorker.Close()
+	}
+}
+
+// localRunSpec simulates one spec on this process's engine — the
+// standalone sweep path, the worker's compute path, and the
+// coordinator's fallback.
+func (h *Handler) localRunSpec(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+	return h.engine.RunWith(ctx, sp, scenario.RunConfig{SkipTables: true})
+}
+
+// clusterRunSpec is the coordinator's sweep RunSpec: dispatch across
+// the ring, falling back to local simulation only when no worker is
+// available at all. Other dispatch failures surface to the sweep
+// manager's retry policy, which re-enters here — by which time the
+// prober has usually reclassified the fleet.
+func (h *Handler) clusterRunSpec(ctx context.Context, sp *scenario.Spec) (*scenario.Diff, scenario.RunStats, error) {
+	d, st, err := h.cluster.RunSpec(ctx, sp)
+	if err == nil {
+		return d, st, nil
+	}
+	if errors.Is(err, cluster.ErrNoWorkers) {
+		log.Printf("httpapi: cluster has no available workers, simulating %s locally", sp.ID)
+		return h.localRunSpec(ctx, sp)
+	}
+	return nil, scenario.RunStats{}, err
+}
+
+// clusterTable proxies one experiment read to the worker that owns its
+// content key. A false return (worker error, malformed reply) falls
+// back to local computation.
+func (h *Handler) clusterTable(ctx context.Context, id string) (*core.Table, bool) {
+	data, err := h.cluster.ProxyGET(ctx, h.storeKey("table", id), "/api/experiments/"+id)
+	if err != nil {
+		log.Printf("httpapi: cluster experiment %s: %v (computing locally)", id, err)
+		return nil, false
+	}
+	var doc tableJSON
+	if err := json.Unmarshal(data, &doc); err != nil || len(doc.Header) == 0 {
+		log.Printf("httpapi: cluster experiment %s: malformed worker reply (computing locally)", id)
+		return nil, false
+	}
+	return &core.Table{Caption: doc.Caption, Header: doc.Header, Rows: doc.Rows}, true
+}

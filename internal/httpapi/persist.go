@@ -25,9 +25,18 @@ import (
 // servers never serves stale results. Workers is deliberately
 // excluded: campaign output is bit-identical at any worker count.
 func (h *Handler) storeKey(kind, id string) string {
+	return kind + "-" + id + "-" + h.configScope()
+}
+
+// configScope is the world-configuration fingerprint shared by every
+// store key. The cluster tier reuses it verbatim so that a
+// coordinator and its workers — built from the same flags — agree on
+// frame keys, and differently-configured nodes can never exchange
+// frames.
+func (h *Handler) configScope() string {
 	c := h.w.Config
-	return fmt.Sprintf("%s-%s-seed%d-step%d-tr%s-%s-ch%s-%s-spp%d-pol%d-fs%g",
-		kind, id, c.Seed, c.Step, c.TraceStart, c.TraceEnd,
+	return fmt.Sprintf("seed%d-step%d-tr%s-%s-ch%s-%s-spp%d-pol%d-fs%g",
+		c.Seed, c.Step, c.TraceStart, c.TraceEnd,
 		c.ChaosStart, c.ChaosEnd, c.SamplesPerProbe, c.Policy, c.FleetScale)
 }
 

@@ -1,0 +1,256 @@
+package integration
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vzlens/internal/httpapi"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/world"
+)
+
+// This file is the chaos soak for the fault-tolerant serving tier: a
+// coordinator drives the 52-spec root_each sweep across a ring of
+// three real worker servers, one worker is hard-killed mid-sweep, and
+// the leaderboard must still come out byte-identical to a standalone
+// run — with the failover visible in the vz_cluster_* counters. A
+// second act restarts the dead worker against its surviving disk and
+// proves it warms from its peers without re-simulating anything.
+
+// listenLoopback binds a loopback listener. An empty addr picks a
+// fresh port; a concrete addr re-binds it — how a "restarted" worker
+// comes back at the same ring position.
+func listenLoopback(t *testing.T, addr string) (net.Listener, string) {
+	t.Helper()
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if ln, err = net.Listen("tcp", addr); err == nil {
+			return ln, "http://" + ln.Addr().String()
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("listen %s: %v", addr, err)
+	return nil, ""
+}
+
+// serveHard serves h on ln and returns a stop func that hard-closes
+// every connection — the in-process equivalent of SIGKILL: no drain,
+// no goodbye, in-flight responses torn mid-write.
+func serveHard(t *testing.T, h http.Handler, ln net.Listener) (stop func()) {
+	t.Helper()
+	srv := &http.Server{Handler: h}
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed after stop
+	stop = func() { srv.Close() }
+	t.Cleanup(stop)
+	return stop
+}
+
+// newClusterNode builds one handler over its own store directory with
+// the given cluster options, wiring the teardown a clustered node
+// needs (sweep drain, then prober/replication shutdown).
+func newClusterNode(t *testing.T, w *world.World, dir string, mod func(*httpapi.Options)) *httpapi.Handler {
+	t.Helper()
+	store, err := resultstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := httpapi.Options{Store: store}
+	mod(&opts)
+	h := httpapi.NewWithOptions(w, opts)
+	t.Cleanup(h.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		h.DrainSweeps(ctx) //nolint:errcheck // best-effort test cleanup
+	})
+	return h
+}
+
+// readyCluster decodes the cluster section of a handler's /readyz.
+type readyCluster struct {
+	Cluster *struct {
+		Role    string `json:"role"`
+		Workers []struct {
+			Addr  string `json:"addr"`
+			State string `json:"state"`
+		} `json:"workers"`
+	} `json:"cluster"`
+}
+
+func clusterReady(t *testing.T, h http.Handler) readyCluster {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, "/readyz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var doc readyCluster
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("decode /readyz: %v", err)
+	}
+	return doc
+}
+
+// awaitWorkerState polls the coordinator's /readyz until addr reports
+// state (the prober needs a few rounds to reclassify).
+func awaitWorkerState(t *testing.T, h http.Handler, addr, state string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		doc := clusterReady(t, h)
+		if doc.Cluster != nil {
+			for _, w := range doc.Cluster.Workers {
+				if w.Addr == addr && w.State == state {
+					return
+				}
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("worker %s never reached state %q in coordinator /readyz", addr, state)
+}
+
+// TestClusterChaosSoak is the acceptance soak for the sharded tier.
+func TestClusterChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-server cluster soak")
+	}
+	leakGuard(t)
+	m := mm(2023, time.July)
+	w := mustBuild(world.Config{
+		TraceStart: m, TraceEnd: m,
+		ChaosStart: m, ChaosEnd: m,
+	})
+
+	// ---- Control: the same sweep on a standalone server ----
+	control := newSweepStack(t, w, t.TempDir())
+	postSweep(t, control, sweepBody, http.StatusAccepted)
+	controlDone := awaitSweepDone(t, control, "soak")
+	controlBoard, err := json.Marshal(controlDone.Leaderboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if controlDone.Total != 52 || controlDone.Completed != 52 || controlDone.Failed != 0 {
+		t.Fatalf("control sweep: %+v", controlDone)
+	}
+
+	// ---- The ring: three workers, disks that survive their death ----
+	lnA, urlA := listenLoopback(t, "")
+	lnB, urlB := listenLoopback(t, "")
+	lnC, urlC := listenLoopback(t, "")
+	dirA, dirB, dirC := t.TempDir(), t.TempDir(), t.TempDir()
+	worker := func(dir, self string, peers []string) *httpapi.Handler {
+		return newClusterNode(t, w, dir, func(o *httpapi.Options) {
+			o.ClusterRole = "worker"
+			o.ClusterSelf = self
+			o.ClusterPeers = peers
+		})
+	}
+	hA := worker(dirA, urlA, []string{urlB, urlC})
+	hB := worker(dirB, urlB, []string{urlA, urlC})
+	hC := worker(dirC, urlC, []string{urlA, urlB})
+	serveHard(t, hA, lnA)
+	stopB := serveHard(t, hB, lnB)
+	serveHard(t, hC, lnC)
+
+	coordinator := func(dir string) *httpapi.Handler {
+		return newClusterNode(t, w, dir, func(o *httpapi.Options) {
+			o.ClusterRole = "coordinator"
+			o.ClusterPeers = []string{urlA, urlB, urlC}
+			// A generous hedge delay keeps this soak's failovers purely
+			// error-driven: no spec is slow enough to latency-hedge, so
+			// every simulation count below is exact.
+			o.ClusterHedgeDelay = 5 * time.Second
+			o.ClusterProbeInterval = 50 * time.Millisecond
+		})
+	}
+	co := coordinator(t.TempDir())
+	awaitWorkerState(t, co, urlB, "active")
+
+	// ---- Act 1: kill one worker mid-sweep ----
+	postSweep(t, co, sweepBody, http.StatusAccepted)
+	for i := 0; i < 2000 && sweepStatus(t, co, "soak").Completed < 5; i++ {
+		time.Sleep(2 * time.Millisecond)
+	}
+	stopB()
+	t.Logf("killed worker B (%s) with %d/52 specs complete", urlB, sweepStatus(t, co, "soak").Completed)
+
+	final := awaitSweepDone(t, co, "soak")
+	finalBoard, err := json.Marshal(final.Leaderboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(finalBoard) != string(controlBoard) {
+		t.Errorf("cluster leaderboard differs from standalone control:\n%s\n%s", finalBoard, controlBoard)
+	}
+	if final.Failed != 0 {
+		t.Errorf("cluster sweep quarantined %d specs; the failover should have absorbed the kill", final.Failed)
+	}
+
+	// The prober noticed the death, and the survivors absorbed B's
+	// shard: reassignments are the specs that executed off their
+	// ring-primary owner.
+	awaitWorkerState(t, co, urlB, "down")
+	if v := sweepMetric(t, co, "vz_cluster_reassignments_total"); v < 1 {
+		t.Errorf("vz_cluster_reassignments_total = %.0f, want >= 1 after killing a worker mid-sweep", v)
+	}
+	// Exactly-once at the coordinator: 52 distinct specs means no
+	// coalesced duplicate dispatches...
+	if v := sweepMetric(t, co, "vz_cluster_flight_followers_total"); v != 0 {
+		t.Errorf("vz_cluster_flight_followers_total = %.0f, want 0", v)
+	}
+	// ...and across the fleet, each spec simulated once, plus at most
+	// the couple B had in flight when it died (their responses were
+	// lost, so a survivor legitimately re-ran them).
+	simsA := sweepMetric(t, hA, "vz_cluster_spec_simulations_total")
+	simsB := sweepMetric(t, hB, "vz_cluster_spec_simulations_total")
+	simsC := sweepMetric(t, hC, "vz_cluster_spec_simulations_total")
+	if total := simsA + simsB + simsC; total < 52 || total > 56 {
+		t.Errorf("fleet simulations = %.0f (A %.0f, B %.0f, C %.0f), want 52..56",
+			total, simsA, simsB, simsC)
+	}
+
+	// ---- Act 2: the dead worker returns, disk intact ----
+	lnB2, _ := listenLoopback(t, lnB.Addr().String())
+	hB2 := worker(dirB, urlB, []string{urlA, urlC})
+	serveHard(t, hB2, lnB2)
+
+	// A fresh coordinator (no sticky assignments, no sweep journal)
+	// routes purely by ring, so B's shard lands back on B. Re-running
+	// the identical sweep re-requests the same 52 content keys —
+	// expansion prefixes spec IDs with the sweep id, so the id must
+	// match for the frames to. B serves its own pre-kill frames from
+	// disk and warm-pulls the ones the survivors computed during the
+	// outage — zero re-simulation anywhere in the fleet.
+	co2 := coordinator(t.TempDir())
+	awaitWorkerState(t, co2, urlB, "active")
+	preA, preC := simsA, simsC
+	postSweep(t, co2, sweepBody, http.StatusAccepted)
+	rerun := awaitSweepDone(t, co2, "soak")
+	rerunBoard, err := json.Marshal(rerun.Leaderboard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rerunBoard) != string(controlBoard) {
+		t.Errorf("post-restart leaderboard differs from control:\n%s\n%s", rerunBoard, controlBoard)
+	}
+	if v := sweepMetric(t, hB2, "vz_cluster_spec_simulations_total"); v != 0 {
+		t.Errorf("restarted worker simulated %.0f specs, want 0 (every frame was local or on a peer)", v)
+	}
+	if v := sweepMetric(t, hB2, "vz_cluster_warm_pulls_total"); v < 1 {
+		t.Errorf("restarted worker warm pulls = %.0f, want >= 1 (survivors hold its outage-era frames)", v)
+	}
+	if dA := sweepMetric(t, hA, "vz_cluster_spec_simulations_total") - preA; dA != 0 {
+		t.Errorf("worker A re-simulated %.0f specs on the re-run", dA)
+	}
+	if dC := sweepMetric(t, hC, "vz_cluster_spec_simulations_total") - preC; dC != 0 {
+		t.Errorf("worker C re-simulated %.0f specs on the re-run", dC)
+	}
+}

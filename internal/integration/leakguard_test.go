@@ -1,0 +1,45 @@
+package integration
+
+import (
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakTolerance absorbs runtime background goroutines (GC workers,
+// netpoller wakeups) that come and go independently of the test.
+const leakTolerance = 3
+
+// leakGuard fails the test if it leaves goroutines behind. Call it
+// FIRST in the test body: t.Cleanup runs last-registered-first, so the
+// guard's check runs after every server, prober, and replication loop
+// the test registered has been torn down. The comparison allows a
+// grace window — shutdown is asynchronous by design (drain deadlines,
+// canceled simulations unwinding) — and keeps flushing idle HTTP
+// connections, whose keep-alive read loops would otherwise read as
+// leaks for the transport's full idle timeout.
+func leakGuard(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(10 * time.Second)
+		var after int
+		for {
+			if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+				tr.CloseIdleConnections()
+			}
+			after = runtime.NumGoroutine()
+			if after <= before+leakTolerance {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after grace window\n%s", before, after, buf[:n])
+	})
+}

@@ -97,6 +97,7 @@ func TestSweepCrashResumeSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-process sweep soak")
 	}
+	leakGuard(t)
 	m := mm(2023, time.July)
 	w := mustBuild(world.Config{
 		TraceStart: m, TraceEnd: m,

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// This file adds the latency-hedging primitive the cluster tier uses
+// to proxy work across replica workers: launch the request on the
+// primary, and if it has neither succeeded nor failed within a latency
+// threshold, launch a backup on the next candidate — first success
+// wins, every loser's context is canceled. A fast failure skips the
+// wait entirely and fails over immediately, so a dead worker costs one
+// connection error, not one hedge delay. The same shape serves any
+// replicated backend (the DNS plane's upstream pools later).
+
+// HedgePolicy parameterizes Hedge. The zero value hedges once after
+// two seconds.
+type HedgePolicy struct {
+	// Delay is how long the most recent attempt may stay silent before
+	// the next one launches (default 2s).
+	Delay time.Duration
+	// MaxAttempts caps the total attempts, hedged and fail-over alike
+	// (default 2: one primary, one backup).
+	MaxAttempts int
+	// OnHedge is called each time a latency hedge fires — that is,
+	// when an attempt launches because the previous one was slow, not
+	// because it failed. Metrics hook; may be nil.
+	OnHedge func()
+	// NewTimer is the injectable clock: it returns a channel that
+	// fires after d and a stop function. Nil uses time.NewTimer. Tests
+	// inject a hand-driven channel to make hedge timing deterministic.
+	NewTimer func(d time.Duration) (<-chan time.Time, func() bool)
+}
+
+func (p HedgePolicy) withDefaults() HedgePolicy {
+	if p.Delay <= 0 {
+		p.Delay = 2 * time.Second
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 2
+	}
+	if p.NewTimer == nil {
+		p.NewTimer = func(d time.Duration) (<-chan time.Time, func() bool) {
+			t := time.NewTimer(d)
+			return t.C, t.Stop
+		}
+	}
+	return p
+}
+
+// Hedge runs attempt(ctx, 0) and races it against up to
+// MaxAttempts-1 backups: a new attempt launches when the newest one
+// has been silent for Delay (a latency hedge) or the moment any
+// attempt fails (fail-fast failover). The first success cancels every
+// other attempt's context and returns the value with the winning
+// attempt's index. When all attempts fail, the last error is
+// returned with index -1. A canceled parent context aborts the whole
+// call; in-flight attempts are canceled and their results discarded.
+//
+// The attempt callback must honor its context for loser cancellation
+// to mean anything; a panicking attempt is converted into an error
+// rather than taking the caller down.
+func Hedge[T any](ctx context.Context, p HedgePolicy, attempt func(ctx context.Context, i int) (T, error)) (T, int, error) {
+	p = p.withDefaults()
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, -1, err
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // cancels every loser (and straggler) on return
+
+	type result struct {
+		v   T
+		i   int
+		err error
+	}
+	// Buffered to MaxAttempts so abandoned attempts never block on
+	// send: a straggler writes its result and exits even after Hedge
+	// has returned.
+	results := make(chan result, p.MaxAttempts)
+	launched := 0
+	launch := func() {
+		i := launched
+		launched++
+		go func() {
+			v, err := runAttempt(hctx, i, attempt)
+			results <- result{v, i, err}
+		}()
+	}
+
+	var timerC <-chan time.Time
+	var stopTimer func() bool
+	disarm := func() {
+		if stopTimer != nil {
+			stopTimer()
+		}
+		timerC, stopTimer = nil, nil
+	}
+	// arm starts the hedge clock for the next attempt, if one remains.
+	arm := func() {
+		disarm()
+		if launched < p.MaxAttempts {
+			timerC, stopTimer = p.NewTimer(p.Delay)
+		}
+	}
+	defer disarm()
+
+	launch()
+	arm()
+	var lastErr error
+	failed := 0
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				return r.v, r.i, nil
+			}
+			lastErr = r.err
+			failed++
+			if launched < p.MaxAttempts {
+				// Fail-fast failover: no point waiting out the hedge
+				// delay when the attempt has already reported failure.
+				launch()
+				arm()
+				continue
+			}
+			if failed == launched {
+				return zero, -1, lastErr
+			}
+		case <-timerC:
+			timerC, stopTimer = nil, nil
+			if p.OnHedge != nil {
+				p.OnHedge()
+			}
+			launch()
+			arm()
+		case <-ctx.Done():
+			return zero, -1, ctx.Err()
+		}
+	}
+}
+
+// runAttempt isolates one attempt: a panic becomes an error the race
+// loop treats like any other failure.
+func runAttempt[T any](ctx context.Context, i int, attempt func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("resilience: hedge attempt %d panicked: %v", i, rec)
+		}
+	}()
+	return attempt(ctx, i)
+}

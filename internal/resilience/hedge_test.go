@@ -1,0 +1,251 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock hands Hedge manually-fired timer channels so every test
+// controls exactly when a latency hedge launches.
+type fakeClock struct {
+	mu     sync.Mutex
+	timers []chan time.Time
+	armed  chan struct{} // signaled on every NewTimer call
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{armed: make(chan struct{}, 16)}
+}
+
+func (f *fakeClock) NewTimer(time.Duration) (<-chan time.Time, func() bool) {
+	f.mu.Lock()
+	c := make(chan time.Time, 1)
+	f.timers = append(f.timers, c)
+	f.mu.Unlock()
+	f.armed <- struct{}{}
+	return c, func() bool { return true }
+}
+
+// fire triggers the most recently armed timer.
+func (f *fakeClock) fire(t *testing.T) {
+	t.Helper()
+	select {
+	case <-f.armed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no timer armed within 5s")
+	}
+	f.mu.Lock()
+	c := f.timers[len(f.timers)-1]
+	f.mu.Unlock()
+	c <- time.Time{}
+}
+
+func TestHedgePrimarySuccess(t *testing.T) {
+	clock := newFakeClock()
+	var calls atomic.Int32
+	v, i, err := Hedge(context.Background(), HedgePolicy{NewTimer: clock.NewTimer},
+		func(ctx context.Context, i int) (string, error) {
+			calls.Add(1)
+			return "primary", nil
+		})
+	if err != nil || v != "primary" || i != 0 {
+		t.Fatalf("got (%q, %d, %v), want (primary, 0, nil)", v, i, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want 1 (no hedge on a fast success)", n)
+	}
+}
+
+func TestHedgeBackupWins(t *testing.T) {
+	clock := newFakeClock()
+	var hedges atomic.Int32
+	primaryCanceled := make(chan struct{})
+	release := make(chan struct{})
+	type out struct {
+		v   string
+		i   int
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		v, i, err := Hedge(context.Background(),
+			HedgePolicy{NewTimer: clock.NewTimer, OnHedge: func() { hedges.Add(1) }},
+			func(ctx context.Context, i int) (string, error) {
+				if i == 0 {
+					<-ctx.Done()
+					close(primaryCanceled)
+					return "", ctx.Err()
+				}
+				<-release
+				return "backup", nil
+			})
+		done <- out{v, i, err}
+	}()
+	clock.fire(t) // primary silent past the threshold: hedge launches
+	close(release)
+	r := <-done
+	if r.err != nil || r.v != "backup" || r.i != 1 {
+		t.Fatalf("got (%q, %d, %v), want (backup, 1, nil)", r.v, r.i, r.err)
+	}
+	if n := hedges.Load(); n != 1 {
+		t.Fatalf("hedges fired = %d, want 1", n)
+	}
+	select {
+	case <-primaryCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("losing primary attempt was never canceled")
+	}
+}
+
+func TestHedgeFailFastFailover(t *testing.T) {
+	clock := newFakeClock()
+	var hedges atomic.Int32
+	v, i, err := Hedge(context.Background(),
+		HedgePolicy{NewTimer: clock.NewTimer, OnHedge: func() { hedges.Add(1) }},
+		func(ctx context.Context, i int) (string, error) {
+			if i == 0 {
+				return "", errors.New("connection refused")
+			}
+			return "survivor", nil
+		})
+	if err != nil || v != "survivor" || i != 1 {
+		t.Fatalf("got (%q, %d, %v), want (survivor, 1, nil)", v, i, err)
+	}
+	if n := hedges.Load(); n != 0 {
+		t.Fatalf("hedges fired = %d, want 0 (failover is not a latency hedge)", n)
+	}
+}
+
+func TestHedgeAllFail(t *testing.T) {
+	clock := newFakeClock()
+	var calls atomic.Int32
+	_, i, err := Hedge(context.Background(),
+		HedgePolicy{MaxAttempts: 3, NewTimer: clock.NewTimer},
+		func(ctx context.Context, i int) (string, error) {
+			calls.Add(1)
+			return "", fmt.Errorf("worker %d down", i)
+		})
+	if err == nil || i != -1 {
+		t.Fatalf("got (%d, %v), want (-1, error)", i, err)
+	}
+	if !strings.Contains(err.Error(), "down") {
+		t.Fatalf("error %v does not carry the last attempt failure", err)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (MaxAttempts exhausted by failover)", n)
+	}
+}
+
+func TestHedgeParentCanceled(t *testing.T) {
+	clock := newFakeClock()
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	type out struct {
+		i   int
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		_, i, err := Hedge(ctx, HedgePolicy{NewTimer: clock.NewTimer},
+			func(ctx context.Context, i int) (string, error) {
+				close(started)
+				<-ctx.Done()
+				return "", ctx.Err()
+			})
+		done <- out{i, err}
+	}()
+	<-started
+	cancel()
+	r := <-done
+	if !errors.Is(r.err, context.Canceled) || r.i != -1 {
+		t.Fatalf("got (%d, %v), want (-1, context.Canceled)", r.i, r.err)
+	}
+}
+
+func TestHedgePreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	called := false
+	_, _, err := Hedge(ctx, HedgePolicy{}, func(ctx context.Context, i int) (int, error) {
+		called = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if called {
+		t.Fatal("attempt ran under a context canceled before the call")
+	}
+}
+
+func TestHedgePanicIsolated(t *testing.T) {
+	clock := newFakeClock()
+	v, i, err := Hedge(context.Background(), HedgePolicy{NewTimer: clock.NewTimer},
+		func(ctx context.Context, i int) (string, error) {
+			if i == 0 {
+				panic("poisoned request")
+			}
+			return "backup", nil
+		})
+	if err != nil || v != "backup" || i != 1 {
+		t.Fatalf("got (%q, %d, %v), want (backup, 1, nil)", v, i, err)
+	}
+}
+
+func TestHedgeMaxAttemptsOne(t *testing.T) {
+	clock := newFakeClock()
+	var calls atomic.Int32
+	_, _, err := Hedge(context.Background(),
+		HedgePolicy{MaxAttempts: 1, NewTimer: clock.NewTimer},
+		func(ctx context.Context, i int) (string, error) {
+			calls.Add(1)
+			return "", errors.New("boom")
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("attempts = %d, want exactly 1", n)
+	}
+}
+
+func TestHedgeLateLoserDoesNotBlock(t *testing.T) {
+	// The winner returns while the loser is still in flight: the loser
+	// must be able to finish (buffered channel) and its result must be
+	// discarded without deadlocking anything.
+	clock := newFakeClock()
+	loserDone := make(chan struct{})
+	type out struct {
+		v   string
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		v, _, err := Hedge(context.Background(), HedgePolicy{NewTimer: clock.NewTimer},
+			func(ctx context.Context, i int) (string, error) {
+				if i == 0 {
+					<-ctx.Done() // loser: finishes only after cancellation
+					defer close(loserDone)
+					return "late", nil // a late "success" must not win
+				}
+				return "winner", nil
+			})
+		done <- out{v, err}
+	}()
+	clock.fire(t)
+	r := <-done
+	if r.err != nil || r.v != "winner" {
+		t.Fatalf("got (%q, %v), want (winner, nil)", r.v, r.err)
+	}
+	select {
+	case <-loserDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("loser never unblocked after the winner returned")
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"vzlens/internal/obs"
 )
 
 // This file adds the store's second persistence primitive: an
@@ -31,9 +33,10 @@ const journalExt = ".vzj"
 // Journal is an append-only record log. One Journal may be shared by
 // any number of goroutines.
 type Journal struct {
-	mu   sync.Mutex
-	f    *os.File
-	path string
+	mu          sync.Mutex
+	f           *os.File
+	path        string
+	compactions *obs.Counter // nil-safe; set via Instrument
 }
 
 // OpenJournal opens (creating if needed) the journal at path, replays

@@ -157,6 +157,7 @@ type managerMetrics struct {
 	specsOK, specsFailed, specsRestored *obs.Counter
 	retries, journalErrors              *obs.Counter
 	monthsRecomputed, monthsReused      *obs.Counter
+	compactions                         *obs.Counter
 	active                              *obs.Gauge
 	specSeconds                         *obs.Histogram
 }
@@ -189,6 +190,7 @@ func (m *Manager) Instrument(reg *obs.Registry) {
 		specSeconds: reg.Histogram("vz_sweep_spec_seconds",
 			"End-to-end duration of one successful sweep spec.",
 			obs.LatencyBuckets),
+		compactions: resultstore.InstrumentCompactions(reg),
 	}
 }
 
@@ -230,6 +232,8 @@ func (m *Manager) openRun(req *Request, key string, specs []*scenario.Spec, skip
 	if err != nil {
 		return nil, fmt.Errorf("sweep %q: open journal: %w", req.ID, err)
 	}
+	j.Instrument(m.met.compactions)
+	m.compactIfDuplicated(j, recs)
 	sw := &sweepRun{
 		req: req, key: key, specs: specs, skipped: skipped,
 		journal: j, results: map[string]*Result{},
@@ -255,6 +259,56 @@ func (m *Manager) openRun(req *Request, key string, specs []*scenario.Spec, skip
 		}
 	}
 	return sw, nil
+}
+
+// compactIfDuplicated rewrites a journal whose replay would skip
+// redundant records — duplicate manifests or spec results left behind
+// by repeated crash-resume cycles. Compaction is best-effort: a failed
+// rewrite leaves the original journal intact (duplicates are harmless
+// to replay, just wasted disk and startup time).
+func (m *Manager) compactIfDuplicated(j *resultstore.Journal, recs [][]byte) {
+	if len(dedupeSweepRecords(recs)) == len(recs) {
+		return
+	}
+	if _, err := j.Compact(dedupeSweepRecords); err != nil {
+		m.met.journalErrors.Inc()
+	}
+}
+
+// dedupeSweepRecords is the journal compaction policy: keep the first
+// manifest, the first spec record per spec key, and a single done
+// marker. Records this version cannot decode are preserved untouched —
+// a newer journal format must survive an older binary's compaction.
+func dedupeSweepRecords(recs [][]byte) [][]byte {
+	out := make([][]byte, 0, len(recs))
+	seenManifest, seenDone := false, false
+	seenSpec := map[string]bool{}
+	for _, raw := range recs {
+		var rec journalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			out = append(out, raw)
+			continue
+		}
+		switch rec.Kind {
+		case recManifest:
+			if seenManifest {
+				continue
+			}
+			seenManifest = true
+		case recSpec:
+			if rec.Spec == nil || rec.Spec.Key == "" || seenSpec[rec.Spec.Key] {
+				continue
+			}
+			seenSpec[rec.Spec.Key] = true
+		case recDone:
+			if seenDone {
+				continue
+			}
+			seenDone = true
+		}
+		out = append(out, raw)
+	}
+	return out
 }
 
 // replay folds journal records into the run's state and returns the
@@ -299,6 +353,8 @@ func (m *Manager) Resume() (restored int, err error) {
 		if err != nil {
 			continue
 		}
+		j.Instrument(m.met.compactions)
+		m.compactIfDuplicated(j, recs)
 		var mf *manifest
 		for _, raw := range recs {
 			var rec journalRecord
