@@ -16,7 +16,9 @@ import (
 	"vzlens/internal/atlas"
 	"vzlens/internal/bgp"
 	"vzlens/internal/core"
+	"vzlens/internal/dnsplane"
 	"vzlens/internal/dnsroot"
+	"vzlens/internal/dnswire"
 	"vzlens/internal/geo"
 	"vzlens/internal/mlab"
 	"vzlens/internal/months"
@@ -668,3 +670,63 @@ func BenchmarkSweepResume(b *testing.B) {
 		m.Kill()
 	}
 }
+
+// BenchmarkDNSQuery is the DNS data plane's headline perf pin: one
+// warm CHAOS identification query — parse, route through the answer
+// cache, build the response — must cost 0 allocs/op and stay well
+// under 100µs. The no-ECS form resolves from the default Venezuelan
+// vantage.
+func BenchmarkDNSQuery(b *testing.B) {
+	setup()
+	r := dnsplane.NewResolver(benchW, zeroMonth)
+	pkt, err := dnswire.EncodeQuery(1, dnswire.Question{
+		Name: "hostname.bind.l", Type: dnswire.TypeTXT, Class: dnswire.ClassCH,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, 0, 4096)
+	if out, _ := r.Handle(pkt, dst); out == nil {
+		b.Fatal("warmup query dropped")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, info := r.Handle(pkt, dst)
+		if out == nil || info.Rcode != 0 {
+			b.Fatalf("query failed: %+v", info)
+		}
+	}
+}
+
+// BenchmarkDNSQueryECS times the EDNS0 path: an IN A query for a
+// vanity name carrying a probe-identifying client subnet, answered
+// with the OPT + ECS echo. Same 0-alloc contract.
+func BenchmarkDNSQueryECS(b *testing.B) {
+	setup()
+	r := dnsplane.NewResolver(benchW, zeroMonth)
+	pkt, err := dnswire.EncodeQuery(2, dnswire.Question{
+		Name: "l.root-servers.vz", Type: dnswire.TypeA, Class: dnswire.ClassIN,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecs := &dnswire.ECS{Family: dnswire.ECSFamilyIPv4, SourcePrefix: 32, AddrLen: 4}
+	ecs.Addr[0], ecs.Addr[3] = 10, 1 // probe 1: CANTV, Caracas
+	pkt = dnswire.AppendQueryOPT(pkt, 1232, ecs)
+	dst := make([]byte, 0, 4096)
+	if out, _ := r.Handle(pkt, dst); out == nil {
+		b.Fatal("warmup query dropped")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, info := r.Handle(pkt, dst)
+		if out == nil || info.Rcode != 0 || info.Source != dnsplane.SourceProbe {
+			b.Fatalf("query failed: %+v", info)
+		}
+	}
+}
+
+// zeroMonth asks NewResolver for its default month (the campaign end).
+var zeroMonth months.Month

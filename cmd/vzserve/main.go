@@ -6,6 +6,7 @@
 //	        [-debug-addr :6060] [-trace FILE]
 //	        [-scenario-file FILE] [-scenario-lenient]
 //	        [-sweep-workers 2] [-sweep-spec-timeout 5m]
+//	        [-dns-addr :5353] [-dns-month 2023-01] [-dns-readers 2]
 //	        [-role standalone|coordinator|worker] [-peers URL,URL,...]
 //	        [-cluster-self URL] [-replicas 2] [-hedge-delay 500ms] [-probe-interval 1s]
 //
@@ -22,6 +23,20 @@
 //	GET  /api/sweeps                  (all batch sweeps; requires -store)
 //	POST /api/sweeps                  (start a batch sweep: depeer_each, cable_cut_each, root_each, specs)
 //	GET  /api/sweeps/{id}             (sweep progress + ranked impact leaderboard)
+//	GET  /api/dns                     (DNS plane status; requires -dns-addr)
+//	PUT  /api/dns/scenario/{id}       (route DNS answers through a registered scenario)
+//	DEL  /api/dns/scenario            (back to the baseline topology)
+//
+// -dns-addr starts the authoritative DNS/GSLB data plane on a UDP
+// socket: CHAOS TXT queries ("dig @host -p 5353 CH TXT hostname.bind.l")
+// return the root instance whose catchment covers the client, and IN
+// A/AAAA/TXT queries for <letter>.root-servers.vz return a synthetic
+// service address for the same instance. The client's vantage comes
+// from EDNS0 Client Subnet (a /32 in 10.0.0.0/8 names a simulated
+// probe; anything else maps onto a country vantage; none = Venezuela).
+// -dns-month pins the served month (default: the campaign end).
+// Queries admit through the same overload gate as HTTP requests —
+// under saturation the plane answers REFUSED instead of queueing.
 //
 // A sweep expands one templated request into up to 512 scenario specs
 // and simulates them on -sweep-workers goroutines, journaling every
@@ -82,7 +97,9 @@ import (
 	"time"
 
 	"vzlens/internal/atlas"
+	"vzlens/internal/dnsplane"
 	"vzlens/internal/httpapi"
+	"vzlens/internal/months"
 	"vzlens/internal/netsim"
 	"vzlens/internal/obs"
 	"vzlens/internal/resultstore"
@@ -105,6 +122,9 @@ func main() {
 	scenarioLenient := flag.Bool("scenario-lenient", false, "serve the valid subset of -scenario-file instead of refusing to start")
 	sweepWorkers := flag.Int("sweep-workers", 2, "concurrent spec simulations per sweep")
 	sweepSpecTimeout := flag.Duration("sweep-spec-timeout", 5*time.Minute, "per-spec watchdog deadline inside a sweep")
+	dnsAddr := flag.String("dns-addr", "", "UDP listen address for the DNS data plane; empty = disabled")
+	dnsMonth := flag.String("dns-month", "", "month the DNS plane serves, YYYY-MM (default: campaign end)")
+	dnsReaders := flag.Int("dns-readers", 2, "DNS reader goroutines sharing the socket")
 	role := flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
 	peers := flag.String("peers", "", "comma-separated worker base URLs (coordinator: the ring; worker: peers to warm from)")
 	clusterSelf := flag.String("cluster-self", "", "this worker's own base URL as it appears in the coordinator's -peers")
@@ -202,7 +222,36 @@ func main() {
 		}
 		opts.Scenarios = valid
 	}
+	var dnsRes *dnsplane.Resolver
+	if *dnsAddr != "" {
+		var m months.Month
+		if *dnsMonth != "" {
+			var err error
+			if m, err = months.Parse(*dnsMonth); err != nil {
+				log.Fatalf("vzserve: -dns-month: %v", err)
+			}
+		}
+		dnsRes = dnsplane.NewResolver(w, m)
+		opts.DNSPlane = dnsRes
+	}
 	h := httpapi.NewWithOptions(w, opts)
+	var dnsSrv *dnsplane.Server
+	if dnsRes != nil {
+		// The DNS server shares the HTTP handler's admission gate, so
+		// one -max-inflight budget covers both planes; Instrument ran
+		// inside NewWithOptions, so vz_dns_* metrics are live first.
+		dnsSrv, err = dnsplane.Serve(dnsplane.ServerOptions{
+			Addr:     *dnsAddr,
+			Resolver: dnsRes,
+			Gate:     h.Gate(),
+			Readers:  *dnsReaders,
+			Tracer:   opts.Tracer,
+		})
+		if err != nil {
+			log.Fatalf("vzserve: dns listener: %v", err)
+		}
+		log.Printf("vzserve: DNS data plane on %s (month %s)", dnsSrv.Addr(), dnsRes.Month())
+	}
 	if *warm {
 		// Campaign results are deterministic for the seed, so warming
 		// early changes nothing but the first requests' latency. With a
@@ -259,5 +308,10 @@ func main() {
 	// assignment journal) only after sweeps drain: draining specs may
 	// still be dispatching to workers.
 	h.Close()
+	if dnsSrv != nil {
+		if err := dnsSrv.Close(); err != nil {
+			log.Printf("vzserve: dns listener close: %v", err)
+		}
+	}
 	log.Printf("vzserve: drained cleanly, exiting")
 }

@@ -1,0 +1,90 @@
+package dnsplane
+
+import (
+	"testing"
+
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/dnswire"
+	"vzlens/internal/months"
+)
+
+// TestDNSMatchesCampaign is the differential pin: for every root letter
+// × campaign month × sampled probe, the answer served on the wire (a
+// CHAOS TXT query carrying the probe's ECS identity) must equal the
+// answer the batch CHAOS campaign recorded for that (month, probe,
+// letter) — and the failure domains must agree too: a (probe, letter)
+// the campaign has no row for (catchment unreachable, letter not yet
+// deployed) must answer SERVFAIL, never a made-up instance.
+//
+// The two paths share world.DNSAnswerAt's arithmetic but differ in
+// everything around it: the campaign batches by probe class with an
+// arena-backed pair cache, the plane resolves one query at a time with
+// no pair cache and its own answer cache. Equality here means the
+// caches are transparent.
+func TestDNSMatchesCampaign(t *testing.T) {
+	w := testWorld(t)
+	camp := w.ChaosCampaign()
+
+	type key struct {
+		m  months.Month
+		id int
+		l  dnsroot.Letter
+	}
+	want := make(map[key]string, camp.Len())
+	for _, res := range camp.Results() {
+		want[key{res.Month, res.ProbeID, res.Letter}] = res.TXT
+	}
+
+	letters := dnsroot.Letters()
+	dst := make([]byte, 0, 4096)
+	checked, absent := 0, 0
+	for _, m := range camp.Months() {
+		r := NewResolver(w, m)
+		probes := w.Fleet.ActiveAt(m)
+		// Sample the fleet: every probe in a month would be tens of
+		// thousands of queries across the decade; a stride keeps it
+		// ~25 per month while still crossing every country class.
+		stride := len(probes)/25 + 1
+		for pi := 0; pi < len(probes); pi += stride {
+			p := probes[pi]
+			for _, letter := range letters {
+				q := withECS(mustQuery(t, uint16(pi), "hostname.bind."+string(letter|0x20), dnswire.TypeTXT, dnswire.ClassCH), probeECS(p.ID))
+				out, info := r.Handle(q, dst)
+				if out == nil {
+					t.Fatalf("%s probe %d letter %c: dropped", m, p.ID, letter)
+				}
+				if info.Source != SourceProbe {
+					t.Fatalf("%s probe %d: client source = %v, want probe", m, p.ID, info.Source)
+				}
+				wantTXT, measured := want[key{m, p.ID, letter}]
+				if !measured {
+					if info.Rcode != int(dnswire.RcodeServFail) {
+						t.Errorf("%s probe %d letter %c: campaign has no row but DNS answered rcode %d",
+							m, p.ID, letter, info.Rcode)
+					}
+					absent++
+					continue
+				}
+				msg, err := dnswire.Decode(out)
+				if err != nil {
+					t.Fatalf("%s probe %d letter %c: bad reply: %v", m, p.ID, letter, err)
+				}
+				got, err := dnswire.FirstTXT(msg)
+				if err != nil {
+					t.Errorf("%s probe %d letter %c: campaign measured %q but DNS gave no TXT (rcode %d)",
+						m, p.ID, letter, wantTXT, msg.Rcode())
+					continue
+				}
+				if got != wantTXT {
+					t.Errorf("%s probe %d letter %c: DNS %q != campaign %q",
+						m, p.ID, letter, got, wantTXT)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("differential compared zero answers — sampling is broken")
+	}
+	t.Logf("differential: %d answers matched, %d absences agreed", checked, absent)
+}

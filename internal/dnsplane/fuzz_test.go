@@ -1,0 +1,86 @@
+package dnsplane
+
+import (
+	"sync"
+	"testing"
+
+	"vzlens/internal/dnswire"
+	"vzlens/internal/months"
+)
+
+var (
+	fuzzOnce sync.Once
+	fuzzRes  *Resolver
+)
+
+// fuzzResolver shares one resolver across the fuzz workers (building
+// the world per input would drown the fuzzer in setup).
+func fuzzResolver(t testing.TB) *Resolver {
+	w := testWorld(t)
+	fuzzOnce.Do(func() { fuzzRes = NewResolver(w, months.MustParse("2023-01")) })
+	return fuzzRes
+}
+
+// FuzzDNSQuery throws raw datagrams — truncated headers, compression
+// bombs, oversized EDNS0, mutated real queries — at the full answer
+// path and holds the plane to its wire contract: never panic, never
+// answer junk, and every reply decodes, echoes the query ID, and fits
+// the client's advertised size.
+func FuzzDNSQuery(f *testing.F) {
+	r := fuzzResolver(f)
+	seed := func(pkt []byte) { f.Add(pkt) }
+	mk := func(name string, qtype, class uint16) []byte {
+		pkt, err := dnswire.EncodeQuery(99, dnswire.Question{Name: name, Type: qtype, Class: class})
+		if err != nil {
+			f.Fatal(err)
+		}
+		return pkt
+	}
+	seed(mk("hostname.bind.l", dnswire.TypeTXT, dnswire.ClassCH))
+	seed(mk("id.server.a", dnswire.TypeTXT, dnswire.ClassCH))
+	seed(mk("l.root-servers.vz", dnswire.TypeA, dnswire.ClassIN))
+	seed(mk("f.root-servers.vz", dnswire.TypeAAAA, dnswire.ClassIN))
+	seed(withECS(mk("hostname.bind.k", dnswire.TypeTXT, dnswire.ClassCH), probeECS(1)))
+	seed(withECS(mk("b.root-servers.vz", dnswire.TypeA, dnswire.ClassIN), probeECS(1000)))
+	// ECS with a foreign subnet (geo fallback) and an IPv6 family.
+	e6 := &dnswire.ECS{Family: dnswire.ECSFamilyIPv6, SourcePrefix: 48, AddrLen: 6}
+	e6.Addr[0], e6.Addr[1] = 0x20, 0x01
+	seed(withECS(mk("hostname.bind.m", dnswire.TypeTXT, dnswire.ClassCH), e6))
+	// A compression pointer in the question (rejected as untrusted).
+	seed([]byte{0, 1, 1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0xC0, 0x0C, 0, 16, 0, 3})
+	seed([]byte{})
+	seed([]byte{0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		dst := make([]byte, 0, 4096)
+		out, info := r.Handle(pkt, dst)
+		if out == nil {
+			if info.Rcode != -1 {
+				t.Fatalf("dropped packet reported rcode %d", info.Rcode)
+			}
+			return
+		}
+		if len(out) > int(dnswire.MaxUDPSize) {
+			t.Fatalf("reply longer than any advertised size: %d", len(out))
+		}
+		msg, err := dnswire.Decode(out)
+		if err != nil {
+			t.Fatalf("reply does not decode: %v\nquery: %x\nreply: %x", err, pkt, out)
+		}
+		if !msg.IsResponse() {
+			t.Fatal("reply lacks QR")
+		}
+		if len(pkt) >= 2 {
+			if want := uint16(pkt[0])<<8 | uint16(pkt[1]); msg.ID != want {
+				t.Fatalf("reply ID %d, query ID %d", msg.ID, want)
+			}
+		}
+		// If the query parses cleanly, the reply honors its size limit.
+		var q dnswire.Query
+		if err := dnswire.ParseQuery(pkt, &q); err == nil {
+			if len(out) > q.ResponseLimit() {
+				t.Fatalf("reply %d bytes exceeds limit %d", len(out), q.ResponseLimit())
+			}
+		}
+	})
+}

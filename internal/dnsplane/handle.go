@@ -1,0 +1,202 @@
+package dnsplane
+
+import (
+	"bytes"
+
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/dnswire"
+)
+
+// Name routing. One socket is authoritative for all thirteen letters,
+// so the CHAOS identification names carry the letter as a final label
+// ("hostname.bind.l" asks L-root who it is) — the stand-in for the
+// fact that on the real Internet the letter is selected by which
+// anycast address you sent the packet to. The IN zone serves
+// per-letter vanity names ("l.root-servers.vz").
+var (
+	zoneApex     = []byte(Zone)
+	zoneSuffix   = []byte("." + Zone)
+	hostnameBind = []byte(dnswire.HostnameBind + ".")
+	idServer     = []byte("id.server.")
+)
+
+// chaosLetter extracts the root letter from "hostname.bind.<l>" /
+// "id.server.<l>".
+func chaosLetter(name []byte) (dnsroot.Letter, bool) {
+	var rest []byte
+	switch {
+	case bytes.HasPrefix(name, hostnameBind):
+		rest = name[len(hostnameBind):]
+	case bytes.HasPrefix(name, idServer):
+		rest = name[len(idServer):]
+	default:
+		return 0, false
+	}
+	if len(rest) != 1 {
+		return 0, false
+	}
+	l := dnsroot.Letter(rest[0] - 'a' + 'A')
+	return l, l.Valid()
+}
+
+// zoneLetter extracts the root letter from "<l>.root-servers.vz".
+func zoneLetter(name []byte) (dnsroot.Letter, bool) {
+	if len(name) != 1+len(zoneSuffix) || !bytes.HasSuffix(name, zoneSuffix) {
+		return 0, false
+	}
+	l := dnsroot.Letter(name[0] - 'a' + 'A')
+	return l, l.Valid()
+}
+
+// Handle answers one raw datagram, appending the response into dst and
+// returning it (nil = drop). dst must be empty (length 0) — the
+// response message starts at dst[0]; its capacity is reused. The warm
+// path allocates nothing: parsing lands in a stack Query, the answer
+// comes out of the class cache, and the response builds into dst.
+func (r *Resolver) Handle(pkt, dst []byte) ([]byte, QueryInfo) {
+	var q dnswire.Query
+	err := dnswire.ParseQuery(pkt, &q)
+	switch err {
+	case nil:
+	case dnswire.ErrBadOPT, dnswire.ErrBadECS:
+		// The question parsed; the EDNS0 payload is garbage. FORMERR,
+		// per RFC 6891 §7 — and without echoing an OPT we cannot trust.
+		q.HasOPT = false
+		q.HasECS = false
+		return r.fixedRcode(&q, pkt, dst, dnswire.RcodeFormErr)
+	default:
+		r.met.dropped.Inc()
+		return nil, QueryInfo{Rcode: -1}
+	}
+	return r.Answer(&q, pkt, dst)
+}
+
+// Answer builds the response for an already-parsed query. pkt must be
+// the datagram q was parsed from (the raw question bytes are echoed
+// from it).
+func (r *Resolver) Answer(q *dnswire.Query, pkt, dst []byte) ([]byte, QueryInfo) {
+	r.met.queries.Inc()
+	if q.Opcode() != 0 {
+		return r.fixedRcode(q, pkt, dst, dnswire.RcodeNotImp)
+	}
+	name := q.Name()
+
+	if q.Class == dnswire.ClassCH {
+		if q.Type != dnswire.TypeTXT {
+			return r.fixedRcode(q, pkt, dst, dnswire.RcodeRef)
+		}
+		letter, ok := chaosLetter(name)
+		if !ok {
+			// Includes bare "hostname.bind": with one socket for all
+			// thirteen letters the un-suffixed name is ambiguous, and
+			// refusing beats answering for the wrong letter.
+			return r.fixedRcode(q, pkt, dst, dnswire.RcodeRef)
+		}
+		return r.answerChaos(q, pkt, dst, letter)
+	}
+
+	if q.Class == dnswire.ClassIN {
+		if letter, ok := zoneLetter(name); ok {
+			return r.answerAddr(q, pkt, dst, letter)
+		}
+		if bytes.Equal(name, zoneApex) {
+			// The apex exists but holds no records of any served type.
+			return r.fixedRcode(q, pkt, dst, dnswire.RcodeOK)
+		}
+		if bytes.HasSuffix(name, zoneSuffix) {
+			return r.fixedRcode(q, pkt, dst, dnswire.RcodeNX)
+		}
+		return r.fixedRcode(q, pkt, dst, dnswire.RcodeRef)
+	}
+
+	return r.fixedRcode(q, pkt, dst, dnswire.RcodeRef)
+}
+
+// Refuse answers q with REFUSED — the shed path when admission turns a
+// query away instead of queueing it.
+func (r *Resolver) Refuse(q *dnswire.Query, pkt, dst []byte) ([]byte, QueryInfo) {
+	r.met.shed.Inc()
+	return r.fixedRcode(q, pkt, dst, dnswire.RcodeRef)
+}
+
+// answerChaos resolves a CHAOS identification query through the
+// catchment.
+func (r *Resolver) answerChaos(q *dnswire.Query, pkt, dst []byte, letter dnsroot.Letter) ([]byte, QueryInfo) {
+	cc, asn, city, src := r.client(q)
+	a := r.lookup(letter, cc, asn, city)
+	if !a.ok {
+		out, info := r.fixedRcode(q, pkt, dst, dnswire.RcodeServFail)
+		info.Source = src
+		return out, info
+	}
+	msg := r.start(q, pkt, dst)
+	msg = dnswire.AppendTXTRR(msg, dnswire.ClassCH, chaosTTL, a.txt)
+	return r.finish(q, msg, 1, QueryInfo{Rcode: int(dnswire.RcodeOK), Source: src})
+}
+
+// answerAddr resolves an IN query for "<l>.root-servers.vz".
+func (r *Resolver) answerAddr(q *dnswire.Query, pkt, dst []byte, letter dnsroot.Letter) ([]byte, QueryInfo) {
+	switch q.Type {
+	case dnswire.TypeA, dnswire.TypeAAAA, dnswire.TypeTXT:
+	default:
+		// The name exists; the type has no data: NOERROR/NODATA.
+		return r.fixedRcode(q, pkt, dst, dnswire.RcodeOK)
+	}
+	cc, asn, city, src := r.client(q)
+	a := r.lookup(letter, cc, asn, city)
+	if !a.ok {
+		out, info := r.fixedRcode(q, pkt, dst, dnswire.RcodeServFail)
+		info.Source = src
+		return out, info
+	}
+	msg := r.start(q, pkt, dst)
+	switch q.Type {
+	case dnswire.TypeA:
+		msg = dnswire.AppendARR(msg, addrTTL, a.a)
+	case dnswire.TypeAAAA:
+		msg = dnswire.AppendAAAARR(msg, addrTTL, a.aaaa)
+	case dnswire.TypeTXT:
+		// The vanity name's TXT carries the serving instance's CHAOS
+		// identity — `dig l.root-servers.vz TXT` shows who answers you.
+		msg = dnswire.AppendTXTRR(msg, dnswire.ClassIN, addrTTL, a.txt)
+	}
+	return r.finish(q, msg, 1, QueryInfo{Rcode: int(dnswire.RcodeOK), Source: src})
+}
+
+// start begins the response: header flags echo RD, assert QR+AA.
+func (r *Resolver) start(q *dnswire.Query, pkt, dst []byte) []byte {
+	flags := dnswire.FlagQR | dnswire.FlagAA | (q.Flags & dnswire.FlagRD)
+	return dnswire.AppendResponseStart(dst, q.ID, flags, pkt[12:q.QEnd])
+}
+
+// finish appends the OPT echo, patches counts, and applies the
+// client's size limit.
+func (r *Resolver) finish(q *dnswire.Query, msg []byte, an uint16, info QueryInfo) ([]byte, QueryInfo) {
+	ar := uint16(0)
+	if q.HasOPT {
+		ecs := (*dnswire.ECS)(nil)
+		if q.HasECS {
+			ecs = &q.ECS
+		}
+		msg = dnswire.AppendOPTRR(msg, dnswire.DefaultUDPSize, ecs)
+		ar = 1
+	}
+	dnswire.SetCounts(msg, an, 0, ar)
+	dnswire.SetRcode(msg, uint16(info.Rcode))
+	if len(msg) > q.ResponseLimit() {
+		// The response message starts at dst[0], so the question ends at
+		// the same offset as in the query.
+		msg = dnswire.Truncate(msg, q.QEnd)
+		info.Truncated = true
+		r.met.truncated.Inc()
+	}
+	r.met.rcode(info.Rcode).Inc()
+	r.met.source(info.Source).Inc()
+	return msg, info
+}
+
+// fixedRcode builds a records-free response carrying rcode.
+func (r *Resolver) fixedRcode(q *dnswire.Query, pkt, dst []byte, rcode uint16) ([]byte, QueryInfo) {
+	msg := r.start(q, pkt, dst)
+	return r.finish(q, msg, 0, QueryInfo{Rcode: int(rcode)})
+}

@@ -1,0 +1,84 @@
+package dnsplane
+
+import (
+	"vzlens/internal/obs"
+)
+
+// planeMetrics is the DNS plane's observability surface. Every field
+// is a nil-safe obs metric, so an un-instrumented Resolver records
+// nothing; the per-rcode and per-source counters live in fixed arrays
+// indexed by value, keeping the hot path free of map lookups and label
+// formatting.
+type planeMetrics struct {
+	queries     *obs.Counter
+	dropped     *obs.Counter
+	shed        *obs.Counter
+	truncated   *obs.Counter
+	unreachable *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	swaps       *obs.Counter
+	latency     *obs.Histogram
+
+	rcodes  [6]*obs.Counter // indexed by rcode 0..5
+	rcodeHi *obs.Counter    // anything else
+	sources [3]*obs.Counter // indexed by ClientSource
+}
+
+// rcode selects the response-code counter.
+func (m *planeMetrics) rcode(rc int) *obs.Counter {
+	if rc >= 0 && rc < len(m.rcodes) {
+		return m.rcodes[rc]
+	}
+	return m.rcodeHi
+}
+
+// source selects the client-source counter.
+func (m *planeMetrics) source(s ClientSource) *obs.Counter {
+	if int(s) < len(m.sources) {
+		return m.sources[s]
+	}
+	return nil
+}
+
+// rcodeNames labels the per-rcode response counters.
+var rcodeNames = [6]string{"noerror", "formerr", "servfail", "nxdomain", "notimp", "refused"}
+
+// Instrument registers the plane's metrics on reg. Call before serving
+// traffic.
+func (r *Resolver) Instrument(reg *obs.Registry) {
+	m := planeMetrics{
+		queries: reg.Counter("vz_dns_queries_total",
+			"DNS queries parsed by the data plane."),
+		dropped: reg.Counter("vz_dns_dropped_total",
+			"Datagrams dropped as not well-formed queries."),
+		shed: reg.Counter("vz_dns_shed_total",
+			"Queries answered REFUSED by admission shedding."),
+		truncated: reg.Counter("vz_dns_truncated_total",
+			"Responses truncated to the client's UDP size (TC set)."),
+		unreachable: reg.Counter("vz_dns_unreachable_total",
+			"Catchment resolutions that found no reachable instance."),
+		cacheHits: reg.Counter("vz_dns_answer_cache_total",
+			"Answer-cache lookups by outcome.", obs.L("outcome", "hit")),
+		cacheMisses: reg.Counter("vz_dns_answer_cache_total",
+			"Answer-cache lookups by outcome.", obs.L("outcome", "miss")),
+		swaps: reg.Counter("vz_dns_scenario_swaps_total",
+			"Scenario overlay swaps applied to the live plane."),
+		latency: reg.Histogram("vz_dns_query_seconds",
+			"Wall time from datagram read to response write.", obs.LatencyBuckets),
+		rcodeHi: reg.Counter("vz_dns_responses_total",
+			"DNS responses sent, by response code.", obs.L("rcode", "other")),
+	}
+	for i, name := range rcodeNames {
+		m.rcodes[i] = reg.Counter("vz_dns_responses_total",
+			"DNS responses sent, by response code.", obs.L("rcode", name))
+	}
+	for i := range m.sources {
+		m.sources[i] = reg.Counter("vz_dns_client_source_total",
+			"How query client locations were derived.", obs.L("source", ClientSource(i).String()))
+	}
+	reg.GaugeFunc("vz_dns_answer_cache_entries",
+		"Live entries in the per-class answer cache.",
+		func() float64 { return float64(r.CacheLen()) })
+	r.met = m
+}

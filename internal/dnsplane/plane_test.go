@@ -1,0 +1,284 @@
+package dnsplane
+
+import (
+	"sync"
+	"testing"
+
+	"vzlens/internal/dnswire"
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+// Shared test world: quarterly-stepped like the golden suite, built
+// once for the whole package (the differential test also runs the full
+// CHAOS campaign on it, warming every kernel cache the plane reads).
+var (
+	worldOnce sync.Once
+	sharedW   *world.World
+	worldErr  error
+)
+
+func testWorld(t testing.TB) *world.World {
+	t.Helper()
+	worldOnce.Do(func() {
+		sharedW, worldErr = world.Build(world.Config{Step: 6, Workers: 8})
+	})
+	if worldErr != nil {
+		t.Fatalf("world.Build: %v", worldErr)
+	}
+	return sharedW
+}
+
+// mustQuery encodes a single-question query.
+func mustQuery(t testing.TB, id uint16, name string, qtype, class uint16) []byte {
+	t.Helper()
+	pkt, err := dnswire.EncodeQuery(id, dnswire.Question{Name: name, Type: qtype, Class: class})
+	if err != nil {
+		t.Fatalf("EncodeQuery(%q): %v", name, err)
+	}
+	return pkt
+}
+
+// probeECS is the ECS option naming simulated probe id (10.x.y.z/32).
+func probeECS(id int) *dnswire.ECS {
+	e := &dnswire.ECS{Family: dnswire.ECSFamilyIPv4, SourcePrefix: 32, AddrLen: 4}
+	e.Addr[0] = 10
+	e.Addr[1] = byte(id >> 16)
+	e.Addr[2] = byte(id >> 8)
+	e.Addr[3] = byte(id)
+	return e
+}
+
+// withECS appends an EDNS0 OPT carrying ecs to an encoded query.
+func withECS(pkt []byte, ecs *dnswire.ECS) []byte {
+	return dnswire.AppendQueryOPT(pkt, 1232, ecs)
+}
+
+// handleRcode runs pkt through r and returns the decoded reply.
+func handle(t testing.TB, r *Resolver, pkt []byte) (*dnswire.Message, QueryInfo) {
+	t.Helper()
+	out, info := r.Handle(pkt, make([]byte, 0, 4096))
+	if out == nil {
+		return nil, info
+	}
+	msg, err := dnswire.Decode(out)
+	if err != nil {
+		t.Fatalf("undecodable reply: %v", err)
+	}
+	if !msg.IsResponse() {
+		t.Fatal("reply is not a response")
+	}
+	return msg, info
+}
+
+func TestChaosAnswerMatchesWorld(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	p, ok := w.ProbeAt(1, r.Month())
+	if !ok {
+		t.Fatal("probe 1 inactive at 2023-01")
+	}
+	want, err := w.DNSAnswerAt('L', r.Month(), p.Country, p.ASN, p.City, nil)
+	if err != nil {
+		t.Fatalf("DNSAnswerAt: %v", err)
+	}
+	pkt := withECS(mustQuery(t, 7, "hostname.bind.l", dnswire.TypeTXT, dnswire.ClassCH), probeECS(1))
+	msg, info := handle(t, r, pkt)
+	if msg.Rcode() != dnswire.RcodeOK {
+		t.Fatalf("rcode = %d, want NOERROR", msg.Rcode())
+	}
+	if info.Source != SourceProbe {
+		t.Errorf("source = %v, want probe", info.Source)
+	}
+	got, err := dnswire.FirstTXT(msg)
+	if err != nil {
+		t.Fatalf("FirstTXT: %v", err)
+	}
+	if got != want.TXT {
+		t.Errorf("TXT = %q, want %q", got, want.TXT)
+	}
+	// Same class, second query: served from the answer cache.
+	if _, info = handle(t, r, pkt); !info.CacheHit && r.CacheLen() == 0 {
+		t.Error("second query did not populate the answer cache")
+	}
+}
+
+func TestIdServerAliasAndCase(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	ecs := probeECS(1)
+	a := withECS(mustQuery(t, 1, "hostname.bind.l", dnswire.TypeTXT, dnswire.ClassCH), ecs)
+	b := withECS(mustQuery(t, 2, "ID.Server.L", dnswire.TypeTXT, dnswire.ClassCH), ecs)
+	ma, _ := handle(t, r, a)
+	mb, _ := handle(t, r, b)
+	ta, _ := dnswire.FirstTXT(ma)
+	tb, _ := dnswire.FirstTXT(mb)
+	if ta == "" || ta != tb {
+		t.Errorf("id.server (case-folded) = %q, hostname.bind = %q; want equal non-empty", tb, ta)
+	}
+}
+
+func TestRcodeSemantics(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	cases := []struct {
+		name  string
+		qname string
+		qtype uint16
+		class uint16
+		want  uint16
+	}{
+		// Bare CHAOS names are ambiguous across thirteen letters.
+		{"bare hostname.bind", "hostname.bind", dnswire.TypeTXT, dnswire.ClassCH, dnswire.RcodeRef},
+		{"unknown CH name", "version.bind.l", dnswire.TypeTXT, dnswire.ClassCH, dnswire.RcodeRef},
+		{"CH non-TXT", "hostname.bind.l", dnswire.TypeA, dnswire.ClassCH, dnswire.RcodeRef},
+		{"bad letter", "hostname.bind.z", dnswire.TypeTXT, dnswire.ClassCH, dnswire.RcodeRef},
+		{"zone NXDOMAIN", "nope.root-servers.vz", dnswire.TypeA, dnswire.ClassIN, dnswire.RcodeNX},
+		{"deep NXDOMAIN", "a.b.root-servers.vz", dnswire.TypeA, dnswire.ClassIN, dnswire.RcodeNX},
+		{"apex NODATA", "root-servers.vz", dnswire.TypeA, dnswire.ClassIN, dnswire.RcodeOK},
+		{"letter NODATA", "l.root-servers.vz", 2 /* NS */, dnswire.ClassIN, dnswire.RcodeOK},
+		{"off-zone REFUSED", "example.com", dnswire.TypeA, dnswire.ClassIN, dnswire.RcodeRef},
+		{"weird class", "l.root-servers.vz", dnswire.TypeA, 42, dnswire.RcodeRef},
+	}
+	for _, tc := range cases {
+		msg, _ := handle(t, r, mustQuery(t, 9, tc.qname, tc.qtype, tc.class))
+		if msg == nil {
+			t.Errorf("%s: dropped, want rcode %d", tc.name, tc.want)
+			continue
+		}
+		if msg.Rcode() != tc.want {
+			t.Errorf("%s: rcode = %d, want %d", tc.name, msg.Rcode(), tc.want)
+		}
+		if len(msg.Answers) != 0 && tc.want != dnswire.RcodeOK {
+			t.Errorf("%s: unexpected answers on error rcode", tc.name)
+		}
+	}
+}
+
+func TestAddrRecordsIdentifyInstance(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	p, _ := w.ProbeAt(1, r.Month())
+	want, err := w.DNSAnswerAt('L', r.Month(), p.Country, p.ASN, p.City, nil)
+	if err != nil {
+		t.Fatalf("DNSAnswerAt: %v", err)
+	}
+	ecs := probeECS(1)
+
+	// The vanity name's TXT carries the same identity as CHAOS.
+	msg, _ := handle(t, r, withECS(mustQuery(t, 3, "l.root-servers.vz", dnswire.TypeTXT, dnswire.ClassIN), ecs))
+	got, err := dnswire.FirstTXT(msg)
+	if err != nil {
+		t.Fatalf("IN TXT: %v", err)
+	}
+	if got != want.TXT {
+		t.Errorf("IN TXT identity = %q, want %q", got, want.TXT)
+	}
+
+	// A and AAAA resolve with NOERROR and one answer (raw address
+	// records are skipped by the TXT-focused decoder, so check the
+	// wire: the answer RR head — compression pointer, type, class,
+	// TTL, RDLENGTH — is 12 bytes after the question).
+	var q dnswire.Query
+	aq := withECS(mustQuery(t, 4, "l.root-servers.vz", dnswire.TypeA, dnswire.ClassIN), ecs)
+	if err := dnswire.ParseQuery(aq, &q); err != nil {
+		t.Fatalf("ParseQuery: %v", err)
+	}
+	out, info := r.Handle(aq, nil)
+	if info.Rcode != int(dnswire.RcodeOK) {
+		t.Fatalf("A rcode = %d", info.Rcode)
+	}
+	wantA := instanceA('L', want.SiteIndex)
+	rdata := out[q.QEnd+12 : q.QEnd+16]
+	if [4]byte{rdata[0], rdata[1], rdata[2], rdata[3]} != wantA {
+		t.Errorf("A RDATA = %v, want %v", rdata, wantA)
+	}
+	out6, info6 := r.Handle(withECS(mustQuery(t, 5, "l.root-servers.vz", dnswire.TypeAAAA, dnswire.ClassIN), ecs), nil)
+	if info6.Rcode != int(dnswire.RcodeOK) {
+		t.Fatalf("AAAA rcode = %d", info6.Rcode)
+	}
+	want6 := instanceAAAA('L', want.SiteIndex)
+	var got6 [16]byte
+	copy(got6[:], out6[q.QEnd+12:q.QEnd+28])
+	if got6 != want6 {
+		t.Errorf("AAAA RDATA = %v, want %v", got6, want6)
+	}
+}
+
+func TestDroppedAndFormerr(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	// Responses, truncated headers, and multi-question packets drop.
+	if out, info := r.Handle([]byte{1, 2, 3}, nil); out != nil || info.Rcode != -1 {
+		t.Error("short junk was not dropped")
+	}
+	resp, _ := dnswire.EncodeResponse(5, dnswire.Question{Name: "x", Type: 16, Class: 3}, nil, 0)
+	if out, _ := r.Handle(resp, nil); out != nil {
+		t.Error("a response packet was answered (reflection)")
+	}
+	// A query whose OPT is garbage gets FORMERR, not a drop: the
+	// question itself parsed.
+	pkt := mustQuery(t, 6, "hostname.bind.l", dnswire.TypeTXT, dnswire.ClassCH)
+	// OPT RR: root name, type 41, class 4096, TTL 0, RDLEN 4, then an
+	// ECS option header claiming 44 bytes with none present.
+	pkt = append(pkt, 0, 0, 41, 0x10, 0, 0, 0, 0, 0, 0, 4, 0, 8, 0, 44)
+	pkt[11] = 1 // ARCOUNT
+	msg, _ := handle(t, r, pkt)
+	if msg == nil || msg.Rcode() != dnswire.RcodeFormErr {
+		t.Errorf("garbage OPT: got %v, want FORMERR", msg)
+	}
+}
+
+func TestGeoFallbackDeterministic(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	ecs := &dnswire.ECS{Family: dnswire.ECSFamilyIPv4, SourcePrefix: 24, AddrLen: 3}
+	ecs.Addr[0], ecs.Addr[1], ecs.Addr[2] = 203, 0, 113
+	pkt := withECS(mustQuery(t, 8, "hostname.bind.f", dnswire.TypeTXT, dnswire.ClassCH), ecs)
+	m1, i1 := handle(t, r, pkt)
+	m2, i2 := handle(t, r, pkt)
+	if i1.Source != SourceGeo || i2.Source != SourceGeo {
+		t.Fatalf("sources = %v, %v; want geo", i1.Source, i2.Source)
+	}
+	t1, e1 := dnswire.FirstTXT(m1)
+	t2, e2 := dnswire.FirstTXT(m2)
+	if e1 != nil && m1.Rcode() != dnswire.RcodeServFail {
+		t.Fatalf("geo query failed oddly: %v", e1)
+	}
+	if t1 != t2 || (e1 == nil) != (e2 == nil) {
+		t.Errorf("geo fallback nondeterministic: %q/%v vs %q/%v", t1, e1, t2, e2)
+	}
+}
+
+func TestDefaultVantageIsVenezuela(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	pkt := mustQuery(t, 9, "hostname.bind.k", dnswire.TypeTXT, dnswire.ClassCH)
+	_, info := handle(t, r, pkt)
+	if info.Source != SourceDefault {
+		t.Errorf("source = %v, want default", info.Source)
+	}
+}
+
+// TestDNSQueryZeroAllocSteadyState pins the tentpole's 0-alloc
+// guarantee: once the answer cache holds the client class, a query —
+// parse, route, cache hit, response build — touches no heap.
+func TestDNSQueryZeroAllocSteadyState(t *testing.T) {
+	w := testWorld(t)
+	r := NewResolver(w, months.MustParse("2023-01"))
+	chaos := withECS(mustQuery(t, 10, "hostname.bind.l", dnswire.TypeTXT, dnswire.ClassCH), probeECS(1))
+	addr := withECS(mustQuery(t, 11, "f.root-servers.vz", dnswire.TypeA, dnswire.ClassIN), probeECS(1))
+	dst := make([]byte, 0, 4096)
+	for _, pkt := range [][]byte{chaos, addr} {
+		r.Handle(pkt, dst) // warm the class
+		allocs := testing.AllocsPerRun(200, func() {
+			out, _ := r.Handle(pkt, dst)
+			if out == nil {
+				t.Fatal("warm query dropped")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("warm Handle allocates %.1f times per query, want 0", allocs)
+		}
+	}
+}

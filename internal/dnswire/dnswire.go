@@ -15,17 +15,26 @@ import (
 	"strings"
 )
 
-// DNS constants used by CHAOS identification queries.
+// DNS constants used by CHAOS identification queries and the
+// authoritative data plane.
 const (
+	TypeA    uint16 = 1
 	TypeTXT  uint16 = 16
+	TypeAAAA uint16 = 28
+	TypeOPT  uint16 = 41 // EDNS0 pseudo-RR (RFC 6891)
 	ClassCH  uint16 = 3
 	ClassIN  uint16 = 1
 	FlagQR   uint16 = 1 << 15 // response
 	FlagAA   uint16 = 1 << 10 // authoritative
+	FlagTC   uint16 = 1 << 9  // truncated
 	FlagRD   uint16 = 1 << 8  // recursion desired
-	RcodeOK  uint16 = 0
-	RcodeNX  uint16 = 3 // NXDOMAIN
-	RcodeRef uint16 = 5 // REFUSED
+
+	RcodeOK       uint16 = 0
+	RcodeFormErr  uint16 = 1
+	RcodeServFail uint16 = 2
+	RcodeNX       uint16 = 3 // NXDOMAIN
+	RcodeNotImp   uint16 = 4
+	RcodeRef      uint16 = 5 // REFUSED
 )
 
 // HostnameBind is the conventional CHAOS identification name.

@@ -1,0 +1,125 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// EDNS0 (RFC 6891) and Client Subnet (RFC 7871) support. The data
+// plane uses ECS as its GeoIP stand-in: the client subnet carried in
+// the query is the "where is this resolver" signal that selects a
+// catchment, exactly as OpenGSLB-style servers map ECS onto a region.
+
+const (
+	// OptionECS is the EDNS0 option code for Client Subnet.
+	OptionECS uint16 = 8
+	// DefaultUDPSize is the payload size the server advertises in its
+	// own OPT records (the common post-flag-day value).
+	DefaultUDPSize uint16 = 1232
+	// MaxUDPSize caps what the server honors from a client's OPT:
+	// beyond this the response is bounded by the write buffer anyway.
+	MaxUDPSize uint16 = 4096
+	// MinUDPSize is the RFC 1035 fallback for clients without EDNS0
+	// and the floor applied to nonsense OPT advertisements.
+	MinUDPSize uint16 = 512
+
+	// ECS address families (RFC 7871 §6).
+	ECSFamilyIPv4 uint16 = 1
+	ECSFamilyIPv6 uint16 = 2
+)
+
+// EDNS0/ECS errors.
+var (
+	ErrBadOPT = errors.New("dnswire: malformed OPT record")
+	ErrBadECS = errors.New("dnswire: malformed ECS option")
+)
+
+// ECS is a parsed EDNS0 Client Subnet option. Addr holds the masked
+// address bytes left-aligned; AddrLen is how many of them the option
+// carried (ceil(SourcePrefix/8)).
+type ECS struct {
+	Family       uint16
+	SourcePrefix uint8
+	ScopePrefix  uint8
+	Addr         [16]byte
+	AddrLen      int
+}
+
+// IPv4 returns the option's address as 4 bytes when it is a full or
+// partial IPv4 prefix.
+func (e *ECS) IPv4() ([4]byte, bool) {
+	var out [4]byte
+	if e.Family != ECSFamilyIPv4 {
+		return out, false
+	}
+	copy(out[:], e.Addr[:4])
+	return out, true
+}
+
+// ParseECS decodes ECS option data (the bytes after the option code
+// and length) into e without allocating. It enforces RFC 7871's
+// minimal-encoding rule: the address field carries exactly
+// ceil(SourcePrefix/8) bytes, and bits beyond the prefix are zero
+// after parsing (the server masks rather than rejects).
+func ParseECS(data []byte, e *ECS) error {
+	if len(data) < 4 {
+		return ErrBadECS
+	}
+	e.Family = binary.BigEndian.Uint16(data[0:])
+	e.SourcePrefix = data[2]
+	e.ScopePrefix = data[3]
+	var maxBits uint8
+	switch e.Family {
+	case ECSFamilyIPv4:
+		maxBits = 32
+	case ECSFamilyIPv6:
+		maxBits = 128
+	default:
+		return ErrBadECS
+	}
+	if e.SourcePrefix > maxBits {
+		return ErrBadECS
+	}
+	n := (int(e.SourcePrefix) + 7) / 8
+	if len(data)-4 != n {
+		return ErrBadECS
+	}
+	e.Addr = [16]byte{}
+	copy(e.Addr[:n], data[4:])
+	if rem := e.SourcePrefix % 8; rem != 0 && n > 0 {
+		e.Addr[n-1] &= byte(0xFF << (8 - rem))
+	}
+	e.AddrLen = n
+	return nil
+}
+
+// AppendOPTRR appends an OPT pseudo-RR advertising udpSize; when ecs
+// is non-nil the record echoes the client subnet with the scope set to
+// the source prefix (the answer is specific to the whole subnet the
+// client named). Callers must bump ARCOUNT themselves (SetCounts).
+func AppendOPTRR(dst []byte, udpSize uint16, ecs *ECS) []byte {
+	dst = append(dst, 0) // root name
+	dst = binary.BigEndian.AppendUint16(dst, TypeOPT)
+	dst = binary.BigEndian.AppendUint16(dst, udpSize)
+	dst = append(dst, 0, 0, 0, 0) // extended rcode + flags
+	if ecs == nil {
+		return binary.BigEndian.AppendUint16(dst, 0)
+	}
+	optLen := 4 + ecs.AddrLen
+	dst = binary.BigEndian.AppendUint16(dst, uint16(4+optLen))
+	dst = binary.BigEndian.AppendUint16(dst, OptionECS)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(optLen))
+	dst = binary.BigEndian.AppendUint16(dst, ecs.Family)
+	dst = append(dst, ecs.SourcePrefix, ecs.SourcePrefix)
+	return append(dst, ecs.Addr[:ecs.AddrLen]...)
+}
+
+// AppendQueryOPT appends an OPT record to an encoded query and bumps
+// its ARCOUNT — the client-side helper tests and benchmarks use to
+// build EDNS0 queries.
+func AppendQueryOPT(pkt []byte, udpSize uint16, ecs *ECS) []byte {
+	pkt = AppendOPTRR(pkt, udpSize, ecs)
+	ar := binary.BigEndian.Uint16(pkt[10:])
+	binary.BigEndian.PutUint16(pkt[10:], ar+1)
+	return pkt
+}

@@ -1,0 +1,300 @@
+package dnswire
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// This file is the data plane's half of the codec: a query parser and
+// response builders that touch no heap. ParseQuery decodes into a
+// caller-owned Query (the name lands in a fixed buffer), and the
+// Append* builders write into a caller-provided slice, naming the
+// owner record with a compression pointer at the question. Together
+// they let a server answer a query with zero allocations once its
+// buffers are warm.
+
+// MaxNameLen bounds a presentation-format name (RFC 1035: 255 octets
+// of wire format is at most 253 presentation characters; 255 is safe).
+const MaxNameLen = 255
+
+// compressionPtr points at the question name, which every response
+// built by AppendResponseStart places at offset 12.
+const compressionPtr uint16 = 0xC00C
+
+// Query parse errors beyond the shared codec ones.
+var (
+	ErrNotQuery      = errors.New("dnswire: message is not a query")
+	ErrQuestionCount = errors.New("dnswire: question count is not 1")
+)
+
+// Query is one parsed single-question query. The name is stored
+// lowercased in a fixed buffer so parsing allocates nothing.
+type Query struct {
+	ID    uint16
+	Flags uint16
+	Type  uint16
+	Class uint16
+	// QEnd is the offset just past the question section; pkt[12:QEnd]
+	// is the raw question for echoing into a response.
+	QEnd int
+
+	HasOPT  bool
+	UDPSize uint16
+	HasECS  bool
+	ECS     ECS
+
+	nameLen int
+	name    [MaxNameLen]byte
+}
+
+// Name returns the lowercased question name without a trailing dot.
+// The slice aliases the Query's internal buffer.
+func (q *Query) Name() []byte { return q.name[:q.nameLen] }
+
+// Opcode extracts the query's opcode from the flags.
+func (q *Query) Opcode() uint16 { return (q.Flags >> 11) & 0xF }
+
+// ResponseLimit is the size the client can accept: 512 without EDNS0,
+// the advertised payload size clamped to [MinUDPSize, MaxUDPSize]
+// with it.
+func (q *Query) ResponseLimit() int {
+	if !q.HasOPT {
+		return int(MinUDPSize)
+	}
+	size := q.UDPSize
+	if size < MinUDPSize {
+		size = MinUDPSize
+	}
+	if size > MaxUDPSize {
+		size = MaxUDPSize
+	}
+	return int(size)
+}
+
+// readNameInto decodes the uncompressed name at off into q's buffer,
+// lowercasing as it goes, and returns the offset after it. Queries on
+// the wire never need compression for their single question, so
+// pointers here are rejected — which also keeps the raw question bytes
+// self-contained for echoing.
+func (q *Query) readNameInto(pkt []byte, off int) (int, error) {
+	q.nameLen = 0
+	for {
+		if off >= len(pkt) {
+			return 0, ErrTruncatedMessage
+		}
+		b := int(pkt[off])
+		switch {
+		case b == 0:
+			return off + 1, nil
+		case b&0xC0 != 0:
+			return 0, ErrBadName
+		default:
+			if off+1+b > len(pkt) {
+				return 0, ErrTruncatedMessage
+			}
+			need := b
+			if q.nameLen > 0 {
+				need++
+			}
+			if q.nameLen+need > len(q.name) {
+				return 0, ErrBadName
+			}
+			if q.nameLen > 0 {
+				q.name[q.nameLen] = '.'
+				q.nameLen++
+			}
+			for _, c := range pkt[off+1 : off+1+b] {
+				if c >= 'A' && c <= 'Z' {
+					c += 'a' - 'A'
+				}
+				q.name[q.nameLen] = c
+				q.nameLen++
+			}
+			off += 1 + b
+		}
+	}
+}
+
+// SkipName advances past the (possibly compressed) name at off and
+// returns the offset after it.
+func SkipName(msg []byte, off int) (int, error) {
+	for {
+		if off >= len(msg) {
+			return 0, ErrTruncatedMessage
+		}
+		b := int(msg[off])
+		switch {
+		case b == 0:
+			return off + 1, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return 0, ErrTruncatedMessage
+			}
+			return off + 2, nil
+		case b&0xC0 != 0:
+			return 0, ErrBadName
+		default:
+			off += 1 + b
+		}
+	}
+}
+
+// ParseQuery decodes a query datagram into q without allocating. It
+// insists on exactly one question and scans the additional section for
+// one OPT record (EDNS0), extracting a Client Subnet option when
+// present. The question fields (Name, Type, Class, QEnd) are valid
+// whenever the returned error is nil, ErrBadOPT, or ErrBadECS — so a
+// server can still build a FORMERR response for a query whose OPT is
+// garbage.
+func ParseQuery(pkt []byte, q *Query) error {
+	if len(pkt) < 12 {
+		return ErrTruncatedMessage
+	}
+	q.ID = binary.BigEndian.Uint16(pkt[0:])
+	q.Flags = binary.BigEndian.Uint16(pkt[2:])
+	q.HasOPT = false
+	q.HasECS = false
+	q.UDPSize = 0
+	q.QEnd = 0
+	if q.Flags&FlagQR != 0 {
+		return ErrNotQuery
+	}
+	qd := int(binary.BigEndian.Uint16(pkt[4:]))
+	an := int(binary.BigEndian.Uint16(pkt[6:]))
+	ns := int(binary.BigEndian.Uint16(pkt[8:]))
+	ar := int(binary.BigEndian.Uint16(pkt[10:]))
+	if qd != 1 {
+		return ErrQuestionCount
+	}
+	off, err := q.readNameInto(pkt, 12)
+	if err != nil {
+		return err
+	}
+	if off+4 > len(pkt) {
+		return ErrTruncatedMessage
+	}
+	q.Type = binary.BigEndian.Uint16(pkt[off:])
+	q.Class = binary.BigEndian.Uint16(pkt[off+2:])
+	q.QEnd = off + 4
+
+	// Walk the remaining records looking for the OPT pseudo-RR, which
+	// RFC 6891 restricts to the additional section.
+	off = q.QEnd
+	for i := 0; i < an+ns+ar; i++ {
+		off, err = SkipName(pkt, off)
+		if err != nil {
+			return err
+		}
+		if off+10 > len(pkt) {
+			return ErrTruncatedMessage
+		}
+		rrtype := binary.BigEndian.Uint16(pkt[off:])
+		rdlen := int(binary.BigEndian.Uint16(pkt[off+8:]))
+		rdata := off + 10
+		if rdata+rdlen > len(pkt) {
+			return ErrTruncatedMessage
+		}
+		if rrtype == TypeOPT && i >= an+ns {
+			if q.HasOPT {
+				return ErrBadOPT // at most one OPT per message
+			}
+			q.HasOPT = true
+			q.UDPSize = binary.BigEndian.Uint16(pkt[off+2:]) // class field
+			if err := q.parseOPTData(pkt[rdata : rdata+rdlen]); err != nil {
+				return err
+			}
+		}
+		off = rdata + rdlen
+	}
+	return nil
+}
+
+// parseOPTData walks the OPT record's option TLVs.
+func (q *Query) parseOPTData(data []byte) error {
+	for i := 0; i < len(data); {
+		if i+4 > len(data) {
+			return ErrBadOPT
+		}
+		code := binary.BigEndian.Uint16(data[i:])
+		olen := int(binary.BigEndian.Uint16(data[i+2:]))
+		if i+4+olen > len(data) {
+			return ErrBadOPT
+		}
+		if code == OptionECS {
+			if err := ParseECS(data[i+4:i+4+olen], &q.ECS); err != nil {
+				return err
+			}
+			q.HasECS = true
+		}
+		i += 4 + olen
+	}
+	return nil
+}
+
+// AppendResponseStart begins a response in dst: a header with the
+// given id and flags, counts zeroed, followed by the echoed raw
+// question (pkt[12:QEnd] of the query). Record counts are patched in
+// afterwards with SetCounts; the rcode with SetRcode.
+func AppendResponseStart(dst []byte, id, flags uint16, rawQuestion []byte) []byte {
+	var hdr [12]byte
+	binary.BigEndian.PutUint16(hdr[0:], id)
+	binary.BigEndian.PutUint16(hdr[2:], flags)
+	binary.BigEndian.PutUint16(hdr[4:], 1) // QDCOUNT
+	dst = append(dst, hdr[:]...)
+	return append(dst, rawQuestion...)
+}
+
+// SetCounts patches the answer/authority/additional counts of a
+// message started with AppendResponseStart.
+func SetCounts(msg []byte, an, ns, ar uint16) {
+	binary.BigEndian.PutUint16(msg[6:], an)
+	binary.BigEndian.PutUint16(msg[8:], ns)
+	binary.BigEndian.PutUint16(msg[10:], ar)
+}
+
+// SetRcode patches the response code into the message's flags.
+func SetRcode(msg []byte, rcode uint16) {
+	flags := binary.BigEndian.Uint16(msg[2:])
+	binary.BigEndian.PutUint16(msg[2:], flags&^uint16(0xF)|rcode&0xF)
+}
+
+// appendRRHead writes the shared RR prefix: a compression pointer to
+// the question name, type, class, TTL, and RDLENGTH.
+func appendRRHead(dst []byte, rrtype, class uint16, ttl uint32, rdlen uint16) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, compressionPtr)
+	dst = binary.BigEndian.AppendUint16(dst, rrtype)
+	dst = binary.BigEndian.AppendUint16(dst, class)
+	dst = binary.BigEndian.AppendUint32(dst, ttl)
+	return binary.BigEndian.AppendUint16(dst, rdlen)
+}
+
+// AppendTXTRR appends a TXT record (one character-string) owned by the
+// question name. txt must be at most 255 bytes.
+func AppendTXTRR(dst []byte, class uint16, ttl uint32, txt string) []byte {
+	dst = appendRRHead(dst, TypeTXT, class, ttl, uint16(1+len(txt)))
+	dst = append(dst, byte(len(txt)))
+	return append(dst, txt...)
+}
+
+// AppendARR appends an IN A record owned by the question name.
+func AppendARR(dst []byte, ttl uint32, ip [4]byte) []byte {
+	dst = appendRRHead(dst, TypeA, ClassIN, ttl, 4)
+	return append(dst, ip[:]...)
+}
+
+// AppendAAAARR appends an IN AAAA record owned by the question name.
+func AppendAAAARR(dst []byte, ttl uint32, ip [16]byte) []byte {
+	dst = appendRRHead(dst, TypeAAAA, ClassIN, ttl, 16)
+	return append(dst, ip[:]...)
+}
+
+// Truncate reduces a response that exceeded the client's limit to its
+// header and question, sets TC, and zeroes the record counts — the
+// client retries over a transport without the limit.
+func Truncate(msg []byte, qend int) []byte {
+	msg = msg[:qend]
+	flags := binary.BigEndian.Uint16(msg[2:])
+	binary.BigEndian.PutUint16(msg[2:], flags|FlagTC)
+	SetCounts(msg, 0, 0, 0)
+	return msg
+}

@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"strings"
 	"sync"
 	"time"
 )
@@ -14,6 +13,23 @@ import (
 // REFUSED response, as real servers do for unknown CHAOS names.
 type Responder func(name string) (texts []string, ok bool)
 
+// pktBufs pools per-datagram scratch: the first half of each buffer is
+// the read area, the rest the reply build area, so one checkout covers
+// a whole request/response cycle.
+var pktBufs = sync.Pool{
+	New: func() any {
+		b := make([]byte, serverBufSize)
+		return &b
+	},
+}
+
+// serverBufSize holds a full-size read (readArea) plus a reply built
+// behind it.
+const (
+	serverBufSize = 2 * readArea
+	readArea      = 2048
+)
+
 // Server is a minimal UDP DNS server answering CHAOS TXT identification
 // queries — an in-process stand-in for an anycast root instance. It
 // refuses non-CHAOS classes and non-TXT types.
@@ -21,9 +37,9 @@ type Server struct {
 	conn      net.PacketConn
 	responder Responder
 
-	mu     sync.Mutex
-	closed bool
-	done   chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+	done      chan struct{}
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") with the given
@@ -45,28 +61,30 @@ func Serve(addr string, responder Responder) (*Server, error) {
 // Addr returns the server's bound address.
 func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
 
-// Close stops the server and releases its socket.
+// Close stops the server and releases its socket. It is safe to call
+// from concurrent goroutines: the socket closes exactly once, and
+// every caller returns only after the serve loop has exited.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil
-	}
-	s.closed = true
-	err := s.conn.Close()
+	s.closeOnce.Do(func() {
+		s.closeErr = s.conn.Close()
+	})
 	<-s.done
-	return err
+	return s.closeErr
 }
 
 func (s *Server) loop() {
 	defer close(s.done)
-	buf := make([]byte, 1500)
+	bp := pktBufs.Get().(*[]byte)
+	defer pktBufs.Put(bp)
+	buf := *bp
 	for {
-		n, peer, err := s.conn.ReadFrom(buf)
+		n, peer, err := s.conn.ReadFrom(buf[:readArea])
 		if err != nil {
 			return // closed
 		}
-		reply := s.handle(buf[:n])
+		// The reply builds into the back half of the pooled buffer, so a
+		// request/response cycle costs no per-packet slices.
+		reply := s.appendReply(buf[readArea:readArea], buf[:n])
 		if reply != nil {
 			// Best-effort send; a lost reply is a timeout at the client,
 			// exactly as on the real network.
@@ -77,25 +95,35 @@ func (s *Server) loop() {
 
 // handle builds the reply for one datagram, or nil to drop it.
 func (s *Server) handle(pkt []byte) []byte {
-	msg, err := Decode(pkt)
-	if err != nil || msg.IsResponse() || len(msg.Question) != 1 {
+	return s.appendReply(nil, pkt)
+}
+
+// appendReply builds the reply for one datagram into dst, or returns
+// nil to drop it.
+func (s *Server) appendReply(dst, pkt []byte) []byte {
+	var q Query
+	if err := ParseQuery(pkt, &q); err != nil {
 		return nil // not a well-formed query: drop, as real servers do
 	}
-	q := msg.Question[0]
+	raw := pkt[12:q.QEnd]
 	if q.Class != ClassCH || q.Type != TypeTXT {
-		reply, _ := EncodeResponse(msg.ID, q, nil, RcodeRef)
-		return reply
+		return AppendResponseStart(dst, q.ID, FlagQR|FlagAA|RcodeRef, raw)
 	}
-	texts, ok := s.responder(strings.ToLower(q.Name))
+	texts, ok := s.responder(string(q.Name()))
 	if !ok {
-		reply, _ := EncodeResponse(msg.ID, q, nil, RcodeRef)
-		return reply
+		return AppendResponseStart(dst, q.ID, FlagQR|FlagAA|RcodeRef, raw)
 	}
-	reply, err := EncodeResponse(msg.ID, q, texts, RcodeOK)
-	if err != nil {
-		return nil
+	msg := AppendResponseStart(dst, q.ID, FlagQR|FlagAA, raw)
+	an := uint16(0)
+	for _, txt := range texts {
+		if len(txt) > 255 {
+			continue
+		}
+		msg = AppendTXTRR(msg, ClassCH, 0, txt)
+		an++
 	}
-	return reply
+	SetCounts(msg, an, 0, 0)
+	return msg
 }
 
 // Client issues CHAOS TXT identification queries over UDP.

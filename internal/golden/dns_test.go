@@ -1,0 +1,120 @@
+package golden
+
+import (
+	"encoding/hex"
+	"testing"
+
+	"vzlens/internal/dnsplane"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/dnswire"
+)
+
+// dnsGoldenEntry pins one wire exchange: the exact query bytes sent
+// and the exact response bytes the data plane produced. Hex keeps the
+// snapshot diffable while still byte-precise — a TTL change, a
+// compression-pointer change, or a reordered record all surface.
+type dnsGoldenEntry struct {
+	Month    string `json:"month"`
+	Letter   string `json:"letter"`
+	Client   string `json:"client"`
+	Name     string `json:"name"`
+	Type     string `json:"type"`
+	Rcode    int    `json:"rcode"`
+	TXT      string `json:"txt,omitempty"`
+	Query    string `json:"query_hex"`
+	Response string `json:"response_hex"`
+}
+
+// dnsClients are the pinned vantages: the first Venezuelan probe
+// (CANTV, Caracas), the first foreign probe (id 1000), and a bare
+// query with no ECS at all (the default Venezuelan vantage).
+var dnsClients = []struct {
+	name string
+	ecs  func() *dnswire.ECS
+}{
+	{"ve-probe-1", func() *dnswire.ECS { return probeSubnet(1) }},
+	{"probe-1000", func() *dnswire.ECS { return probeSubnet(1000) }},
+	{"no-ecs", func() *dnswire.ECS { return nil }},
+}
+
+func probeSubnet(id int) *dnswire.ECS {
+	e := &dnswire.ECS{Family: dnswire.ECSFamilyIPv4, SourcePrefix: 32, AddrLen: 4}
+	e.Addr[0] = 10
+	e.Addr[1] = byte(id >> 16)
+	e.Addr[2] = byte(id >> 8)
+	e.Addr[3] = byte(id)
+	return e
+}
+
+// TestGoldenDNSWire snapshots the DNS plane's responses across the
+// decade: for each campaign month, CHAOS identification answers for a
+// spread of root letters from each pinned client, plus the IN
+// A/AAAA/TXT records for L. Query IDs are fixed by position, so both
+// sides of every exchange are fully deterministic.
+func TestGoldenDNSWire(t *testing.T) {
+	letters := []dnsroot.Letter{'A', 'F', 'K', 'L'}
+	var out []dnsGoldenEntry
+	id := uint16(0)
+	exchange := func(r *dnsplane.Resolver, month, client, name string, qtype, class uint16, ecs *dnswire.ECS, letter dnsroot.Letter) {
+		id++
+		pkt, err := dnswire.EncodeQuery(id, dnswire.Question{Name: name, Type: qtype, Class: class})
+		if err != nil {
+			t.Fatalf("EncodeQuery(%q): %v", name, err)
+		}
+		if ecs != nil {
+			pkt = dnswire.AppendQueryOPT(pkt, 1232, ecs)
+		}
+		resp, info := r.Handle(pkt, nil)
+		if resp == nil {
+			t.Fatalf("%s %s %q: dropped", month, client, name)
+		}
+		entry := dnsGoldenEntry{
+			Month:    month,
+			Letter:   string(letter),
+			Client:   client,
+			Name:     name,
+			Type:     typeName(qtype),
+			Rcode:    info.Rcode,
+			Query:    hex.EncodeToString(pkt),
+			Response: hex.EncodeToString(resp),
+		}
+		if msg, err := dnswire.Decode(resp); err == nil {
+			if txt, err := dnswire.FirstTXT(msg); err == nil {
+				entry.TXT = txt
+			}
+		}
+		out = append(out, entry)
+	}
+
+	for _, m := range testChaos.Months() {
+		r := dnsplane.NewResolver(testWorld, m)
+		for _, letter := range letters {
+			l := byte(letter) | 0x20
+			for _, c := range dnsClients {
+				exchange(r, m.String(), c.name, "hostname.bind."+string(l),
+					dnswire.TypeTXT, dnswire.ClassCH, c.ecs(), letter)
+			}
+		}
+		// Address synthesis for L from the Venezuelan probe.
+		exchange(r, m.String(), "ve-probe-1", "l.root-servers.vz",
+			dnswire.TypeA, dnswire.ClassIN, probeSubnet(1), 'L')
+		exchange(r, m.String(), "ve-probe-1", "l.root-servers.vz",
+			dnswire.TypeAAAA, dnswire.ClassIN, probeSubnet(1), 'L')
+		exchange(r, m.String(), "ve-probe-1", "l.root-servers.vz",
+			dnswire.TypeTXT, dnswire.ClassIN, probeSubnet(1), 'L')
+	}
+	check(t, "dns_wire", encode(t, out))
+}
+
+func typeName(qtype uint16) string {
+	switch qtype {
+	case dnswire.TypeA:
+		return "A"
+	case dnswire.TypeAAAA:
+		return "AAAA"
+	case dnswire.TypeTXT:
+		return "TXT"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,60 @@
+package httpapi
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// The DNS control surface. The data plane itself answers on its own
+// UDP socket; these routes are how operators observe and steer it —
+// most importantly, pointing it at a registered counterfactual
+// scenario so the very next query resolves through the overlaid
+// topology.
+
+// dnsStatus is the GET /api/dns document.
+type dnsStatus struct {
+	Month        string `json:"month"`
+	Scenario     string `json:"scenario,omitempty"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+func (h *Handler) dnsStatus(w http.ResponseWriter, _ *http.Request) {
+	r := h.opts.DNSPlane
+	writeJSON(w, http.StatusOK, dnsStatus{
+		Month:        r.Month().String(),
+		Scenario:     r.ScenarioKey(),
+		CacheEntries: r.CacheLen(),
+	})
+}
+
+// dnsSetScenario (PUT /api/dns/scenario/{id}) re-points the live DNS
+// plane at a registered scenario. The spec must already be registered
+// via POST /api/scenarios — reusing that registry means the overlay
+// serving DNS answers is byte-identical to the one the diff endpoints
+// analyze.
+func (h *Handler) dnsSetScenario(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spec, ok := h.scenarioByID(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			map[string]string{"error": fmt.Sprintf("unknown scenario %q", id)})
+		return
+	}
+	plan, err := spec.Compile(h.w)
+	if err != nil {
+		// Registration compiles specs, so this is unreachable short of
+		// a world rebuild; report rather than trust.
+		writeJSON(w, http.StatusUnprocessableEntity,
+			map[string]string{"error": err.Error()})
+		return
+	}
+	h.opts.DNSPlane.SetScenario(plan)
+	writeJSON(w, http.StatusOK, map[string]string{"scenario": plan.Key})
+}
+
+// dnsClearScenario (DELETE /api/dns/scenario) returns the plane to the
+// baseline topology.
+func (h *Handler) dnsClearScenario(w http.ResponseWriter, _ *http.Request) {
+	h.opts.DNSPlane.SetScenario(nil)
+	writeJSON(w, http.StatusOK, map[string]string{"scenario": ""})
+}

@@ -1,0 +1,75 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vzlens/internal/dnsplane"
+	"vzlens/internal/months"
+	"vzlens/internal/scenario"
+)
+
+func doMethod(t *testing.T, h *Handler, method, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(method, path, nil))
+	return rec
+}
+
+func TestDNSControlSurface(t *testing.T) {
+	w := mustBuild(scenarioTestConfig())
+	r := dnsplane.NewResolver(w, months.MustParse("2019-07"))
+	h := NewWithOptions(w, Options{
+		DNSPlane:  r,
+		Scenarios: []*scenario.Spec{cannedSpec(t, "cantv-depeer")},
+	})
+
+	rec := getFrom(t, h, "/api/dns")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /api/dns: %d %s", rec.Code, rec.Body.String())
+	}
+	var st dnsStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Month != "2019-07" || st.Scenario != "" {
+		t.Errorf("status = %+v; want baseline at 2019-07", st)
+	}
+
+	if rec = doMethod(t, h, http.MethodPut, "/api/dns/scenario/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown scenario: %d", rec.Code)
+	}
+	if rec = doMethod(t, h, http.MethodPut, "/api/dns/scenario/cantv-depeer"); rec.Code != http.StatusOK {
+		t.Fatalf("set scenario: %d %s", rec.Code, rec.Body.String())
+	}
+	if key := r.ScenarioKey(); key == "" {
+		t.Error("resolver still on baseline after PUT")
+	}
+	rec = getFrom(t, h, "/api/dns")
+	if !strings.Contains(rec.Body.String(), `"scenario"`) {
+		t.Errorf("status does not report scenario: %s", rec.Body.String())
+	}
+
+	if rec = doMethod(t, h, http.MethodDelete, "/api/dns/scenario"); rec.Code != http.StatusOK {
+		t.Fatalf("clear scenario: %d %s", rec.Code, rec.Body.String())
+	}
+	if key := r.ScenarioKey(); key != "" {
+		t.Errorf("scenario %q survives DELETE", key)
+	}
+}
+
+// TestDNSRoutesAbsentWithoutPlane pins that a handler built without a
+// DNS plane serves 404 on the control surface instead of panicking on
+// a nil resolver.
+func TestDNSRoutesAbsentWithoutPlane(t *testing.T) {
+	h := NewWithOptions(mustBuild(scenarioTestConfig()), Options{})
+	if rec := getFrom(t, h, "/api/dns"); rec.Code != http.StatusNotFound {
+		t.Errorf("GET /api/dns without plane: %d", rec.Code)
+	}
+	if rec := doMethod(t, h, http.MethodDelete, "/api/dns/scenario"); rec.Code != http.StatusNotFound {
+		t.Errorf("DELETE without plane: %d", rec.Code)
+	}
+}

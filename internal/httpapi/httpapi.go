@@ -32,6 +32,7 @@ import (
 	"vzlens/internal/atlas"
 	"vzlens/internal/cluster"
 	"vzlens/internal/core"
+	"vzlens/internal/dnsplane"
 	"vzlens/internal/geo"
 	"vzlens/internal/ipv6"
 	"vzlens/internal/months"
@@ -101,6 +102,13 @@ type Options struct {
 	// through experiment coalescing into the campaign engine's
 	// per-month spans. Nil disables tracing (zero overhead).
 	Tracer *obs.Tracer
+
+	// DNSPlane, when non-nil, mounts the DNS data plane's control
+	// surface: GET /api/dns (status), PUT /api/dns/scenario/{id}
+	// (route answers through a registered scenario), DELETE
+	// /api/dns/scenario (back to baseline). The resolver itself serves
+	// queries on its own UDP socket (vzserve's -dns-addr).
+	DNSPlane *dnsplane.Resolver
 
 	// Scenarios preloads counterfactual scenario specs (vzserve's
 	// -scenario-file) so their diffs are requestable immediately. A
@@ -270,6 +278,12 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 	h.mux.HandleFunc("GET /api/sweeps", h.listSweeps)
 	h.mux.HandleFunc("POST /api/sweeps", h.postSweep)
 	h.mux.HandleFunc("GET /api/sweeps/{id}", h.getSweep)
+	if opts.DNSPlane != nil {
+		opts.DNSPlane.Instrument(h.reg)
+		h.mux.HandleFunc("GET /api/dns", h.dnsStatus)
+		h.mux.HandleFunc("PUT /api/dns/scenario/{id}", h.dnsSetScenario)
+		h.mux.HandleFunc("DELETE /api/dns/scenario", h.dnsClearScenario)
+	}
 	if h.clusterWorker != nil {
 		h.clusterWorker.Register(h.mux)
 	}
@@ -286,6 +300,11 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 // Metrics returns the handler's registry, so callers (vzserve's debug
 // listener) can expose the same metrics elsewhere or register more.
 func (h *Handler) Metrics() *obs.Registry { return h.reg }
+
+// Gate returns the admission gate (nil when MaxInFlight is unset), so
+// the DNS server can shed against the same concurrency budget as the
+// HTTP side instead of maintaining a second, independent limit.
+func (h *Handler) Gate() *overload.Gate { return h.gate }
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {

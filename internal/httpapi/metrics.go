@@ -74,6 +74,8 @@ func instrumentGate(reg *obs.Registry, g *overload.Gate) {
 		stat(func(s overload.GateStats) float64 { return float64(s.PeakInFlight) }))
 	reg.GaugeFunc("vz_gate_queue_wait_ewma_seconds", "Smoothed queue wait driving adaptive shedding.",
 		stat(func(s overload.GateStats) float64 { return s.AvgQueueWait.Seconds() }))
+	reg.GaugeFunc("vz_gate_rejected_fast", "Non-queueing TryAcquire rejections (DNS plane REFUSED).",
+		stat(func(s overload.GateStats) float64 { return float64(s.RejectedFast) }))
 }
 
 // statusRecorder captures the final status code for metrics.

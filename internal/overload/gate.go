@@ -105,6 +105,7 @@ type GateStats struct {
 	Admitted      uint64        // total admitted (including after a queue wait)
 	ShedAdaptive  uint64        // rejected by adaptive shedding
 	ShedQueueFull uint64        // rejected because the queue was full
+	RejectedFast  uint64        // rejected by TryAcquire (no slot, no queueing)
 	TimedOut      uint64        // gave up waiting (deadline or context)
 	AvgQueueWait  time.Duration // EWMA of time spent queued before admission
 }
@@ -207,6 +208,49 @@ func (g *Gate) Acquire(ctx context.Context, pri Priority) (release func(), err e
 	}
 	g.mu.Unlock()
 	return nil, err
+}
+
+// TryAcquire is the datagram-plane admission path: it takes a slot
+// only when one is immediately free, never queues, and allocates
+// nothing — no context, no timer, no release closure. A caller that
+// gets true MUST call Release exactly once. Wire protocols with no
+// backpressure semantics (the DNS data plane) use this to turn
+// overload into an instant REFUSED instead of a queue wait the client
+// would have timed out on anyway.
+//
+// Adaptive shedding applies as in Acquire: while observed queue wait
+// exceeds the shed threshold, PriorityLow callers are rejected even
+// when a slot happens to be free, keeping headroom for the classes the
+// queue is collapsing under. PriorityCritical callers should use
+// Acquire (which bypasses the gate); here it is treated as
+// PriorityHigh.
+func (g *Gate) TryAcquire(pri Priority) bool {
+	g.mu.Lock()
+	if pri == PriorityLow && g.ewmaWait > g.opts.ShedLatency {
+		g.stats.ShedAdaptive++
+		g.mu.Unlock()
+		return false
+	}
+	if g.inflight < g.opts.MaxInFlight && len(g.queue) == 0 {
+		g.inflight++
+		g.admitLocked(0)
+		g.mu.Unlock()
+		return true
+	}
+	g.stats.RejectedFast++
+	g.mu.Unlock()
+	return false
+}
+
+// Release frees a slot taken by TryAcquire. Like a release closure
+// from Acquire it hands the slot directly to a queued waiter when one
+// exists, so the concurrency bound holds across the transfer — but
+// unlike those closures it is not idempotent: call it exactly once per
+// successful TryAcquire.
+func (g *Gate) Release() {
+	g.mu.Lock()
+	g.releaseLocked()
+	g.mu.Unlock()
 }
 
 // admitLocked records an admission (slot already counted in inflight)

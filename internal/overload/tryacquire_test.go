@@ -1,0 +1,131 @@
+package overload
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTryAcquireBasic(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 2})
+	if !g.TryAcquire(PriorityLow) || !g.TryAcquire(PriorityHigh) {
+		t.Fatal("empty gate rejected")
+	}
+	if g.TryAcquire(PriorityHigh) {
+		t.Fatal("full gate admitted a third request")
+	}
+	if s := g.Stats(); s.RejectedFast != 1 {
+		t.Errorf("RejectedFast = %d, want 1", s.RejectedFast)
+	}
+	g.Release()
+	if !g.TryAcquire(PriorityLow) {
+		t.Fatal("released slot not reusable")
+	}
+	g.Release()
+	g.Release()
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("InFlight = %d after all releases", s.InFlight)
+	}
+}
+
+func TestTryAcquireAdaptiveShed(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 4, ShedLatency: time.Millisecond})
+	g.mu.Lock()
+	g.ewmaWait = 10 * time.Millisecond
+	g.mu.Unlock()
+	if g.TryAcquire(PriorityLow) {
+		t.Error("PriorityLow admitted during adaptive shed")
+	}
+	if !g.TryAcquire(PriorityHigh) {
+		t.Error("PriorityHigh shed — the adaptive gate must only drop low traffic")
+	}
+	g.Release()
+	if s := g.Stats(); s.ShedAdaptive != 1 {
+		t.Errorf("ShedAdaptive = %d, want 1", s.ShedAdaptive)
+	}
+}
+
+// TestTryAcquireRespectsQueue pins the fairness contract: a waiter
+// queued by blocking Acquire gets the next free slot before any
+// TryAcquire caller can steal it.
+func TestTryAcquireRespectsQueue(t *testing.T) {
+	g := NewGate(GateOptions{MaxInFlight: 1, QueueTimeout: 5 * time.Second})
+	if !g.TryAcquire(PriorityHigh) {
+		t.Fatal("empty gate rejected")
+	}
+	admitted := make(chan func(), 1)
+	go func() {
+		rel, err := g.Acquire(context.Background(), PriorityHigh)
+		if err != nil {
+			t.Errorf("queued Acquire: %v", err)
+			close(admitted)
+			return
+		}
+		admitted <- rel
+	}()
+	// Wait for the waiter to be queued, then release: the slot must
+	// hand off to it, and TryAcquire must keep failing throughout.
+	for i := 0; i < 1000; i++ {
+		if g.Stats().Queued > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if g.TryAcquire(PriorityHigh) {
+		t.Fatal("TryAcquire jumped a non-empty queue")
+	}
+	g.Release()
+	rel, ok := <-admitted
+	if !ok {
+		t.Fatal("waiter never admitted")
+	}
+	if g.TryAcquire(PriorityHigh) {
+		t.Fatal("TryAcquire got a slot the waiter holds")
+	}
+	rel()
+	if !g.TryAcquire(PriorityHigh) {
+		t.Fatal("slot lost after waiter released")
+	}
+	g.Release()
+}
+
+func TestTryAcquireConcurrent(t *testing.T) {
+	const slots = 8
+	g := NewGate(GateOptions{MaxInFlight: slots})
+	var wg sync.WaitGroup
+	var peak, cur, admitted int64
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if !g.TryAcquire(PriorityHigh) {
+					continue
+				}
+				mu.Lock()
+				cur++
+				admitted++
+				if cur > peak {
+					peak = cur
+				}
+				mu.Unlock()
+				mu.Lock()
+				cur--
+				mu.Unlock()
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if peak > slots {
+		t.Errorf("concurrency peak %d exceeded MaxInFlight %d", peak, slots)
+	}
+	if admitted == 0 {
+		t.Error("nothing admitted")
+	}
+	if s := g.Stats(); s.InFlight != 0 {
+		t.Errorf("InFlight = %d after drain", s.InFlight)
+	}
+}

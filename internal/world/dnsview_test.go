@@ -1,0 +1,128 @@
+package world
+
+import (
+	"sort"
+	"testing"
+
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/months"
+)
+
+func TestProbeAt(t *testing.T) {
+	w, err := Build(Config{Step: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// VE probe 1 (CANTV, Caracas) connects 2014-03.
+	if _, ok := w.ProbeAt(1, months.MustParse("2014-03")); !ok {
+		t.Error("probe 1 inactive at its connection month")
+	}
+	if _, ok := w.ProbeAt(1, months.MustParse("2014-02")); ok {
+		t.Error("probe 1 active before connecting")
+	}
+	p, ok := w.ProbeAt(1, months.MustParse("2020-01"))
+	if !ok || p.Country != "VE" {
+		t.Errorf("probe 1 = %+v, %v; want active VE probe", p, ok)
+	}
+	if _, ok := w.ProbeAt(1<<24, months.MustParse("2020-01")); ok {
+		t.Error("nonexistent probe id resolved")
+	}
+}
+
+func TestCountryVantages(t *testing.T) {
+	w, err := Build(Config{Step: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccs := w.VantageCountries()
+	if len(ccs) == 0 || !sort.StringsAreSorted(ccs) {
+		t.Fatalf("VantageCountries = %v; want sorted, non-empty", ccs)
+	}
+	foundVE := false
+	for _, cc := range ccs {
+		asn, city, ok := w.CountryVantage(cc)
+		if !ok || asn == 0 || city.Name == "" {
+			t.Errorf("CountryVantage(%s) = %v %v %v", cc, asn, city, ok)
+		}
+		if cc == "VE" {
+			foundVE = true
+		}
+	}
+	if !foundVE {
+		t.Error("VE missing from vantage countries")
+	}
+	if _, _, ok := w.CountryVantage("XX"); ok {
+		t.Error("unknown country produced a vantage")
+	}
+}
+
+// TestDNSAnswerAtScenario pins the overlay sensitivity DNS serving
+// depends on: withdrawing the Caracas L replica must move the answer a
+// Caracas CANTV client gets for L, while leaving a letter the plan
+// doesn't touch alone.
+func TestDNSAnswerAtScenario(t *testing.T) {
+	w, err := Build(Config{Step: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := months.MustParse("2017-01") // L-from-Caracas era
+	asn, city, ok := w.CountryVantage("VE")
+	if !ok {
+		t.Fatal("no VE vantage")
+	}
+	base, err := w.DNSAnswerAt('L', m, "VE", asn, city, nil)
+	if err != nil {
+		t.Fatalf("baseline L: %v", err)
+	}
+	if base.TXT == "" || base.TXT != base.Instance.ChaosName(m) {
+		t.Errorf("TXT %q disagrees with instance identity %q", base.TXT, base.Instance.ChaosName(m))
+	}
+
+	plan := &ScenarioPlan{
+		Key: "dnsview-drop-l-ccs",
+		Roots: []ScenarioRootReplica{{
+			Remove: true, Letter: 'L', Host: ASCANTV, City: city,
+		}},
+	}
+	moved, err := w.DNSAnswerAt('L', m, "VE", asn, city, plan)
+	if err != nil {
+		t.Fatalf("scenario L: %v", err)
+	}
+	if moved.TXT == base.TXT {
+		t.Errorf("withdrawing the local replica did not move the catchment (still %q)", base.TXT)
+	}
+
+	baseK, err := w.DNSAnswerAt('K', m, "VE", asn, city, nil)
+	if err != nil {
+		t.Fatalf("baseline K: %v", err)
+	}
+	planK, err := w.DNSAnswerAt('K', m, "VE", asn, city, plan)
+	if err != nil {
+		t.Fatalf("scenario K: %v", err)
+	}
+	if baseK.TXT != planK.TXT {
+		t.Errorf("plan touching only L changed K: %q -> %q", baseK.TXT, planK.TXT)
+	}
+}
+
+// TestDNSAnswerAtAllLetters sanity-checks every deployed letter
+// resolves for the default vantage at the window edges.
+func TestDNSAnswerAtAllLetters(t *testing.T) {
+	w, err := Build(Config{Step: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	asn, city, _ := w.CountryVantage("VE")
+	for _, m := range []months.Month{w.Config.ChaosStart, w.Config.ChaosEnd} {
+		for _, letter := range dnsroot.Letters() {
+			ans, err := w.DNSAnswerAt(letter, m, "VE", asn, city, nil)
+			if err != nil {
+				t.Errorf("%s %c: %v", m, letter, err)
+				continue
+			}
+			if ans.SiteIndex < 0 || ans.TXT == "" {
+				t.Errorf("%s %c: empty answer %+v", m, letter, ans)
+			}
+		}
+	}
+}

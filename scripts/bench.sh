@@ -35,7 +35,7 @@ if [[ "${1:-}" == "--check" ]]; then
     shift
 fi
 
-pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignWarm|ChaosCampaignWarm|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay}"
+pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignWarm|ChaosCampaignWarm|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay|DNSQuery}"
 benchtime="${BENCH_TIME:-1x}"
 tolerance="${BENCH_TOLERANCE:-25}"
 alloc_tolerance="${BENCH_ALLOC_TOLERANCE:-10}"
