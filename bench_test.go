@@ -9,6 +9,8 @@ package vzlens
 import (
 	"context"
 	"fmt"
+	"net/url"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -19,11 +21,13 @@ import (
 	"vzlens/internal/dnsplane"
 	"vzlens/internal/dnsroot"
 	"vzlens/internal/dnswire"
+	"vzlens/internal/facts"
 	"vzlens/internal/geo"
 	"vzlens/internal/mlab"
 	"vzlens/internal/months"
 	"vzlens/internal/netsim"
 	"vzlens/internal/offnet"
+	"vzlens/internal/query"
 	"vzlens/internal/resultstore"
 	"vzlens/internal/scenario"
 	"vzlens/internal/sweep"
@@ -668,6 +672,81 @@ func BenchmarkSweepResume(b *testing.B) {
 			b.Fatalf("Resume = %d, %v; want 52 restored", restored, err)
 		}
 		m.Kill()
+	}
+}
+
+// BenchmarkFactBuild times producing one full fact-lake generation:
+// both campaigns simulate with the recorder armed, every month encodes
+// into a dictionary-coded columnar partition, the SCD2 dimensions
+// derive from the world, and the generation commits durably
+// (tmp+fsync+rename, manifest last).
+func BenchmarkFactBuild(b *testing.B) {
+	setup()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lake, err := facts.Open(b.TempDir(), benchW.Config.Scope())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := lake.Build(context.Background(), benchW); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchLake lazily builds one lake generation shared by the query
+// benchmarks.
+var (
+	benchLakeOnce sync.Once
+	benchLake     *facts.Lake
+	benchLakeErr  error
+)
+
+func setupLake() (*facts.Lake, error) {
+	setup()
+	benchLakeOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "vzlens-bench-lake-*")
+		if err != nil {
+			benchLakeErr = err
+			return
+		}
+		benchLake, benchLakeErr = facts.Open(dir, benchW.Config.Scope())
+		if benchLakeErr == nil {
+			benchLakeErr = benchLake.Build(context.Background(), benchW)
+		}
+	})
+	return benchLake, benchLakeErr
+}
+
+// BenchmarkQueryWindow is the ad-hoc query layer's headline perf pin: a
+// warm two-year median-RTT window grouped by country. Warm means every
+// in-window partition is already decoded and cached, so the run is pure
+// columnar aggregation — run-length minimums over contiguous probe
+// runs, one percentile per country-month — with allocations bounded by
+// groups × months, never by row count.
+func BenchmarkQueryWindow(b *testing.B) {
+	lake, err := setupLake()
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := query.New(lake)
+	p, err := query.ParseParams(url.Values{
+		"metric": {"median_rtt"}, "from": {"2018-01"}, "to": {"2019-10"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Run(p); err != nil { // decode the window once
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Run(p)
+		if err != nil || res.Partitions == 0 || len(res.Groups) == 0 {
+			b.Fatalf("query failed: %+v err=%v", res, err)
+		}
 	}
 }
 

@@ -2,7 +2,7 @@
 // documents for every experiment and per-country summaries.
 //
 //	vzserve [-addr :8080] [-quick] [-workers N] [-warm] [-drain 30s] [-timeout 5m]
-//	        [-max-inflight 64] [-queue-timeout 10s] [-store DIR]
+//	        [-max-inflight 64] [-queue-timeout 10s] [-store DIR] [-facts DIR]
 //	        [-debug-addr :6060] [-trace FILE]
 //	        [-scenario-file FILE] [-scenario-lenient]
 //	        [-sweep-workers 2] [-sweep-spec-timeout 5m]
@@ -17,6 +17,7 @@
 //	GET  /api/experiments
 //	GET  /api/experiments/{id}        (fig1..fig21, table1; append .csv)
 //	GET  /api/countries/{cc}
+//	GET  /api/query                   (ad-hoc fact-lake aggregation; requires -facts)
 //	GET  /api/scenarios               (registered counterfactual scenarios)
 //	POST /api/scenarios               (register a scenario spec)
 //	GET  /api/scenarios/{id}/diff     (baseline-vs-scenario diff; simulates on first request)
@@ -58,6 +59,15 @@
 // workers killed mid-sweep; a coordinator whose whole fleet is down
 // simulates locally. The default -role standalone is exactly the
 // single-process server described above.
+//
+// -facts DIR persists the campaigns' probe-month samples as a
+// month-partitioned columnar fact lake under DIR and serves ad-hoc
+// aggregations over it at GET /api/query (metric × country × month
+// window × percentile × group-by; see DESIGN.md §17). A lake built by
+// a previous run reloads instantly; otherwise the first generation
+// builds during the background warm-up and queries answer 503 with
+// Retry-After until it commits. Only partitions inside the requested
+// month window are ever decoded.
 //
 // -scenario-file is validated as a whole at startup: every invalid
 // entry is reported with its spec id, and the process exits nonzero
@@ -118,6 +128,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "max concurrently executing requests (0 = unlimited)")
 	queueTimeout := flag.Duration("queue-timeout", 10*time.Second, "max wait for an execution slot before shedding")
 	storeDir := flag.String("store", "", "crash-safe result store directory (empty = no persistence)")
+	factsDir := flag.String("facts", "", "columnar fact lake directory enabling GET /api/query (empty = disabled)")
 	scenarioFile := flag.String("scenario-file", "", "preload counterfactual scenario specs from FILE (one spec or a JSON array)")
 	scenarioLenient := flag.Bool("scenario-lenient", false, "serve the valid subset of -scenario-file instead of refusing to start")
 	sweepWorkers := flag.Int("sweep-workers", 2, "concurrent spec simulations per sweep")
@@ -191,6 +202,10 @@ func main() {
 		}
 		opts.Store = store
 		log.Printf("vzserve: result store at %s", *storeDir)
+	}
+	if *factsDir != "" {
+		opts.FactsDir = *factsDir
+		log.Printf("vzserve: fact lake at %s", *factsDir)
 	}
 	if *scenarioFile != "" {
 		// Validate the whole file before serving: every parse error and

@@ -68,6 +68,16 @@ func (f *Fleet) Probe(id int) (Probe, bool) {
 	return f.probes[i], true
 }
 
+// All returns every probe ever registered, ordered by ID — the source
+// the fact lake's probe dimension (one SCD2 row per membership window)
+// is built from.
+func (f *Fleet) All() []Probe {
+	out := make([]Probe, len(f.probes))
+	copy(out, f.probes)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
 // ActiveAt returns the probes connected during month m, ordered by ID.
 func (f *Fleet) ActiveAt(m months.Month) []Probe {
 	var out []Probe

@@ -1,0 +1,190 @@
+// Package benchcheck pins the behavior of scripts/bench.sh's benchmark
+// comparator via its --compare mode, which diffs two result files
+// without running any benchmarks. The comparator gates CI perf
+// regressions, so its edge cases (zero-alloc baselines, added/retired
+// benchmarks, empty baselines) are regression-tested like any other
+// code in the repo.
+package benchcheck
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// row renders one benchmark line in the exact JSON shape bench.sh
+// emits: one object per line, keyed by name.
+func row(name string, ns, bytes, allocs int) string {
+	return `    {"name": "` + name + `", "iterations": 10, "ns_per_op": ` +
+		itoa(ns) + `, "bytes_per_op": ` + itoa(bytes) + `, "allocs_per_op": ` + itoa(allocs) + `}`
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+// sweep writes a BENCH_campaigns.json-format file holding the given
+// benchmark rows and returns its path.
+func sweep(t *testing.T, name string, rows ...string) string {
+	t.Helper()
+	doc := "{\n  \"benchtime\": \"1x\",\n  \"benchmarks\": [\n" +
+		strings.Join(rows, ",\n") + "\n  ]\n}\n"
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// compare runs `bench.sh --compare baseline fresh` and returns the
+// combined output and exit code.
+func compare(t *testing.T, baseline, fresh string) (string, int) {
+	t.Helper()
+	script, err := filepath.Abs(filepath.Join("..", "..", "scripts", "bench.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("bash", script, "--compare", baseline, fresh)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return string(out), 0
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run %s: %v\n%s", script, err, out)
+	}
+	return string(out), ee.ExitCode()
+}
+
+func TestIdenticalSweepsPass(t *testing.T) {
+	rows := []string{
+		row("BenchmarkA", 1000, 100, 5),
+		row("BenchmarkB", 2000, 0, 0),
+	}
+	base := sweep(t, "base.json", rows...)
+	fresh := sweep(t, "fresh.json", rows...)
+	out, code := compare(t, base, fresh)
+	if code != 0 {
+		t.Fatalf("identical sweeps: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "2 gated benchmark(s)") {
+		t.Errorf("want both benchmarks gated, got:\n%s", out)
+	}
+}
+
+func TestNsRegressionFails(t *testing.T) {
+	base := sweep(t, "base.json", row("BenchmarkA", 1000, 100, 5))
+	fresh := sweep(t, "fresh.json", row("BenchmarkA", 1300, 100, 5))
+	out, code := compare(t, base, fresh)
+	if code != 1 {
+		t.Fatalf("30%% ns/op regression: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "FAIL") || !strings.Contains(out, "BenchmarkA") {
+		t.Errorf("missing FAIL verdict for BenchmarkA:\n%s", out)
+	}
+}
+
+func TestNsWithinToleranceOK(t *testing.T) {
+	base := sweep(t, "base.json", row("BenchmarkA", 1000, 100, 5))
+	fresh := sweep(t, "fresh.json", row("BenchmarkA", 1200, 100, 5))
+	out, code := compare(t, base, fresh)
+	if code != 0 {
+		t.Fatalf("20%% ns/op drift within 25%% tolerance: exit %d\n%s", code, out)
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	base := sweep(t, "base.json", row("BenchmarkA", 1000, 100, 10))
+	fresh := sweep(t, "fresh.json", row("BenchmarkA", 1000, 100, 12))
+	out, code := compare(t, base, fresh)
+	if code != 1 {
+		t.Fatalf("20%% allocs/op regression: exit %d, want 1\n%s", code, out)
+	}
+}
+
+// TestZeroAllocBaselineIsPinned covers the bug the comparator used to
+// have: a baseline of 0 allocs/op skipped the allocation gate entirely
+// (a percentage of zero is meaningless), so a benchmark could silently
+// start allocating. A zero baseline is now a hard pin.
+func TestZeroAllocBaselineIsPinned(t *testing.T) {
+	base := sweep(t, "base.json", row("BenchmarkHot", 500, 0, 0))
+	fresh := sweep(t, "fresh.json", row("BenchmarkHot", 500, 16, 1))
+	out, code := compare(t, base, fresh)
+	if code != 1 {
+		t.Fatalf("0 -> 1 allocs/op: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "allocs/op 0 -> 1") {
+		t.Errorf("report should show the alloc pin break:\n%s", out)
+	}
+}
+
+func TestNewAndGoneBenchmarksNeverGate(t *testing.T) {
+	base := sweep(t, "base.json",
+		row("BenchmarkShared", 1000, 0, 0),
+		row("BenchmarkRetired", 100, 0, 0))
+	fresh := sweep(t, "fresh.json",
+		row("BenchmarkShared", 1000, 0, 0),
+		row("BenchmarkAdded", 999999, 999999, 999999))
+	out, code := compare(t, base, fresh)
+	if code != 0 {
+		t.Fatalf("added/retired benchmarks must not gate: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "NEW   BenchmarkAdded") {
+		t.Errorf("missing NEW line:\n%s", out)
+	}
+	if !strings.Contains(out, "GONE  BenchmarkRetired") {
+		t.Errorf("missing GONE line:\n%s", out)
+	}
+	if !strings.Contains(out, "1 gated benchmark(s)") {
+		t.Errorf("only the shared benchmark should gate:\n%s", out)
+	}
+}
+
+// TestEmptyBaselineAllNew covers the comparator's other historical bug:
+// files were told apart by "first FNR==1 seen", so an empty baseline
+// made the fresh sweep parse as the baseline and every result report
+// GONE. Files are now keyed by name; an empty baseline means every
+// fresh benchmark is NEW and nothing gates.
+func TestEmptyBaselineAllNew(t *testing.T) {
+	base := sweep(t, "base.json")
+	fresh := sweep(t, "fresh.json", row("BenchmarkA", 1000, 100, 5))
+	out, code := compare(t, base, fresh)
+	if code != 0 {
+		t.Fatalf("empty baseline: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "NEW   BenchmarkA") {
+		t.Errorf("benchmark should be NEW against an empty baseline:\n%s", out)
+	}
+	if strings.Contains(out, "GONE") {
+		t.Errorf("nothing can be GONE from an empty baseline:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	script, err := filepath.Abs(filepath.Join("..", "..", "scripts", "bench.sh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := sweep(t, "one.json", row("BenchmarkA", 1, 0, 0))
+	for _, args := range [][]string{
+		{"--compare", one},
+		{"--compare", one, filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		cmd := exec.Command("bash", append([]string{script}, args...)...)
+		out, err := cmd.CombinedOutput()
+		ee, ok := err.(*exec.ExitError)
+		if !ok || ee.ExitCode() != 2 {
+			t.Errorf("%v: want exit 2, got %v\n%s", args, err, out)
+		}
+	}
+}

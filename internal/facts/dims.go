@@ -1,0 +1,212 @@
+package facts
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+// The lake's dimension tables are slowly-changing (SCD type 2): each
+// row carries an attribute tuple plus a validity window, and
+// point-in-time lookups select the row whose window covers the queried
+// month. Facts stay tiny integer columns; everything descriptive —
+// which AS hosts a probe, which transit providers CANTV had, how many
+// anycast sites a letter ran — joins in through these windows.
+
+// ProbeRow is one probe's fleet-membership window: attributes are
+// immutable over a probe's life in the modeled fleet, so each probe
+// contributes exactly one row, valid [ValidFrom, ValidTo).
+type ProbeRow struct {
+	ID        int          `json:"id"`
+	CC        string       `json:"cc"`
+	ASN       uint32       `json:"asn"`
+	City      string       `json:"city"`
+	ValidFrom months.Month `json:"valid_from"`
+	// ValidTo is exclusive; zero means still connected.
+	ValidTo months.Month `json:"valid_to"`
+}
+
+// ActiveAt reports whether the row's window covers m.
+func (p ProbeRow) ActiveAt(m months.Month) bool {
+	if m.Before(p.ValidFrom) {
+		return false
+	}
+	return p.ValidTo.IsZero() || m.Before(p.ValidTo)
+}
+
+// EraRow is one validity window of a versioned world attribute: the
+// topology wiring signature, the GPDNS site list, or a root letter's
+// instance count. Consecutive campaign months sharing a signature
+// collapse into one row, valid [ValidFrom, ValidTo] inclusive (eras are
+// derived from the sampled campaign months, so the window's ends are
+// observed months, not calendar guesses).
+type EraRow struct {
+	Key       string       `json:"key"` // "topology", "gpdns", or "root-A".."root-M"
+	Sig       string       `json:"sig"`
+	ValidFrom months.Month `json:"valid_from"`
+	ValidTo   months.Month `json:"valid_to"`
+}
+
+// Dimensions is the lake's dimension store, serialized as one JSON
+// document inside a VZRS frame.
+type Dimensions struct {
+	Probes []ProbeRow `json:"probes"`
+	Eras   []EraRow   `json:"eras"`
+
+	asnByID map[int32]uint32
+	ccByID  map[int32]string
+}
+
+// BuildDimensions derives the dimension tables from a built world: the
+// probe rows from fleet membership, the era rows by scanning the
+// campaign month range and collapsing runs of equal signatures.
+func BuildDimensions(w *world.World) *Dimensions {
+	d := &Dimensions{}
+	for _, p := range w.Fleet.All() {
+		d.Probes = append(d.Probes, ProbeRow{
+			ID:        p.ID,
+			CC:        p.Country,
+			ASN:       uint32(p.ASN),
+			City:      p.City.Name,
+			ValidFrom: p.Connected,
+			ValidTo:   p.Disconnected,
+		})
+	}
+	lo, hi := campaignRange(w)
+	d.Eras = append(d.Eras, collapseEras("topology", lo, hi, w.Config.Step, world.TopologySignatureAt)...)
+	d.Eras = append(d.Eras, collapseEras("gpdns", lo, hi, w.Config.Step, func(m months.Month) string {
+		sites := w.GPDNSSitesAt(m)
+		parts := make([]string, len(sites))
+		for i, s := range sites {
+			parts[i] = fmt.Sprintf("%s@AS%d", s.City.IATA, s.Host)
+		}
+		return strings.Join(parts, ",")
+	})...)
+	for _, letter := range rootLetters() {
+		key := "root-" + string(letter)
+		d.Eras = append(d.Eras, collapseEras(key, lo, hi, w.Config.Step, func(m months.Month) string {
+			n := 0
+			for _, inst := range w.Roots.ActiveAt(m) {
+				if byte(inst.Letter) == letter {
+					n++
+				}
+			}
+			return fmt.Sprintf("sites%d", n)
+		})...)
+	}
+	d.index()
+	return d
+}
+
+// rootLetters avoids importing dnsroot just for the letter range.
+func rootLetters() []byte {
+	out := make([]byte, 13)
+	for i := range out {
+		out[i] = byte('A' + i)
+	}
+	return out
+}
+
+// campaignRange is the union of both campaign windows — the month span
+// the era dimensions must describe.
+func campaignRange(w *world.World) (months.Month, months.Month) {
+	lo, hi := w.Config.TraceStart, w.Config.TraceEnd
+	if w.Config.ChaosStart.Before(lo) {
+		lo = w.Config.ChaosStart
+	}
+	if hi.Before(w.Config.ChaosEnd) {
+		hi = w.Config.ChaosEnd
+	}
+	return lo, hi
+}
+
+// collapseEras scans [lo, hi] at the campaign step and emits one row
+// per run of equal signatures.
+func collapseEras(key string, lo, hi months.Month, step int, sigAt func(months.Month) string) []EraRow {
+	if step <= 0 {
+		step = 1
+	}
+	var out []EraRow
+	for m := lo; !m.After(hi); m = m.Add(step) {
+		sig := sigAt(m)
+		if n := len(out); n > 0 && out[n-1].Sig == sig {
+			out[n-1].ValidTo = m
+			continue
+		}
+		out = append(out, EraRow{Key: key, Sig: sig, ValidFrom: m, ValidTo: m})
+	}
+	return out
+}
+
+// index builds the point lookups the query engine joins through.
+func (d *Dimensions) index() {
+	d.asnByID = make(map[int32]uint32, len(d.Probes))
+	d.ccByID = make(map[int32]string, len(d.Probes))
+	for _, p := range d.Probes {
+		d.asnByID[int32(p.ID)] = p.ASN
+		d.ccByID[int32(p.ID)] = p.CC
+	}
+}
+
+// ProbeASN returns the hosting AS of a probe.
+func (d *Dimensions) ProbeASN(id int32) (uint32, bool) {
+	asn, ok := d.asnByID[id]
+	return asn, ok
+}
+
+// ProbeCC returns the country of a probe.
+func (d *Dimensions) ProbeCC(id int32) (string, bool) {
+	cc, ok := d.ccByID[id]
+	return cc, ok
+}
+
+// ActiveProbes counts probes whose membership window covers m, filtered
+// by country and/or hosting AS (zero values disable a filter) — the
+// reachability metric's denominator.
+func (d *Dimensions) ActiveProbes(m months.Month, cc string, asn uint32) int {
+	n := 0
+	for i := range d.Probes {
+		p := &d.Probes[i]
+		if !p.ActiveAt(m) {
+			continue
+		}
+		if cc != "" && p.CC != cc {
+			continue
+		}
+		if asn != 0 && p.ASN != asn {
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// EraAt returns the signature of the era covering m for key, or false
+// when m falls outside every recorded window.
+func (d *Dimensions) EraAt(key string, m months.Month) (string, bool) {
+	for i := range d.Eras {
+		e := &d.Eras[i]
+		if e.Key == key && !m.Before(e.ValidFrom) && !e.ValidTo.Before(m) {
+			return e.Sig, true
+		}
+	}
+	return "", false
+}
+
+// Countries lists the distinct probe countries, sorted — the group-key
+// universe for country group-bys.
+func (d *Dimensions) Countries() []string {
+	seen := map[string]bool{}
+	for i := range d.Probes {
+		seen[d.Probes[i].CC] = true
+	}
+	out := make([]string, 0, len(seen))
+	for cc := range seen {
+		out = append(out, cc)
+	}
+	sort.Strings(out)
+	return out
+}

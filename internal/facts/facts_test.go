@@ -1,0 +1,348 @@
+package facts
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/months"
+	"vzlens/internal/world"
+)
+
+// testConfig keeps lake-building tests fast: a two-year window at a
+// quarterly step is 8 trace and 8 chaos partitions.
+func testConfig() world.Config {
+	return world.Config{
+		TraceStart: months.MustParse("2018-01"),
+		TraceEnd:   months.MustParse("2019-10"),
+		ChaosStart: months.MustParse("2018-01"),
+		ChaosEnd:   months.MustParse("2019-10"),
+		Step:       3,
+		Workers:    4,
+	}
+}
+
+func testWorld(t testing.TB) *world.World {
+	t.Helper()
+	w, err := world.Build(testConfig())
+	if err != nil {
+		t.Fatalf("build world: %v", err)
+	}
+	return w
+}
+
+func builtLake(t testing.TB, w *world.World) *Lake {
+	t.Helper()
+	l, err := Open(t.TempDir(), w.Config.Scope())
+	if err != nil {
+		t.Fatalf("open lake: %v", err)
+	}
+	if err := l.Build(context.Background(), w); err != nil {
+		t.Fatalf("build lake: %v", err)
+	}
+	return l
+}
+
+func TestTracePartitionRoundTrip(t *testing.T) {
+	p := &TracePartition{
+		Month:   months.MustParse("2020-05"),
+		RTT:     []float64{1.5, 2.25, 99.875},
+		ProbeID: []int32{7, 7, 9},
+		CC:      []uint16{0, 0, 1},
+		Hops:    []uint8{3, 3, 254},
+		Dict:    []string{"VE", "BR"},
+	}
+	tp, cp, err := DecodePartition(EncodeTracePartition(p))
+	if err != nil || cp != nil {
+		t.Fatalf("decode: tp=%v cp=%v err=%v", tp, cp, err)
+	}
+	if !reflect.DeepEqual(tp, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", tp, p)
+	}
+}
+
+func TestChaosPartitionRoundTrip(t *testing.T) {
+	p := &ChaosPartition{
+		Month:   months.MustParse("2021-11"),
+		ProbeID: []int32{1, 2, 3},
+		TXT:     []uint32{0, 2, 2},
+		CC:      []uint16{1, 1, 3},
+		SiteCC:  []uint16{3, DictNone, 1},
+		Letter:  []uint8{'A', 'K', 'M'},
+		Dict:    []string{"ccs1-ccs2", "VE", "mia1-ccs3", "US"},
+	}
+	tp, cp, err := DecodePartition(EncodeChaosPartition(p))
+	if err != nil || tp != nil {
+		t.Fatalf("decode: tp=%v cp=%v err=%v", tp, cp, err)
+	}
+	if !reflect.DeepEqual(cp, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", cp, p)
+	}
+}
+
+func TestEmptyPartitionsRoundTrip(t *testing.T) {
+	tp0 := &TracePartition{Month: 1, RTT: []float64{}, ProbeID: []int32{}, CC: []uint16{}, Hops: []uint8{}, Dict: []string{}}
+	if _, _, err := DecodePartition(EncodeTracePartition(tp0)); err != nil {
+		t.Fatalf("empty trace partition: %v", err)
+	}
+	cp0 := &ChaosPartition{Month: 1, ProbeID: []int32{}, TXT: []uint32{}, CC: []uint16{}, SiteCC: []uint16{}, Letter: []uint8{}, Dict: []string{}}
+	if _, _, err := DecodePartition(EncodeChaosPartition(cp0)); err != nil {
+		t.Fatalf("empty chaos partition: %v", err)
+	}
+}
+
+// TestDecodeCorrupt drives structural mutations through DecodePartition
+// and expects every one to surface ErrCorrupt, never a panic or a
+// silent success.
+func TestDecodeCorrupt(t *testing.T) {
+	valid := EncodeTracePartition(&TracePartition{
+		Month:   months.MustParse("2020-01"),
+		RTT:     []float64{1, 2},
+		ProbeID: []int32{4, 5},
+		CC:      []uint16{0, 0},
+		Hops:    []uint8{1, 1},
+		Dict:    []string{"VE"},
+	})
+	mutate := func(off int, b byte) []byte {
+		out := append([]byte(nil), valid...)
+		out[off] = b
+		return out
+	}
+	zeroMonth := append([]byte(nil), valid...)
+	for i := 8; i < 16; i++ {
+		zeroMonth[i] = 0
+	}
+	// A cc code pointing past the dictionary: encode never validates
+	// codes (the recorder cannot produce bad ones), decode must.
+	badCC := EncodeTracePartition(&TracePartition{
+		Month: months.MustParse("2020-01"), RTT: []float64{1},
+		ProbeID: []int32{4}, CC: []uint16{9}, Hops: []uint8{1}, Dict: []string{"VE"},
+	})
+	cases := map[string][]byte{
+		"empty":          {},
+		"short header":   valid[:16],
+		"bad magic":      mutate(0, 'X'),
+		"bad version":    mutate(4, 9),
+		"bad kind":       mutate(6, 7),
+		"reserved set":   mutate(7, 1),
+		"zero month":     zeroMonth,
+		"huge rows":      mutate(16, 0xFF),
+		"huge dict":      mutate(20, 0xFF),
+		"truncated":      valid[:len(valid)-8],
+		"cc out of dict": badCC,
+		"trailing bytes": append(append([]byte(nil), valid...), 0, 0, 0, 0, 0, 0, 0, 0),
+	}
+	for name, payload := range cases {
+		if _, _, err := DecodePartition(payload); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got err=%v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestRecorderIdempotentPerMonth(t *testing.T) {
+	rec := NewRecorder()
+	m := months.MustParse("2020-01")
+	s1 := []atlas.TraceSample{{Month: m, ProbeID: 1, ProbeCC: "VE", RTTms: 10}}
+	s2 := []atlas.TraceSample{{Month: m, ProbeID: 2, ProbeCC: "BR", RTTms: 20}}
+	rec.TraceMonthFacts(m, s1, []uint8{3})
+	rec.TraceMonthFacts(m, s2, []uint8{4}) // duplicate delivery: dropped
+	trace, _ := rec.payloads()
+	tp, _, err := DecodePartition(trace[m])
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if tp.Rows() != 1 || tp.ProbeID[0] != 1 {
+		t.Fatalf("duplicate delivery replaced first write: %+v", tp)
+	}
+}
+
+// TestBuildReconstructsCampaigns is the lake's core contract: campaigns
+// rebuilt from the partition files are byte-identical to the campaigns
+// the lake was built from.
+func TestBuildReconstructsCampaigns(t *testing.T) {
+	w := testWorld(t)
+	l := builtLake(t, w)
+
+	wantTrace := w.TraceCampaign().Samples()
+	wantChaos := w.ChaosCampaign().Results()
+
+	// Reopen cold: everything must come off disk, not recorder memory.
+	l2, err := Open(l.Dir(), w.Config.Scope())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if !l2.Ready() {
+		t.Fatal("reopened lake not ready")
+	}
+	gotTC, err := l2.TraceCampaign()
+	if err != nil {
+		t.Fatalf("reconstruct trace: %v", err)
+	}
+	gotCC, err := l2.ChaosCampaign()
+	if err != nil {
+		t.Fatalf("reconstruct chaos: %v", err)
+	}
+	if got := gotTC.Samples(); !reflect.DeepEqual(got, wantTrace) {
+		t.Fatalf("trace reconstruction diverges: %d rows vs %d", len(got), len(wantTrace))
+	}
+	if got := gotCC.Results(); !reflect.DeepEqual(got, wantChaos) {
+		t.Fatalf("chaos reconstruction diverges: %d rows vs %d", len(got), len(wantChaos))
+	}
+}
+
+// TestPartitionPruning pins the decode counter: touching one month
+// decodes one partition, a repeat touch decodes none.
+func TestPartitionPruning(t *testing.T) {
+	w := testWorld(t)
+	l := builtLake(t, w)
+	l2, err := Open(l.Dir(), w.Config.Scope())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	m := l2.TraceMonths()[1]
+	if _, err := l2.TracePart(m); err != nil {
+		t.Fatalf("part: %v", err)
+	}
+	if got := l2.Decodes(); got != 1 {
+		t.Fatalf("one month touched, %d partitions decoded", got)
+	}
+	if _, err := l2.TracePart(m); err != nil {
+		t.Fatalf("part: %v", err)
+	}
+	if got := l2.Decodes(); got != 1 {
+		t.Fatalf("warm re-read decoded again: %d", got)
+	}
+	if p, err := l2.TracePart(m + 1); p != nil || err != nil {
+		t.Fatalf("uncommitted month returned %v, %v", p, err)
+	}
+}
+
+// TestQuarantineCorruptPartition flips bytes in a committed partition
+// and expects ErrCorrupt plus a quarantined file.
+func TestQuarantineCorruptPartition(t *testing.T) {
+	w := testWorld(t)
+	l := builtLake(t, w)
+	m := l.TraceMonths()[0]
+	path := filepath.Join(l.Dir(), "trace-"+m.String()+".vzfp")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read partition: %v", err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatalf("write corrupt partition: %v", err)
+	}
+	l2, err := Open(l.Dir(), w.Config.Scope())
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if _, err := l2.TracePart(m); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt partition: err=%v, want ErrCorrupt", err)
+	}
+	if got := l2.Quarantines(); got != 1 {
+		t.Fatalf("quarantine count %d, want 1", got)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt partition still in place: %v", err)
+	}
+	entries, err := os.ReadDir(filepath.Join(l.Dir(), "quarantine"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("quarantine dir: %v entries, err=%v", len(entries), err)
+	}
+	// The error is sticky for the generation, but a rebuild recovers.
+	if err := l2.Build(context.Background(), w); err != nil {
+		t.Fatalf("rebuild after quarantine: %v", err)
+	}
+	if _, err := l2.TracePart(m); err != nil {
+		t.Fatalf("partition still failing after rebuild: %v", err)
+	}
+}
+
+// TestScopeMismatch: a lake built under one configuration must never be
+// served to a world with another.
+func TestScopeMismatch(t *testing.T) {
+	w := testWorld(t)
+	l := builtLake(t, w)
+	l2, err := Open(l.Dir(), "seed999-other-scope")
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if l2.Ready() {
+		t.Fatal("lake with mismatched scope reported ready")
+	}
+	if err := l2.Build(context.Background(), w); err == nil {
+		t.Fatal("build accepted a world whose scope differs from the lake's")
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	w := testWorld(t)
+	dims := BuildDimensions(w)
+	if len(dims.Probes) != w.Fleet.Len() {
+		t.Fatalf("probe dimension has %d rows, fleet has %d", len(dims.Probes), w.Fleet.Len())
+	}
+	m := months.MustParse("2019-04")
+	if got, want := dims.ActiveProbes(m, "", 0), len(w.Fleet.ActiveAt(m)); got != want {
+		t.Fatalf("active probes at %s: dim %d, fleet %d", m, got, want)
+	}
+	if got, want := dims.ActiveProbes(m, "VE", 0), len(w.Fleet.ActiveIn("VE", m)); got != want {
+		t.Fatalf("active VE probes at %s: dim %d, fleet %d", m, got, want)
+	}
+	// Era windows must cover every campaign month, contiguously per key,
+	// and agree with the live signature function.
+	for _, key := range []string{"topology", "gpdns", "root-A", "root-M"} {
+		for mm := w.Config.TraceStart; !mm.After(w.Config.TraceEnd); mm = mm.Add(w.Config.Step) {
+			if _, ok := dims.EraAt(key, mm); !ok {
+				t.Fatalf("era %s has no window covering %s", key, mm)
+			}
+		}
+	}
+	for mm := w.Config.TraceStart; !mm.After(w.Config.TraceEnd); mm = mm.Add(w.Config.Step) {
+		sig, _ := dims.EraAt("topology", mm)
+		if want := world.TopologySignatureAt(mm); sig != want {
+			t.Fatalf("topology era at %s: %q, want %q", mm, sig, want)
+		}
+	}
+	// SCD2 invariant: windows of one key never overlap.
+	byKey := map[string][]EraRow{}
+	for _, e := range dims.Eras {
+		byKey[e.Key] = append(byKey[e.Key], e)
+	}
+	for key, rows := range byKey {
+		for i := 1; i < len(rows); i++ {
+			if !rows[i-1].ValidTo.Before(rows[i].ValidFrom) {
+				t.Fatalf("era %s windows overlap: %+v then %+v", key, rows[i-1], rows[i])
+			}
+			if rows[i-1].Sig == rows[i].Sig {
+				t.Fatalf("era %s adjacent windows share signature %q (should be collapsed)", key, rows[i].Sig)
+			}
+		}
+	}
+}
+
+// TestIngestFallback covers the externally-ingested-campaign path where
+// the kernel hooks never fire.
+func TestIngestFallback(t *testing.T) {
+	rec := NewRecorder()
+	m1, m2 := months.MustParse("2020-01"), months.MustParse("2020-02")
+	rec.IngestTrace([]atlas.TraceSample{
+		{Month: m1, ProbeID: 1, ProbeCC: "VE", RTTms: 10},
+		{Month: m2, ProbeID: 1, ProbeCC: "VE", RTTms: 11},
+		{Month: m1, ProbeID: 2, ProbeCC: "BR", RTTms: 12},
+	})
+	if got := rec.TraceMonths(); len(got) != 2 || got[0] != m1 || got[1] != m2 {
+		t.Fatalf("ingested months: %v", got)
+	}
+	trace, _ := rec.payloads()
+	tp, _, err := DecodePartition(trace[m1])
+	if err != nil || tp.Rows() != 2 {
+		t.Fatalf("month 1 partition: rows=%d err=%v", tp.Rows(), err)
+	}
+	if tp.Hops[0] != 0 {
+		t.Fatalf("external ingest should record zero hops, got %d", tp.Hops[0])
+	}
+}

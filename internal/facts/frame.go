@@ -1,0 +1,418 @@
+// Package facts is the month-partitioned columnar fact lake behind the
+// ad-hoc query layer: campaign probe-month samples persisted once, as
+// the columnar kernels emit them, into per-month fact files plus SCD2
+// dimension tables (probe fleet membership, topology eras, anycast
+// site-list eras) with validity windows. Each partition is one VZRS
+// frame (resultstore's checksummed envelope) whose payload is the VZFC
+// columnar layout below; readers mmap the file, validate, decode the
+// columns they need, and never touch partitions outside the queried
+// month window — partition pruning is structural, not an optimizer
+// decision.
+package facts
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vzlens/internal/months"
+	"vzlens/internal/resultstore"
+)
+
+// ErrCorrupt aliases resultstore.ErrCorrupt: a fact partition that
+// fails structural validation is handled exactly like a torn store
+// entry — quarantined and rebuilt, never served.
+var ErrCorrupt = resultstore.ErrCorrupt
+
+// VZFC partition payload layout (little-endian), carried inside a VZRS
+// frame:
+//
+//	offset  size  field
+//	0       4     magic "VZFC"
+//	4       2     format version (currently 1)
+//	6       1     kind (1 = trace, 2 = chaos)
+//	7       1     reserved (must be zero)
+//	8       8     month (months.Month as int64)
+//	16      4     row count
+//	20      4     dictionary entry count
+//	24      8     dictionary blob length in bytes
+//	32      ...   dictionary blob: per entry uint32 length + raw bytes
+//	        ...   columns, each 8-byte aligned (zero padding between)
+//
+// Column order is fixed per kind:
+//
+//	trace: rtt float64, probeID int32, cc uint16, hops uint8
+//	chaos: probeID int32, txt uint32, cc uint16, siteCC uint16, letter uint8
+//
+// Strings (probe countries, CHAOS TXT answers, parsed site countries)
+// live once in the per-partition dictionary; columns hold codes. The
+// trace and chaos code spaces share one dictionary per partition, so
+// "answer is domestic" is a single integer comparison between the cc
+// and siteCC columns.
+const (
+	frameMagic   = "VZFC"
+	frameVersion = 1
+
+	// KindTrace and KindChaos tag a partition's fact table.
+	KindTrace = 1
+	KindChaos = 2
+
+	frameHeaderSize = 32
+
+	// DictNone is the siteCC column's sentinel for a CHAOS answer whose
+	// TXT did not parse under its letter's naming convention — the rows
+	// the paper's regular-expression extraction skips.
+	DictNone = 0xFFFF
+
+	// maxDictEntries keeps dictionary codes inside uint16 with room for
+	// the DictNone sentinel.
+	maxDictEntries = DictNone
+
+	// minTraceRowBytes / minChaosRowBytes bound the row count a payload
+	// of a given size can possibly hold, so a corrupt header can never
+	// drive a large allocation before validation.
+	minTraceRowBytes = 8 + 4 + 2 + 1
+	minChaosRowBytes = 4 + 4 + 2 + 2 + 1
+)
+
+// TracePartition is one decoded month of traceroute facts. Rows are in
+// kernel emission order: active probes ascending by ID, SamplesPerProbe
+// consecutive rows per probe — so per-probe aggregation is a linear
+// scan over runs of equal ProbeID, and month-ordered concatenation of
+// partitions reconstructs the campaign byte-identically.
+type TracePartition struct {
+	Month   months.Month
+	RTT     []float64 // RTT sample in milliseconds
+	ProbeID []int32
+	CC      []uint16 // probe country, dictionary code
+	Hops    []uint8  // AS-path length of the selected anycast site
+	Dict    []string
+}
+
+// Rows returns the number of fact rows.
+func (p *TracePartition) Rows() int { return len(p.ProbeID) }
+
+// ChaosPartition is one decoded month of CHAOS facts. Rows are in
+// kernel emission order: letter-major, probe-minor.
+type ChaosPartition struct {
+	Month   months.Month
+	ProbeID []int32
+	TXT     []uint32 // CHAOS TXT answer, dictionary code
+	CC      []uint16 // probe country, dictionary code
+	SiteCC  []uint16 // parsed site country code, or DictNone
+	Letter  []uint8  // root letter 'A'..'M'
+	Dict    []string
+}
+
+// Rows returns the number of fact rows.
+func (p *ChaosPartition) Rows() int { return len(p.ProbeID) }
+
+// pad8 rounds n up to the next multiple of 8; every column section
+// starts 8-byte aligned so future zero-copy readers stay possible.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// dictBlobLen returns the encoded size of a dictionary.
+func dictBlobLen(dict []string) int {
+	n := 0
+	for _, s := range dict {
+		n += 4 + len(s)
+	}
+	return n
+}
+
+// encodeHeader writes the common VZFC header and dictionary, returning
+// the offset where columns begin.
+func encodeHeader(buf []byte, kind byte, m months.Month, rows int, dict []string) int {
+	copy(buf[0:4], frameMagic)
+	binary.LittleEndian.PutUint16(buf[4:6], frameVersion)
+	buf[6] = kind
+	buf[7] = 0
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(int64(m)))
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(rows))
+	binary.LittleEndian.PutUint32(buf[20:24], uint32(len(dict)))
+	blob := dictBlobLen(dict)
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(blob))
+	off := frameHeaderSize
+	for _, s := range dict {
+		binary.LittleEndian.PutUint32(buf[off:off+4], uint32(len(s)))
+		off += 4
+		copy(buf[off:], s)
+		off += len(s)
+	}
+	return pad8(off)
+}
+
+// EncodeTracePartition encodes p into a VZFC payload (the caller wraps
+// it in a VZRS frame for disk). It panics on structurally impossible
+// inputs — mismatched column lengths or an oversized dictionary — which
+// only a bug in the recorder can produce.
+func EncodeTracePartition(p *TracePartition) []byte {
+	rows := p.Rows()
+	if len(p.RTT) != rows || len(p.CC) != rows || len(p.Hops) != rows {
+		panic("facts: trace partition column lengths disagree")
+	}
+	if len(p.Dict) > maxDictEntries {
+		panic("facts: trace partition dictionary overflows uint16 codes")
+	}
+	size := pad8(frameHeaderSize+dictBlobLen(p.Dict)) +
+		pad8(8*rows) + pad8(4*rows) + pad8(2*rows) + pad8(rows)
+	buf := make([]byte, size)
+	off := encodeHeader(buf, KindTrace, p.Month, rows, p.Dict)
+	for i, v := range p.RTT {
+		binary.LittleEndian.PutUint64(buf[off+8*i:], math.Float64bits(v))
+	}
+	off += pad8(8 * rows)
+	for i, v := range p.ProbeID {
+		binary.LittleEndian.PutUint32(buf[off+4*i:], uint32(v))
+	}
+	off += pad8(4 * rows)
+	for i, v := range p.CC {
+		binary.LittleEndian.PutUint16(buf[off+2*i:], v)
+	}
+	off += pad8(2 * rows)
+	copy(buf[off:], p.Hops)
+	return buf
+}
+
+// EncodeChaosPartition encodes p into a VZFC payload.
+func EncodeChaosPartition(p *ChaosPartition) []byte {
+	rows := p.Rows()
+	if len(p.TXT) != rows || len(p.CC) != rows || len(p.SiteCC) != rows || len(p.Letter) != rows {
+		panic("facts: chaos partition column lengths disagree")
+	}
+	if len(p.Dict) > maxDictEntries {
+		panic("facts: chaos partition dictionary overflows uint16 codes")
+	}
+	size := pad8(frameHeaderSize+dictBlobLen(p.Dict)) +
+		pad8(4*rows) + pad8(4*rows) + pad8(2*rows) + pad8(2*rows) + pad8(rows)
+	buf := make([]byte, size)
+	off := encodeHeader(buf, KindChaos, p.Month, rows, p.Dict)
+	for i, v := range p.ProbeID {
+		binary.LittleEndian.PutUint32(buf[off+4*i:], uint32(v))
+	}
+	off += pad8(4 * rows)
+	for i, v := range p.TXT {
+		binary.LittleEndian.PutUint32(buf[off+4*i:], v)
+	}
+	off += pad8(4 * rows)
+	for i, v := range p.CC {
+		binary.LittleEndian.PutUint16(buf[off+2*i:], v)
+	}
+	off += pad8(2 * rows)
+	for i, v := range p.SiteCC {
+		binary.LittleEndian.PutUint16(buf[off+2*i:], v)
+	}
+	off += pad8(2 * rows)
+	copy(buf[off:], p.Letter)
+	return buf
+}
+
+// frameHead is the validated fixed header of a VZFC payload.
+type frameHead struct {
+	kind  byte
+	month months.Month
+	rows  int
+	dict  []string
+	off   int // first column offset
+}
+
+// decodeHead validates the fixed header and dictionary. Every length is
+// bounded against len(payload) BEFORE any allocation sized by it, so a
+// corrupt or adversarial payload can cost at most O(len(payload)) — the
+// invariant FuzzFactFrame pins.
+func decodeHead(payload []byte) (frameHead, error) {
+	var h frameHead
+	if len(payload) < frameHeaderSize {
+		return h, fmt.Errorf("%w: facts payload %d bytes, shorter than the %d-byte header", ErrCorrupt, len(payload), frameHeaderSize)
+	}
+	if string(payload[0:4]) != frameMagic {
+		return h, fmt.Errorf("%w: facts bad magic %q", ErrCorrupt, payload[0:4])
+	}
+	if v := binary.LittleEndian.Uint16(payload[4:6]); v != frameVersion {
+		return h, fmt.Errorf("%w: facts unsupported version %d", ErrCorrupt, v)
+	}
+	h.kind = payload[6]
+	if h.kind != KindTrace && h.kind != KindChaos {
+		return h, fmt.Errorf("%w: facts unknown kind %d", ErrCorrupt, h.kind)
+	}
+	if payload[7] != 0 {
+		return h, fmt.Errorf("%w: facts nonzero reserved byte", ErrCorrupt)
+	}
+	mraw := int64(binary.LittleEndian.Uint64(payload[8:16]))
+	if mraw <= 0 || mraw > math.MaxInt32 {
+		return h, fmt.Errorf("%w: facts month %d out of range", ErrCorrupt, mraw)
+	}
+	h.month = months.Month(mraw)
+	rows := binary.LittleEndian.Uint32(payload[16:20])
+	minRow := uint64(minTraceRowBytes)
+	if h.kind == KindChaos {
+		minRow = minChaosRowBytes
+	}
+	if uint64(rows)*minRow > uint64(len(payload)) {
+		return h, fmt.Errorf("%w: facts row count %d exceeds payload capacity", ErrCorrupt, rows)
+	}
+	h.rows = int(rows)
+	dictCount := binary.LittleEndian.Uint32(payload[20:24])
+	if dictCount > maxDictEntries || uint64(dictCount)*4 > uint64(len(payload)) {
+		return h, fmt.Errorf("%w: facts dictionary count %d out of range", ErrCorrupt, dictCount)
+	}
+	blob := binary.LittleEndian.Uint64(payload[24:32])
+	if blob > uint64(len(payload)-frameHeaderSize) {
+		return h, fmt.Errorf("%w: facts dictionary blob %d bytes overruns payload", ErrCorrupt, blob)
+	}
+	h.dict = make([]string, 0, dictCount)
+	off, end := frameHeaderSize, frameHeaderSize+int(blob)
+	for i := uint32(0); i < dictCount; i++ {
+		if off+4 > end {
+			return h, fmt.Errorf("%w: facts dictionary entry %d truncated", ErrCorrupt, i)
+		}
+		n := int(binary.LittleEndian.Uint32(payload[off : off+4]))
+		off += 4
+		if n < 0 || off+n > end {
+			return h, fmt.Errorf("%w: facts dictionary entry %d length %d overruns blob", ErrCorrupt, i, n)
+		}
+		h.dict = append(h.dict, string(payload[off:off+n]))
+		off += n
+	}
+	if off != end {
+		return h, fmt.Errorf("%w: facts dictionary blob has %d trailing bytes", ErrCorrupt, end-off)
+	}
+	h.off = pad8(end)
+	return h, nil
+}
+
+// DecodePartition validates and decodes a VZFC payload into exactly one
+// of a trace or chaos partition. The returned partitions copy out of
+// payload, so callers may unmap the backing file immediately — decoded
+// partitions never alias the mapping.
+func DecodePartition(payload []byte) (*TracePartition, *ChaosPartition, error) {
+	h, err := decodeHead(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if h.kind == KindTrace {
+		p, err := decodeTrace(payload, h)
+		return p, nil, err
+	}
+	p, err := decodeChaos(payload, h)
+	return nil, p, err
+}
+
+// section checks that a column of size bytes fits at off and returns
+// the column bytes plus the next (padded) offset.
+func section(payload []byte, off, size int) ([]byte, int, error) {
+	if size < 0 || off+size > len(payload) {
+		return nil, 0, fmt.Errorf("%w: facts column section overruns payload", ErrCorrupt)
+	}
+	return payload[off : off+size], pad8(off + size), nil
+}
+
+func decodeTrace(payload []byte, h frameHead) (*TracePartition, error) {
+	rows := h.rows
+	want := pad8(8*rows) + pad8(4*rows) + pad8(2*rows) + pad8(rows)
+	if len(payload)-h.off != want {
+		return nil, fmt.Errorf("%w: facts trace payload %d bytes, want %d after header", ErrCorrupt, len(payload)-h.off, want)
+	}
+	p := &TracePartition{
+		Month:   h.month,
+		RTT:     make([]float64, rows),
+		ProbeID: make([]int32, rows),
+		CC:      make([]uint16, rows),
+		Hops:    make([]uint8, rows),
+		Dict:    h.dict,
+	}
+	b, off, err := section(payload, h.off, 8*rows)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.RTT {
+		p.RTT[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	if b, off, err = section(payload, off, 4*rows); err != nil {
+		return nil, err
+	}
+	for i := range p.ProbeID {
+		p.ProbeID[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		if p.ProbeID[i] < 0 {
+			return nil, fmt.Errorf("%w: facts negative probe ID", ErrCorrupt)
+		}
+	}
+	if b, off, err = section(payload, off, 2*rows); err != nil {
+		return nil, err
+	}
+	for i := range p.CC {
+		p.CC[i] = binary.LittleEndian.Uint16(b[2*i:])
+		if int(p.CC[i]) >= len(p.Dict) {
+			return nil, fmt.Errorf("%w: facts cc code %d outside dictionary", ErrCorrupt, p.CC[i])
+		}
+	}
+	if b, _, err = section(payload, off, rows); err != nil {
+		return nil, err
+	}
+	copy(p.Hops, b)
+	return p, nil
+}
+
+func decodeChaos(payload []byte, h frameHead) (*ChaosPartition, error) {
+	rows := h.rows
+	want := pad8(4*rows) + pad8(4*rows) + pad8(2*rows) + pad8(2*rows) + pad8(rows)
+	if len(payload)-h.off != want {
+		return nil, fmt.Errorf("%w: facts chaos payload %d bytes, want %d after header", ErrCorrupt, len(payload)-h.off, want)
+	}
+	p := &ChaosPartition{
+		Month:   h.month,
+		ProbeID: make([]int32, rows),
+		TXT:     make([]uint32, rows),
+		CC:      make([]uint16, rows),
+		SiteCC:  make([]uint16, rows),
+		Letter:  make([]uint8, rows),
+		Dict:    h.dict,
+	}
+	b, off, err := section(payload, h.off, 4*rows)
+	if err != nil {
+		return nil, err
+	}
+	for i := range p.ProbeID {
+		p.ProbeID[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+		if p.ProbeID[i] < 0 {
+			return nil, fmt.Errorf("%w: facts negative probe ID", ErrCorrupt)
+		}
+	}
+	if b, off, err = section(payload, off, 4*rows); err != nil {
+		return nil, err
+	}
+	for i := range p.TXT {
+		p.TXT[i] = binary.LittleEndian.Uint32(b[4*i:])
+		if uint64(p.TXT[i]) >= uint64(len(p.Dict)) {
+			return nil, fmt.Errorf("%w: facts txt code %d outside dictionary", ErrCorrupt, p.TXT[i])
+		}
+	}
+	if b, off, err = section(payload, off, 2*rows); err != nil {
+		return nil, err
+	}
+	for i := range p.CC {
+		p.CC[i] = binary.LittleEndian.Uint16(b[2*i:])
+		if int(p.CC[i]) >= len(p.Dict) {
+			return nil, fmt.Errorf("%w: facts cc code %d outside dictionary", ErrCorrupt, p.CC[i])
+		}
+	}
+	if b, off, err = section(payload, off, 2*rows); err != nil {
+		return nil, err
+	}
+	for i := range p.SiteCC {
+		p.SiteCC[i] = binary.LittleEndian.Uint16(b[2*i:])
+		if p.SiteCC[i] != DictNone && int(p.SiteCC[i]) >= len(p.Dict) {
+			return nil, fmt.Errorf("%w: facts siteCC code %d outside dictionary", ErrCorrupt, p.SiteCC[i])
+		}
+	}
+	if b, _, err = section(payload, off, rows); err != nil {
+		return nil, err
+	}
+	for i := range p.Letter {
+		p.Letter[i] = b[i]
+		if p.Letter[i] < 'A' || p.Letter[i] > 'M' {
+			return nil, fmt.Errorf("%w: facts letter %d outside A-M", ErrCorrupt, p.Letter[i])
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,457 @@
+package facts
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vzlens/internal/atlas"
+	"vzlens/internal/dnsroot"
+	"vzlens/internal/months"
+	"vzlens/internal/resultstore"
+	"vzlens/internal/world"
+)
+
+// Lake is the on-disk fact lake: one VZRS-framed VZFC partition file
+// per campaign month per fact table, a dimension document, and a
+// manifest recording the world-configuration scope that produced them.
+// Reads are pruned structurally — a partition outside the queried month
+// window is never opened, let alone decoded — and decoded partitions
+// cache in memory, so a warm query touches no disk and allocates
+// almost nothing. A corrupt partition is quarantined on first touch and
+// reported as ErrCorrupt; Build rewrites the lake from a fresh
+// simulation. All methods are safe for concurrent use, including
+// queries racing a rebuild: readers resolve one immutable state
+// snapshot per call and rebuilds swap the snapshot atomically.
+type Lake struct {
+	dir   string
+	scope string
+
+	mu sync.RWMutex
+	st *lakeState
+
+	buildMu sync.Mutex // serializes Build; readers never wait on it
+
+	decodes     atomic.Uint64
+	quarantines atomic.Uint64
+}
+
+// Manifest commits a lake generation: it is written last, so a crash
+// mid-build leaves the previous manifest (or none) and never a manifest
+// naming missing partitions.
+type Manifest struct {
+	Version     int      `json:"version"`
+	Scope       string   `json:"scope"`
+	TraceMonths []string `json:"trace_months"`
+	ChaosMonths []string `json:"chaos_months"`
+	BuiltUnix   int64    `json:"built_unix"`
+}
+
+const manifestVersion = 1
+
+// lakeState is one immutable generation of the lake: the manifest's
+// month lists, the dimensions, and one lazily-decoded cell per
+// partition.
+type lakeState struct {
+	dir         string
+	traceMonths []months.Month
+	chaosMonths []months.Month
+	dims        *Dimensions
+	trace       map[months.Month]*partCell
+	chaos       map[months.Month]*partCell
+}
+
+// partCell decodes its partition exactly once, even under concurrent
+// queries; err is sticky (a quarantined partition stays failed until a
+// rebuild swaps the state).
+type partCell struct {
+	path string
+	once sync.Once
+	tp   *TracePartition
+	cp   *ChaosPartition
+	err  error
+}
+
+// Open attaches to a lake directory, loading the manifest when one
+// exists and its scope matches. A missing, corrupt, or mismatched lake
+// leaves the Lake empty (Ready reports false) rather than failing:
+// Build recreates it.
+func Open(dir, scope string) (*Lake, error) {
+	if dir == "" {
+		return nil, errors.New("facts: empty lake directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("facts: create lake dir: %w", err)
+	}
+	l := &Lake{dir: dir, scope: scope, st: &lakeState{dir: dir}}
+	if st, err := loadState(dir, scope); err == nil && st != nil {
+		l.st = st
+	}
+	return l, nil
+}
+
+// Dir returns the lake directory.
+func (l *Lake) Dir() string { return l.dir }
+
+// Scope returns the world-configuration fingerprint the lake is keyed
+// by.
+func (l *Lake) Scope() string { return l.scope }
+
+// Ready reports whether a committed lake generation is loaded.
+func (l *Lake) Ready() bool {
+	st := l.state()
+	return st.dims != nil
+}
+
+// Decodes returns the number of partition files decoded since Open —
+// the counter the pruning tests assert against: a month-window query
+// must move it by at most the number of in-window partitions, and a
+// warm repeat must not move it at all.
+func (l *Lake) Decodes() uint64 { return l.decodes.Load() }
+
+// Quarantines returns the number of partitions quarantined as corrupt.
+func (l *Lake) Quarantines() uint64 { return l.quarantines.Load() }
+
+func (l *Lake) state() *lakeState {
+	l.mu.RLock()
+	st := l.st
+	l.mu.RUnlock()
+	return st
+}
+
+// Build simulates both campaigns with the fact hook armed, derives the
+// dimensions, and writes a fresh lake generation, replacing whatever
+// was on disk. The world's campaign output is bit-identical with the
+// hook armed, so building the lake and serving experiment requests from
+// the same World cannot disagree. Concurrent Builds serialize; queries
+// keep reading the previous generation until the new one is committed.
+func (l *Lake) Build(ctx context.Context, w *world.World) error {
+	l.buildMu.Lock()
+	defer l.buildMu.Unlock()
+	if w.Config.Scope() != l.scope {
+		return fmt.Errorf("facts: world scope %q does not match lake scope %q", w.Config.Scope(), l.scope)
+	}
+	rec := NewRecorder()
+	w.SetFactSink(rec)
+	tc := w.TraceCampaignCtx(ctx)
+	cc := w.ChaosCampaignCtx(ctx)
+	w.SetFactSink(nil)
+	// Externally ingested campaigns short-circuit simulation, so the
+	// kernel hooks never fire for them; ingest the returned rows
+	// instead (hop counts unknown, recorded as zero).
+	if len(rec.TraceMonths()) == 0 {
+		rec.IngestTrace(tc.Samples())
+	}
+	if len(rec.ChaosMonths()) == 0 {
+		rec.IngestChaos(cc.Results())
+	}
+	dims := BuildDimensions(w)
+	return l.commit(rec, dims)
+}
+
+// commit writes a recorder's partitions, the dimensions, and finally
+// the manifest, then swaps the in-memory state to the new generation.
+func (l *Lake) commit(rec *Recorder, dims *Dimensions) error {
+	trace, chaos := rec.payloads()
+	man := Manifest{
+		Version:   manifestVersion,
+		Scope:     l.scope,
+		BuiltUnix: time.Now().Unix(),
+	}
+	for _, m := range rec.TraceMonths() {
+		man.TraceMonths = append(man.TraceMonths, m.String())
+		if err := writeDurable(l.partPath(KindTrace, m), resultstore.EncodeEntry(trace[m])); err != nil {
+			return err
+		}
+	}
+	for _, m := range rec.ChaosMonths() {
+		man.ChaosMonths = append(man.ChaosMonths, m.String())
+		if err := writeDurable(l.partPath(KindChaos, m), resultstore.EncodeEntry(chaos[m])); err != nil {
+			return err
+		}
+	}
+	dimsDoc, err := json.Marshal(dims)
+	if err != nil {
+		return fmt.Errorf("facts: encode dimensions: %w", err)
+	}
+	if err := writeDurable(filepath.Join(l.dir, "dims.vzr"), resultstore.EncodeEntry(dimsDoc)); err != nil {
+		return err
+	}
+	manDoc, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("facts: encode manifest: %w", err)
+	}
+	if err := writeDurable(filepath.Join(l.dir, "manifest.vzr"), resultstore.EncodeEntry(manDoc)); err != nil {
+		return err
+	}
+	st, err := loadState(l.dir, l.scope)
+	if err != nil {
+		return err
+	}
+	if st == nil {
+		return errors.New("facts: freshly committed lake failed to load")
+	}
+	l.mu.Lock()
+	l.st = st
+	l.mu.Unlock()
+	return nil
+}
+
+// partPath names a partition file: trace-2019-03.vzfp.
+func (l *Lake) partPath(kind byte, m months.Month) string {
+	prefix := "trace"
+	if kind == KindChaos {
+		prefix = "chaos"
+	}
+	return filepath.Join(l.dir, fmt.Sprintf("%s-%s.vzfp", prefix, m))
+}
+
+// loadState reads the manifest and dimensions of a committed lake.
+// Returns (nil, nil) when no lake is committed or the committed one
+// belongs to a different scope; corrupt framing quarantines and reports
+// an error.
+func loadState(dir, scope string) (*lakeState, error) {
+	manRaw, err := readFrame(filepath.Join(dir, "manifest.vzr"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(manRaw, &man); err != nil {
+		return nil, fmt.Errorf("%w: facts manifest undecodable: %v", ErrCorrupt, err)
+	}
+	if man.Version != manifestVersion || man.Scope != scope {
+		return nil, nil
+	}
+	dimsRaw, err := readFrame(filepath.Join(dir, "dims.vzr"))
+	if err != nil {
+		return nil, err
+	}
+	dims := &Dimensions{}
+	if err := json.Unmarshal(dimsRaw, dims); err != nil {
+		return nil, fmt.Errorf("%w: facts dimensions undecodable: %v", ErrCorrupt, err)
+	}
+	dims.index()
+	st := &lakeState{dir: dir, dims: dims,
+		trace: map[months.Month]*partCell{},
+		chaos: map[months.Month]*partCell{}}
+	for _, s := range man.TraceMonths {
+		m, err := months.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: facts manifest month %q: %v", ErrCorrupt, s, err)
+		}
+		st.traceMonths = append(st.traceMonths, m)
+		st.trace[m] = &partCell{path: filepath.Join(dir, fmt.Sprintf("trace-%s.vzfp", m))}
+	}
+	for _, s := range man.ChaosMonths {
+		m, err := months.Parse(s)
+		if err != nil {
+			return nil, fmt.Errorf("%w: facts manifest month %q: %v", ErrCorrupt, s, err)
+		}
+		st.chaosMonths = append(st.chaosMonths, m)
+		st.chaos[m] = &partCell{path: filepath.Join(dir, fmt.Sprintf("chaos-%s.vzfp", m))}
+	}
+	sort.Slice(st.traceMonths, func(i, j int) bool { return st.traceMonths[i] < st.traceMonths[j] })
+	sort.Slice(st.chaosMonths, func(i, j int) bool { return st.chaosMonths[i] < st.chaosMonths[j] })
+	return st, nil
+}
+
+// readFrame reads and validates one VZRS-framed file via the mmap
+// reader, returning a copy of the payload (the mapping is released
+// before returning).
+func readFrame(path string) ([]byte, error) {
+	mp, err := resultstore.OpenMapped(path)
+	if err != nil {
+		return nil, err
+	}
+	defer mp.Close()
+	out := make([]byte, len(mp.Payload))
+	copy(out, mp.Payload)
+	return out, nil
+}
+
+// Dims returns the dimension tables, or nil when the lake is not
+// ready.
+func (l *Lake) Dims() *Dimensions { return l.state().dims }
+
+// TraceMonths returns the committed trace partition months, ascending.
+func (l *Lake) TraceMonths() []months.Month {
+	return append([]months.Month(nil), l.state().traceMonths...)
+}
+
+// ChaosMonths returns the committed chaos partition months, ascending.
+func (l *Lake) ChaosMonths() []months.Month {
+	return append([]months.Month(nil), l.state().chaosMonths...)
+}
+
+// TracePart returns month m's decoded trace partition, decoding (and
+// caching) it on first touch. Months without a committed partition
+// return (nil, nil) — pruning and absence look the same to callers.
+func (l *Lake) TracePart(m months.Month) (*TracePartition, error) {
+	cell := l.state().trace[m]
+	if cell == nil {
+		return nil, nil
+	}
+	l.decodeCell(cell, KindTrace)
+	return cell.tp, cell.err
+}
+
+// ChaosPart is TracePart for the CHAOS fact table.
+func (l *Lake) ChaosPart(m months.Month) (*ChaosPartition, error) {
+	cell := l.state().chaos[m]
+	if cell == nil {
+		return nil, nil
+	}
+	l.decodeCell(cell, KindChaos)
+	return cell.cp, cell.err
+}
+
+// decodeCell maps, validates, decodes, and unmaps one partition file,
+// exactly once per cell. Corruption — at either the VZRS framing or the
+// VZFC columnar layer — quarantines the file so the next rebuild
+// replaces it, and leaves the cell failed.
+func (l *Lake) decodeCell(cell *partCell, kind byte) {
+	cell.once.Do(func() {
+		l.decodes.Add(1)
+		mp, err := resultstore.OpenMapped(cell.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				// Manifest names it but the file is gone: surface as
+				// corruption (rebuild fixes it) but nothing to quarantine.
+				cell.err = fmt.Errorf("%w: facts partition %s missing", ErrCorrupt, filepath.Base(cell.path))
+				return
+			}
+			cell.err = l.noteCorrupt(cell.path, err)
+			return
+		}
+		defer mp.Close()
+		tp, cp, err := DecodePartition(mp.Payload)
+		if err != nil {
+			cell.err = l.noteCorrupt(cell.path, err)
+			return
+		}
+		switch {
+		case kind == KindTrace && tp != nil:
+			cell.tp = tp
+		case kind == KindChaos && cp != nil:
+			cell.cp = cp
+		default:
+			cell.err = l.noteCorrupt(cell.path, fmt.Errorf("%w: facts partition kind mismatch", ErrCorrupt))
+		}
+	})
+}
+
+// noteCorrupt quarantines a partition that failed validation, mirroring
+// the result store's recovery discipline: move the evidence aside,
+// surface ErrCorrupt, let the next build rewrite it.
+func (l *Lake) noteCorrupt(path string, err error) error {
+	if !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	l.quarantines.Add(1)
+	qdir := filepath.Join(l.dir, "quarantine")
+	if mkErr := os.MkdirAll(qdir, 0o755); mkErr == nil {
+		_ = os.Rename(path, filepath.Join(qdir, filepath.Base(path)+fmt.Sprintf(".%d", time.Now().UnixNano())))
+	}
+	return err
+}
+
+// TraceCampaign reconstructs the full traceroute campaign from the
+// partition files. Rows come back in kernel emission order month by
+// month, so the result is byte-identical to the campaign the lake was
+// built from — the contract the differential test net pins against the
+// golden experiment tables.
+func (l *Lake) TraceCampaign() (*atlas.TraceCampaign, error) {
+	st := l.state()
+	tc := atlas.NewTraceCampaign()
+	for _, m := range st.traceMonths {
+		p, err := l.TracePart(m)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		tc.Grow(p.Rows())
+		for i := 0; i < p.Rows(); i++ {
+			tc.Add(atlas.TraceSample{
+				Month:   p.Month,
+				ProbeID: int(p.ProbeID[i]),
+				ProbeCC: p.Dict[p.CC[i]],
+				RTTms:   p.RTT[i],
+			})
+		}
+	}
+	return tc, nil
+}
+
+// ChaosCampaign reconstructs the full CHAOS campaign; see
+// TraceCampaign.
+func (l *Lake) ChaosCampaign() (*atlas.ChaosCampaign, error) {
+	st := l.state()
+	cc := atlas.NewChaosCampaign()
+	for _, m := range st.chaosMonths {
+		p, err := l.ChaosPart(m)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue
+		}
+		cc.Grow(p.Rows())
+		for i := 0; i < p.Rows(); i++ {
+			cc.Add(atlas.ChaosResult{
+				Month:   p.Month,
+				ProbeID: int(p.ProbeID[i]),
+				ProbeCC: p.Dict[p.CC[i]],
+				Letter:  dnsroot.Letter(p.Letter[i]),
+				TXT:     p.Dict[p.TXT[i]],
+			})
+		}
+	}
+	return cc, nil
+}
+
+// writeDurable writes data with the store's crash-safety protocol:
+// write a temp file, fsync it, rename over the target, fsync the
+// directory.
+func writeDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("facts: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("facts: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("facts: fsync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("facts: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("facts: rename %s: %w", path, err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}

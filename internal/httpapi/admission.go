@@ -40,6 +40,11 @@ func classify(r *http.Request) (overload.Priority, string) {
 		return overload.PriorityCritical, "metrics"
 	case strings.HasPrefix(r.URL.Path, "/api/experiments/"):
 		return overload.PriorityLow, "experiment"
+	case r.URL.Path == "/api/query":
+		// Ad-hoc fact-lake scans are analytical work: cheap once warm,
+		// but a cold-cache burst can decode a decade of partitions, so
+		// they shed with the other heavy computations.
+		return overload.PriorityLow, "query"
 	case strings.HasPrefix(r.URL.Path, "/api/sweeps"):
 		// Sweep endpoints themselves are cheap — expansion and status
 		// serving; the expensive simulations run in background workers

@@ -27,17 +27,20 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vzlens/internal/atlas"
 	"vzlens/internal/cluster"
 	"vzlens/internal/core"
 	"vzlens/internal/dnsplane"
+	"vzlens/internal/facts"
 	"vzlens/internal/geo"
 	"vzlens/internal/ipv6"
 	"vzlens/internal/months"
 	"vzlens/internal/obs"
 	"vzlens/internal/overload"
+	"vzlens/internal/query"
 	"vzlens/internal/resilience"
 	"vzlens/internal/resultstore"
 	"vzlens/internal/scenario"
@@ -80,6 +83,15 @@ type Options struct {
 	// class ("experiment", "api"); classes absent from the map are
 	// unlimited. Exceeding a bucket returns 429 + Retry-After.
 	RateLimits map[string]overload.Rate
+
+	// FactsDir mounts the ad-hoc query layer: campaign probe-month
+	// samples persist as a month-partitioned columnar fact lake under
+	// this directory, and GET /api/query serves country × metric ×
+	// month-window aggregations over it with strict partition pruning.
+	// If the directory holds no generation for this world's scope, the
+	// lake builds on Warm (queries 503 with Retry-After meanwhile).
+	// Empty disables the layer. See DESIGN.md §17.
+	FactsDir string
 
 	// Store persists computed experiment tables and campaign results
 	// across restarts: on a cache miss the handler consults the store
@@ -178,6 +190,12 @@ type Handler struct {
 	scenFlights overload.Group[string, []byte]
 
 	sweeps *sweep.Manager // nil without a result store
+
+	lake         *facts.Lake   // nil without Options.FactsDir
+	queryEng     *query.Engine // nil without Options.FactsDir
+	qmet         queryMetrics
+	lakeMu       sync.Mutex  // serializes lake builds
+	lakeBuilding atomic.Bool // a background build is in flight
 
 	cluster       *cluster.Coordinator // non-nil for role "coordinator"
 	clusterWorker *cluster.Worker      // non-nil for role "worker"
@@ -278,6 +296,9 @@ func NewWithOptions(w *world.World, opts Options) *Handler {
 	h.mux.HandleFunc("GET /api/sweeps", h.listSweeps)
 	h.mux.HandleFunc("POST /api/sweeps", h.postSweep)
 	h.mux.HandleFunc("GET /api/sweeps/{id}", h.getSweep)
+	if opts.FactsDir != "" {
+		h.initFacts()
+	}
 	if opts.DNSPlane != nil {
 		opts.DNSPlane.Instrument(h.reg)
 		h.mux.HandleFunc("GET /api/dns", h.dnsStatus)
@@ -346,6 +367,9 @@ func (h *Handler) traceCampaign(ctx context.Context) (*atlas.TraceCampaign, erro
 		if tc, ok := h.storedTrace(); ok {
 			return tc, nil
 		}
+		if tc, ok := h.lakeTrace(); ok {
+			return tc, nil
+		}
 		tc, err := simulate(func() (*atlas.TraceCampaign, error) {
 			if h.opts.TraceCampaign != nil {
 				return h.opts.TraceCampaign()
@@ -367,6 +391,16 @@ func (h *Handler) traceCampaign(ctx context.Context) (*atlas.TraceCampaign, erro
 // at startup to pre-warm without delaying the listener.
 func (h *Handler) Warm() {
 	ctx := context.Background()
+	if h.lake != nil {
+		// The lake builds first, deliberately not concurrently with the
+		// campaign caches: one simulation fills the lake, and the
+		// campaign warms below then reconstruct from its partitions
+		// instead of simulating a second time. A lake reloaded from
+		// disk skips simulation entirely.
+		if err := h.ensureLake(ctx, false); err != nil {
+			log.Printf("httpapi: warm fact lake: %v", err)
+		}
+	}
 	var wg sync.WaitGroup
 	wg.Add(2)
 	go func() { defer wg.Done(); _, _ = h.traceCampaign(ctx) }()
@@ -377,6 +411,9 @@ func (h *Handler) Warm() {
 func (h *Handler) chaosCampaign(ctx context.Context) (*atlas.ChaosCampaign, error) {
 	return h.chaos.Get(func() (*atlas.ChaosCampaign, error) {
 		if cc, ok := h.storedChaos(); ok {
+			return cc, nil
+		}
+		if cc, ok := h.lakeChaos(); ok {
 			return cc, nil
 		}
 		cc, err := simulate(func() (*atlas.ChaosCampaign, error) {
@@ -453,6 +490,9 @@ func (h *Handler) ready(w http.ResponseWriter, _ *http.Request) {
 			"trace": h.trace.Ready(),
 			"chaos": h.chaos.Ready(),
 		},
+	}
+	if h.lake != nil {
+		doc.Campaigns["facts"] = h.lake.Ready()
 	}
 	if h.gate != nil {
 		stats := h.gate.Stats()

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"log"
 
 	"vzlens/internal/atlas"
@@ -32,12 +31,10 @@ func (h *Handler) storeKey(kind, id string) string {
 // store key. The cluster tier reuses it verbatim so that a
 // coordinator and its workers — built from the same flags — agree on
 // frame keys, and differently-configured nodes can never exchange
-// frames.
+// frames. The fact lake's manifest records the same scope, so the
+// format lives on world.Config where both layers reach it.
 func (h *Handler) configScope() string {
-	c := h.w.Config
-	return fmt.Sprintf("seed%d-step%d-tr%s-%s-ch%s-%s-spp%d-pol%d-fs%g",
-		c.Seed, c.Step, c.TraceStart, c.TraceEnd,
-		c.ChaosStart, c.ChaosEnd, c.SamplesPerProbe, c.Policy, c.FleetScale)
+	return h.w.Config.Scope()
 }
 
 // storedTable loads a previously computed experiment table.

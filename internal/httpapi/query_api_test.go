@@ -1,0 +1,198 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vzlens/internal/months"
+	"vzlens/internal/query"
+	"vzlens/internal/scenario"
+	"vzlens/internal/world"
+)
+
+// queryTestConfig keeps /api/query integration tests to a handful of
+// partitions.
+func queryTestConfig() world.Config {
+	return world.Config{
+		TraceStart: months.New(2018, time.January),
+		TraceEnd:   months.New(2019, time.January),
+		ChaosStart: months.New(2018, time.January),
+		ChaosEnd:   months.New(2019, time.January),
+		Step:       6,
+	}
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	w := mustBuild(queryTestConfig())
+	h := NewWithOptions(w, Options{FactsDir: t.TempDir()})
+
+	// Before the lake builds: 503 with Retry-After, never a 500.
+	rec := getFrom(t, h, "/api/query?metric=median_rtt&from=2018-01&to=2019-01")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("cold lake status = %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("cold-lake 503 missing Retry-After")
+	}
+	// Readiness reports the lake axis alongside the campaign caches.
+	var ready struct {
+		Campaigns map[string]bool `json:"campaigns"`
+	}
+	if err := json.Unmarshal(getFrom(t, h, "/readyz").Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := ready.Campaigns["facts"]; !ok || v {
+		t.Errorf("readyz facts = %v, %v; want present and false", v, ok)
+	}
+
+	// Warm builds the lake; the same URL flips to 200.
+	h.Warm()
+	rec = getFrom(t, h, "/api/query?metric=median_rtt&from=2018-01&to=2019-01&country=VE")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("warm status = %d; body %s", rec.Code, rec.Body.String())
+	}
+	var res query.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Metric != "median_rtt" || res.Partitions == 0 || len(res.Groups) != 1 || res.Groups[0].Key != "VE" {
+		t.Errorf("unexpected result: %+v", res)
+	}
+	if err := json.Unmarshal(getFrom(t, h, "/readyz").Body.Bytes(), &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Campaigns["facts"] {
+		t.Error("readyz facts still false after Warm")
+	}
+
+	// Bad parameters: 400 with the reason in the body.
+	rec = getFrom(t, h, "/api/query?metric=median_rtt&from=2018-01&to=2019-01&percentile=200")
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "percentile") {
+		t.Errorf("bad params: status %d body %s", rec.Code, rec.Body.String())
+	}
+	rec = getFrom(t, h, "/api/query?metric=median_rtt&from=2018-01&to=2019-01&typo=1")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown key: status %d", rec.Code)
+	}
+
+	// The query surface is observable: plan counter and lake gauges.
+	metrics := getFrom(t, h, "/metrics").Body.String()
+	for _, want := range []string{"vz_query_plans_total", "vz_query_bad_params_total", "vz_facts_ready 1", "vz_query_partitions_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %s", want)
+		}
+	}
+}
+
+// TestLakeJoinedBaselineByteIdentical is the fact-join equivalence
+// contract: a scenario diff whose baseline campaigns were reconstructed
+// from the fact lake serializes byte-identically to one whose baseline
+// was freshly simulated. The kernels' emission contract (probes
+// ascending, samples contiguous, months concatenated in order) is what
+// makes lake reconstruction exact, so experiments, scenario diffs, and
+// sweeps can all join against the lake instead of re-simulating.
+func TestLakeJoinedBaselineByteIdentical(t *testing.T) {
+	cfg := queryTestConfig()
+	spec := cannedSpec(t, "cantv-depeer")
+
+	sim := NewWithOptions(mustBuild(cfg), Options{Scenarios: []*scenario.Spec{spec}})
+	rec := getFrom(t, sim, "/api/scenarios/cantv-depeer/diff")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulated diff: %d %s", rec.Code, rec.Body.String())
+	}
+	simulated := rec.Body.String()
+
+	joined := NewWithOptions(mustBuild(cfg), Options{
+		FactsDir:  t.TempDir(),
+		Scenarios: []*scenario.Spec{spec},
+	})
+	joined.Warm() // builds the lake; campaign caches reconstruct from it
+	if tc, ok := joined.lakeTrace(); !ok || tc == nil {
+		t.Fatal("lake-backed trace reconstruction unavailable after Warm")
+	}
+	rec = getFrom(t, joined, "/api/scenarios/cantv-depeer/diff")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lake-joined diff: %d %s", rec.Code, rec.Body.String())
+	}
+	if rec.Body.String() != simulated {
+		t.Fatalf("lake-joined diff diverges from simulated baseline:\n lake: %s\n sim:  %s",
+			rec.Body.String(), simulated)
+	}
+}
+
+// TestQueryQuarantineHeals corrupts a partition on disk, reopens the
+// lake cold, and proves the full heal cycle: the first query answers
+// 503 (the partition quarantines), the 503 forces a background rebuild
+// even though the lake's generation is still committed (Ready alone
+// must not short-circuit it — that was a real bug: the 503 looped
+// forever), and the same query flips to 200.
+func TestQueryQuarantineHeals(t *testing.T) {
+	w := mustBuild(queryTestConfig())
+	dir := t.TempDir()
+	h1 := NewWithOptions(w, Options{FactsDir: dir})
+	h1.Warm()
+
+	part := filepath.Join(dir, "trace-"+h1.Lake().TraceMonths()[1].String()+".vzfp")
+	raw, err := os.ReadFile(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	if err := os.WriteFile(part, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := NewWithOptions(w, Options{FactsDir: dir})
+	url := "/api/query?metric=median_rtt&from=2018-01&to=2019-01&country=VE"
+	rec := getFrom(t, h2, url)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("corrupt partition: status %d, want 503; body %s", rec.Code, rec.Body.String())
+	}
+	if h2.Lake().Quarantines() == 0 {
+		t.Error("corrupt partition was not quarantined")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rec = getFrom(t, h2, url)
+		if rec.Code == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("query never healed: last status %d body %s", rec.Code, rec.Body.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestQueryLakeReload proves a second handler over the same facts
+// directory serves queries without rebuilding (the manifest reloads).
+func TestQueryLakeReload(t *testing.T) {
+	w := mustBuild(queryTestConfig())
+	dir := t.TempDir()
+	h1 := NewWithOptions(w, Options{FactsDir: dir})
+	h1.Warm()
+	if !h1.Lake().Ready() {
+		t.Fatal("lake not ready after Warm")
+	}
+
+	h2 := NewWithOptions(w, Options{FactsDir: dir})
+	if !h2.Lake().Ready() {
+		t.Fatal("reloaded lake not ready")
+	}
+	rec := getFrom(t, h2, "/api/query?metric=catchment_share&from=2018-01&to=2019-01&group_by=letter")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reloaded query status = %d; body %s", rec.Code, rec.Body.String())
+	}
+	var res query.Result
+	if err := json.Unmarshal(rec.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 13 {
+		t.Errorf("letter groups = %d, want 13", len(res.Groups))
+	}
+}

@@ -181,6 +181,16 @@ func (r *Resolver) CatchmentIndex(srcAS bgp.ASN, srcCity geo.City, sites []Site,
 // every probe-month, and the cached distance feeds the exact arithmetic
 // the direct path uses, so results are bit-identical.
 func (r *Resolver) CatchmentIndexCached(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy, pc *PairCache) (int, float64, error) {
+	idx, lat, _, err := r.CatchmentInfoCached(srcAS, srcCity, sites, policy, pc)
+	return idx, lat, err
+}
+
+// CatchmentInfoCached is CatchmentIndexCached additionally reporting
+// the AS-path hop count of the selected site (1 when the source AS
+// hosts it). The selection arithmetic is shared, so the index and
+// latency are bit-identical to CatchmentIndexCached — the hop count is
+// a free by-product the fact-emission path records per probe class.
+func (r *Resolver) CatchmentInfoCached(srcAS bgp.ASN, srcCity geo.City, sites []Site, policy CatchmentPolicy, pc *PairCache) (int, float64, int, error) {
 	var best catchCand
 	found := false
 	asCity, asCityOK := r.topo.Location(srcAS)
@@ -216,7 +226,7 @@ func (r *Resolver) CatchmentIndexCached(srcAS bgp.ASN, srcCity geo.City, sites [
 		}
 	}
 	if !found {
-		return 0, 0, ErrUnreachable
+		return 0, 0, 0, ErrUnreachable
 	}
-	return best.index, best.latency, nil
+	return best.index, best.latency, best.hops, nil
 }

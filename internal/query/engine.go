@@ -1,0 +1,318 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"vzlens/internal/facts"
+	"vzlens/internal/months"
+	"vzlens/internal/stats"
+)
+
+// ErrNotReady reports a query against a lake with no committed
+// generation; the HTTP layer maps it onto 503 and triggers a build.
+var ErrNotReady = errors.New("query: fact lake not built")
+
+// Engine executes validated query plans over a fact lake.
+type Engine struct {
+	lake *facts.Lake
+}
+
+// New returns an Engine over lake.
+func New(lake *facts.Lake) *Engine { return &Engine{lake: lake} }
+
+// Result is the JSON document GET /api/query serves.
+type Result struct {
+	Metric     string  `json:"metric"`
+	From       string  `json:"from"`
+	To         string  `json:"to"`
+	Percentile float64 `json:"percentile,omitempty"`
+	GroupBy    string  `json:"group_by"`
+	Country    string  `json:"country,omitempty"`
+	Letter     string  `json:"letter,omitempty"`
+	// Partitions is how many in-window partitions the query consulted —
+	// also an upper bound on how many it could possibly have decoded,
+	// which is what the pruning tests assert with the lake's decode
+	// counter.
+	Partitions int     `json:"partitions"`
+	Groups     []Group `json:"groups"`
+}
+
+// Group is one group-by key's monthly series.
+type Group struct {
+	Key    string  `json:"key"`
+	Points []Point `json:"points"`
+}
+
+// Point is one month's aggregate for one group.
+type Point struct {
+	Month string  `json:"month"`
+	Value float64 `json:"value"`
+	// N is the population behind Value: probes for the trace metrics,
+	// answers for catchment share.
+	N int `json:"n"`
+}
+
+// Run executes p. Only partitions whose month falls inside [From, To]
+// are touched; everything else is pruned by construction.
+func (e *Engine) Run(p Params) (*Result, error) {
+	if !e.lake.Ready() {
+		return nil, ErrNotReady
+	}
+	res := &Result{
+		Metric:  p.Metric,
+		From:    p.From.String(),
+		To:      p.To.String(),
+		GroupBy: p.GroupBy,
+		Country: p.Country,
+	}
+	if p.Metric == MetricMedianRTT || p.Metric == MetricHopCount {
+		res.Percentile = p.Percentile
+	}
+	if p.Letter != 0 {
+		res.Letter = string(rune(p.Letter))
+	}
+	agg := newAggregator(p)
+	var err error
+	switch p.Metric {
+	case MetricCatchmentShare:
+		err = e.runChaos(p, agg, res)
+	default:
+		err = e.runTrace(p, agg, res)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Groups = agg.finish()
+	return res, nil
+}
+
+// aggregator accumulates per-group monthly series in first-appearance
+// order, sorted by key at finish.
+type aggregator struct {
+	byKey map[string]*Group
+	order []*Group
+	// vals buffers one month's per-probe minimums per group for the
+	// percentile metrics; drained (and reused) every month.
+	vals map[string][]float64
+}
+
+func newAggregator(Params) *aggregator {
+	return &aggregator{byKey: map[string]*Group{}, vals: map[string][]float64{}}
+}
+
+func (a *aggregator) group(key string) *Group {
+	g, ok := a.byKey[key]
+	if !ok {
+		g = &Group{Key: key}
+		a.byKey[key] = g
+		a.order = append(a.order, g)
+	}
+	return g
+}
+
+func (a *aggregator) point(key string, m months.Month, value float64, n int) {
+	g := a.group(key)
+	g.Points = append(g.Points, Point{Month: m.String(), Value: value, N: n})
+}
+
+func (a *aggregator) finish() []Group {
+	sort.Slice(a.order, func(i, j int) bool { return a.order[i].Key < a.order[j].Key })
+	out := make([]Group, 0, len(a.order))
+	for _, g := range a.order {
+		if len(g.Points) > 0 {
+			out = append(out, *g)
+		}
+	}
+	return out
+}
+
+// runTrace executes the traceroute-backed metrics. Rows arrive in
+// probe order with each probe's samples contiguous (the kernel's
+// emission contract), so per-probe aggregation is a run-length scan —
+// no per-probe maps.
+func (e *Engine) runTrace(p Params, agg *aggregator, res *Result) error {
+	dims := e.lake.Dims()
+	for _, m := range e.lake.TraceMonths() {
+		if m.Before(p.From) || m.After(p.To) {
+			continue
+		}
+		part, err := e.lake.TracePart(m)
+		if err != nil {
+			return fmt.Errorf("partition %s: %w", m, err)
+		}
+		if part == nil {
+			continue
+		}
+		res.Partitions++
+		// filterCode is the dictionary code of the country filter in
+		// this partition, or -1 when the filter matches no rows.
+		filterCode := -1
+		if p.Country == "" {
+			filterCode = -2 // no filter
+		} else {
+			for c, s := range part.Dict {
+				if s == p.Country {
+					filterCode = c
+					break
+				}
+			}
+		}
+		rows := part.Rows()
+		for i := 0; i < rows; {
+			probe := part.ProbeID[i]
+			cc := part.CC[i]
+			minRTT := part.RTT[i]
+			minHops := part.Hops[i]
+			j := i + 1
+			for ; j < rows && part.ProbeID[j] == probe; j++ {
+				if part.RTT[j] < minRTT {
+					minRTT = part.RTT[j]
+				}
+				if part.Hops[j] < minHops {
+					minHops = part.Hops[j]
+				}
+			}
+			i = j
+			if filterCode != -2 && int(cc) != filterCode {
+				continue
+			}
+			key := traceGroupKey(p.GroupBy, part.Dict[cc], probe, dims)
+			switch p.Metric {
+			case MetricMedianRTT:
+				agg.vals[key] = append(agg.vals[key], minRTT)
+			case MetricHopCount:
+				agg.vals[key] = append(agg.vals[key], float64(minHops))
+			case MetricReachability:
+				agg.vals[key] = append(agg.vals[key], 1)
+			}
+			agg.group(key) // preserve first-appearance discovery
+		}
+		e.flushTraceMonth(p, agg, m, dims)
+	}
+	return nil
+}
+
+// traceGroupKey resolves one probe run's group key.
+func traceGroupKey(groupBy, cc string, probe int32, dims *facts.Dimensions) string {
+	switch groupBy {
+	case GroupASN:
+		asn, _ := dims.ProbeASN(probe)
+		return "AS" + strconv.FormatUint(uint64(asn), 10)
+	case GroupNone:
+		return "all"
+	default:
+		return cc
+	}
+}
+
+// flushTraceMonth turns the month's buffered per-probe values into one
+// point per group and resets the buffers.
+func (e *Engine) flushTraceMonth(p Params, agg *aggregator, m months.Month, dims *facts.Dimensions) {
+	for key, vals := range agg.vals {
+		if len(vals) == 0 {
+			continue
+		}
+		switch p.Metric {
+		case MetricReachability:
+			denom := reachDenominator(p, key, m, dims)
+			if denom > 0 {
+				agg.point(key, m, float64(len(vals))/float64(denom), len(vals))
+			}
+		default:
+			v, err := stats.Percentile(vals, p.Percentile)
+			if err == nil {
+				agg.point(key, m, v, len(vals))
+			}
+		}
+		agg.vals[key] = vals[:0]
+	}
+}
+
+// reachDenominator is the reachability metric's denominator: probes
+// whose SCD2 membership window covers m, within the group and any
+// country filter.
+func reachDenominator(p Params, key string, m months.Month, dims *facts.Dimensions) int {
+	cc, asn := p.Country, uint64(0)
+	switch p.GroupBy {
+	case GroupCountry:
+		cc = key
+	case GroupASN:
+		asn, _ = strconv.ParseUint(key[2:], 10, 32)
+	}
+	return dims.ActiveProbes(m, cc, uint32(asn))
+}
+
+// runChaos executes catchment_share: the domestic fraction of CHAOS
+// answers — site country equal to probe country, a single dictionary
+// code comparison per row.
+func (e *Engine) runChaos(p Params, agg *aggregator, res *Result) error {
+	dims := e.lake.Dims()
+	type cell struct{ domestic, total int }
+	counts := map[string]*cell{}
+	for _, m := range e.lake.ChaosMonths() {
+		if m.Before(p.From) || m.After(p.To) {
+			continue
+		}
+		part, err := e.lake.ChaosPart(m)
+		if err != nil {
+			return fmt.Errorf("partition %s: %w", m, err)
+		}
+		if part == nil {
+			continue
+		}
+		res.Partitions++
+		filterCode := -1
+		if p.Country == "" {
+			filterCode = -2
+		} else {
+			for c, s := range part.Dict {
+				if s == p.Country {
+					filterCode = c
+					break
+				}
+			}
+		}
+		rows := part.Rows()
+		for i := 0; i < rows; i++ {
+			if p.Letter != 0 && part.Letter[i] != p.Letter {
+				continue
+			}
+			cc := part.CC[i]
+			if filterCode != -2 && int(cc) != filterCode {
+				continue
+			}
+			var key string
+			switch p.GroupBy {
+			case GroupASN:
+				asn, _ := dims.ProbeASN(part.ProbeID[i])
+				key = "AS" + strconv.FormatUint(uint64(asn), 10)
+			case GroupLetter:
+				key = string(rune(part.Letter[i]))
+			case GroupNone:
+				key = "all"
+			default:
+				key = part.Dict[cc]
+			}
+			c, ok := counts[key]
+			if !ok {
+				c = &cell{}
+				counts[key] = c
+				agg.group(key)
+			}
+			c.total++
+			if part.SiteCC[i] != facts.DictNone && part.SiteCC[i] == cc {
+				c.domestic++
+			}
+		}
+		for key, c := range counts {
+			if c.total > 0 {
+				agg.point(key, m, float64(c.domestic)/float64(c.total), c.total)
+			}
+			c.domestic, c.total = 0, 0
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package query
+
+import (
+	"errors"
+	"net/url"
+	"testing"
+)
+
+// FuzzQueryParams feeds raw query strings through the URL→plan
+// compiler: it must never panic, and every reject must wrap
+// ErrBadParams (the HTTP layer's 400 contract). Accepted plans must be
+// internally consistent.
+func FuzzQueryParams(f *testing.F) {
+	f.Add("metric=median_rtt&from=2018-01&to=2019-10")
+	f.Add("metric=hop_count&from=2018-01&to=2018-01&percentile=95&group_by=asn&country=VE")
+	f.Add("metric=catchment_share&from=2013-06&to=2023-06&group_by=letter&letter=K")
+	f.Add("metric=reachability&from=2019-01&to=2018-01")
+	f.Add("metric=median_rtt&from=2018-1&to=2018-02")
+	f.Add("metric=&from=&to=&percentile=&group_by=&country=&letter=")
+	f.Add("a=b&a=c")
+	f.Add("%zz")
+	f.Fuzz(func(t *testing.T, raw string) {
+		q, err := url.ParseQuery(raw)
+		if err != nil {
+			return
+		}
+		p, err := ParseParams(q)
+		if err != nil {
+			if !errors.Is(err, ErrBadParams) {
+				t.Fatalf("ParseParams(%q) error %v does not wrap ErrBadParams", raw, err)
+			}
+			return
+		}
+		if p.To.Before(p.From) {
+			t.Fatalf("accepted inverted window: %+v", p)
+		}
+		switch p.Metric {
+		case MetricMedianRTT, MetricHopCount:
+			if p.Percentile <= 0 || p.Percentile > 100 {
+				t.Fatalf("accepted percentile out of range: %+v", p)
+			}
+			if p.Letter != 0 {
+				t.Fatalf("accepted letter filter on trace metric: %+v", p)
+			}
+		case MetricReachability:
+			if p.Letter != 0 || p.GroupBy == GroupLetter {
+				t.Fatalf("accepted letter semantics on reachability: %+v", p)
+			}
+		case MetricCatchmentShare:
+		default:
+			t.Fatalf("accepted unknown metric: %+v", p)
+		}
+		if p.Country != "" && (len(p.Country) != 2 || !isUpperAlpha(p.Country)) {
+			t.Fatalf("accepted malformed country: %+v", p)
+		}
+	})
+}

@@ -1,0 +1,157 @@
+// Package query is the ad-hoc analytical layer over the fact lake: it
+// compiles GET /api/query parameters into an execution plan over
+// month-partitioned columnar facts and runs it with strict partition
+// pruning — partitions outside the requested month window are never
+// decoded. The engine reproduces the estimators the paper's experiment
+// tables use (per-probe minimum, then a percentile across probes), so a
+// query over the lake and a table computed from the campaigns can never
+// disagree.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+
+	"vzlens/internal/months"
+)
+
+// Metrics the engine serves. median_rtt and hop_count aggregate the
+// traceroute fact table (per-probe minimum per month, then the
+// requested percentile across probes); reachability divides probes with
+// samples by the probe dimension's active count; catchment_share is the
+// domestic fraction of CHAOS answers (site country == probe country).
+const (
+	MetricMedianRTT      = "median_rtt"
+	MetricHopCount       = "hop_count"
+	MetricReachability   = "reachability"
+	MetricCatchmentShare = "catchment_share"
+)
+
+// Group-by axes. Letter grouping only makes sense for CHAOS-backed
+// metrics (a traceroute sample has no root letter).
+const (
+	GroupCountry = "country"
+	GroupASN     = "asn"
+	GroupLetter  = "letter"
+	GroupNone    = "none"
+)
+
+// ErrBadParams tags every parameter validation failure; the HTTP layer
+// maps it onto 400.
+var ErrBadParams = errors.New("query: bad parameters")
+
+// Params is a validated query plan: metric × month window × percentile
+// × group-by, plus optional probe-country and root-letter filters.
+type Params struct {
+	Metric     string
+	From, To   months.Month
+	Percentile float64 // percentile across probes, median_rtt/hop_count only
+	GroupBy    string
+	Country    string // optional probe-country filter ("VE")
+	Letter     byte   // optional root-letter filter, catchment_share only; 0 = all
+}
+
+// knownKeys is the full parameter surface; anything else is a client
+// error, so typos fail loudly instead of silently scanning a decade.
+var knownKeys = map[string]bool{
+	"metric": true, "from": true, "to": true,
+	"percentile": true, "group_by": true, "country": true, "letter": true,
+}
+
+// ParseParams validates raw URL parameters into a Params. Every reject
+// wraps ErrBadParams. from and to are mandatory: a fact-lake query
+// always carries a time window, which is what makes partition pruning
+// structural rather than best-effort.
+func ParseParams(q url.Values) (Params, error) {
+	var p Params
+	for key, vals := range q {
+		if !knownKeys[key] {
+			return p, fmt.Errorf("%w: unknown parameter %q", ErrBadParams, key)
+		}
+		if len(vals) != 1 {
+			return p, fmt.Errorf("%w: parameter %q repeated", ErrBadParams, key)
+		}
+	}
+	p.Metric = q.Get("metric")
+	switch p.Metric {
+	case MetricMedianRTT, MetricHopCount, MetricReachability, MetricCatchmentShare:
+	case "":
+		return p, fmt.Errorf("%w: metric is required", ErrBadParams)
+	default:
+		return p, fmt.Errorf("%w: unknown metric %q", ErrBadParams, p.Metric)
+	}
+	var err error
+	if p.From, err = parseMonth(q, "from"); err != nil {
+		return p, err
+	}
+	if p.To, err = parseMonth(q, "to"); err != nil {
+		return p, err
+	}
+	if p.To.Before(p.From) {
+		return p, fmt.Errorf("%w: window inverted (%s after %s)", ErrBadParams, p.From, p.To)
+	}
+	p.Percentile = 50
+	if raw := q.Get("percentile"); raw != "" {
+		if p.Metric != MetricMedianRTT && p.Metric != MetricHopCount {
+			return p, fmt.Errorf("%w: percentile applies only to %s and %s", ErrBadParams, MetricMedianRTT, MetricHopCount)
+		}
+		v, err := strconv.ParseFloat(raw, 64)
+		// The positive form rejects NaN, which fails both inequality
+		// comparisons in the negated one.
+		if err != nil || !(v > 0 && v <= 100) {
+			return p, fmt.Errorf("%w: percentile %q not in (0, 100]", ErrBadParams, raw)
+		}
+		p.Percentile = v
+	}
+	p.GroupBy = q.Get("group_by")
+	switch p.GroupBy {
+	case "":
+		p.GroupBy = GroupCountry
+	case GroupCountry, GroupASN, GroupNone:
+	case GroupLetter:
+		if p.Metric != MetricCatchmentShare {
+			return p, fmt.Errorf("%w: group_by=letter applies only to %s", ErrBadParams, MetricCatchmentShare)
+		}
+	default:
+		return p, fmt.Errorf("%w: unknown group_by %q", ErrBadParams, p.GroupBy)
+	}
+	if cc := q.Get("country"); cc != "" {
+		if len(cc) != 2 || !isUpperAlpha(cc) {
+			return p, fmt.Errorf("%w: country %q is not a two-letter upper-case code", ErrBadParams, cc)
+		}
+		p.Country = cc
+	}
+	if l := q.Get("letter"); l != "" {
+		if p.Metric != MetricCatchmentShare {
+			return p, fmt.Errorf("%w: letter filter applies only to %s", ErrBadParams, MetricCatchmentShare)
+		}
+		if len(l) != 1 || l[0] < 'A' || l[0] > 'M' {
+			return p, fmt.Errorf("%w: letter %q is not a root letter A-M", ErrBadParams, l)
+		}
+		p.Letter = l[0]
+	}
+	return p, nil
+}
+
+func parseMonth(q url.Values, key string) (months.Month, error) {
+	raw := q.Get(key)
+	if raw == "" {
+		return 0, fmt.Errorf("%w: %s is required (YYYY-MM)", ErrBadParams, key)
+	}
+	m, err := months.Parse(raw)
+	if err != nil || m.String() != raw {
+		return 0, fmt.Errorf("%w: %s %q is not a YYYY-MM month", ErrBadParams, key, raw)
+	}
+	return m, nil
+}
+
+func isUpperAlpha(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 'A' || s[i] > 'Z' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package query
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation-budget pin skips under it because instrumentation inflates
+// AllocsPerRun counts.
+const raceEnabled = true

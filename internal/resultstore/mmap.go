@@ -1,0 +1,76 @@
+package resultstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapped is a VZRS-framed file opened for zero-copy reads: the payload
+// aliases a read-only memory mapping of the file (or, when the mapping
+// fails — empty files, exotic filesystems — a plain heap copy). The
+// frame is fully validated on open, so Payload is trustworthy for the
+// lifetime of the mapping. Close releases the mapping; the payload must
+// not be touched afterwards.
+type Mapped struct {
+	// Payload is the validated frame payload. It aliases the mapping
+	// (or the fallback heap buffer) — treat it as read-only.
+	Payload []byte
+
+	mapping []byte // non-nil when backed by mmap
+}
+
+// OpenMapped memory-maps a VZRS-framed file and validates it, returning
+// the payload without copying it onto the heap. A structurally invalid
+// or checksum-failing file is reported as ErrCorrupt (wrapped), exactly
+// like Store.Get — callers own quarantine policy. The month-partitioned
+// fact lake reads its columnar partitions through this, so decoding a
+// partition costs one CRC pass over the mapping, not a read-and-copy.
+func OpenMapped(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: map %s: %w", path, err)
+	}
+	size := fi.Size()
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("resultstore: map %s: %d bytes exceeds the address space", path, size)
+	}
+	if size > 0 {
+		if data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED); err == nil {
+			payload, derr := DecodeEntry(data)
+			if derr != nil {
+				syscall.Munmap(data)
+				return nil, fmt.Errorf("map %s: %w", path, derr)
+			}
+			return &Mapped{Payload: payload, mapping: data}, nil
+		}
+	}
+	// Fallback: zero-length files cannot be mapped, and some
+	// filesystems refuse mmap outright. A heap read preserves the API.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, derr := DecodeEntry(data)
+	if derr != nil {
+		return nil, fmt.Errorf("map %s: %w", path, derr)
+	}
+	return &Mapped{Payload: payload}, nil
+}
+
+// Close releases the mapping. It is safe to call on the heap-backed
+// fallback and safe to call twice.
+func (m *Mapped) Close() error {
+	if m.mapping == nil {
+		return nil
+	}
+	data := m.mapping
+	m.mapping = nil
+	m.Payload = nil
+	return syscall.Munmap(data)
+}

@@ -26,6 +26,7 @@ type campaignArena struct {
 	idx    []int32   // selected site index per slot
 	oneWay []float64 // one-way latency per slot
 	access []float64 // access delay per slot
+	hops   []uint8   // catchment AS-path length per slot (fact emission)
 }
 
 // newCampaignArena builds an empty arena whose Rand permanently wraps
@@ -41,17 +42,19 @@ func newCampaignArena() *campaignArena {
 // arrays had to grow. Contents are unspecified afterwards; the kernels
 // write every slot they read.
 func (ar *campaignArena) ensure(n int) bool {
-	if cap(ar.ok) >= n && cap(ar.idx) >= n && cap(ar.oneWay) >= n && cap(ar.access) >= n {
+	if cap(ar.ok) >= n && cap(ar.idx) >= n && cap(ar.oneWay) >= n && cap(ar.access) >= n && cap(ar.hops) >= n {
 		ar.ok = ar.ok[:n]
 		ar.idx = ar.idx[:n]
 		ar.oneWay = ar.oneWay[:n]
 		ar.access = ar.access[:n]
+		ar.hops = ar.hops[:n]
 		return false
 	}
 	ar.ok = make([]bool, n)
 	ar.idx = make([]int32, n)
 	ar.oneWay = make([]float64, n)
 	ar.access = make([]float64, n)
+	ar.hops = make([]uint8, n)
 	return true
 }
 

@@ -212,7 +212,7 @@ func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPl
 		} else {
 			local = localizeSitesFor(sites, k.country, k.asn)
 		}
-		_, oneWay, err := resolver.CatchmentIndexCached(k.asn, k.city, local, w.Config.Policy, &ar.pair)
+		_, oneWay, hops, err := resolver.CatchmentInfoCached(k.asn, k.city, local, w.Config.Policy, &ar.pair)
 		if err != nil {
 			ar.ok[c] = false
 			continue
@@ -220,6 +220,7 @@ func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPl
 		ar.ok[c] = true
 		ar.oneWay[c] = oneWay
 		ar.access[c] = AccessDelayMs(k.country, m)
+		ar.hops[c] = clampHops(hops)
 	}
 	reach := 0
 	for i := range mc.probes {
@@ -244,6 +245,22 @@ func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPl
 			})
 		}
 	}
+	if sink := w.armedFactSink(); sink != nil && plan == nil {
+		// One hop-count per sample, expanded from the per-class column.
+		// Emission happens after the RNG loop and reads only what the
+		// kernel already computed, so output stays bit-identical.
+		hops := make([]uint8, 0, len(out))
+		for i := range mc.probes {
+			c := mc.classOf[i]
+			if !ar.ok[c] {
+				continue
+			}
+			for s := 0; s < w.Config.SamplesPerProbe; s++ {
+				hops = append(hops, ar.hops[c])
+			}
+		}
+		sink.TraceMonthFacts(m, out, hops)
+	}
 	if span != nil {
 		span.SetAttr("campaign", "trace")
 		span.SetAttr("month", m.String())
@@ -252,6 +269,18 @@ func (w *World) traceMonth(ctx context.Context, m months.Month, plan *ScenarioPl
 		span.End()
 	}
 	return out
+}
+
+// clampHops saturates an AS-path length into the fact lake's uint8 hop
+// column; real paths are single digits, so 255 marks "off the scale".
+func clampHops(h int) uint8 {
+	if h > 255 {
+		return 255
+	}
+	if h < 0 {
+		return 0
+	}
+	return uint8(h)
 }
 
 // ChaosCampaign simulates the built-in CHAOS TXT measurements toward all
@@ -416,6 +445,9 @@ func (w *World) chaosMonth(ctx context.Context, m months.Month, plan *ScenarioPl
 				TXT:     txt,
 			})
 		}
+	}
+	if sink := w.armedFactSink(); sink != nil && plan == nil {
+		sink.ChaosMonthFacts(m, out)
 	}
 	if span != nil {
 		span.SetAttr("campaign", "chaos")

@@ -5,6 +5,7 @@
 #
 #   scripts/bench.sh [output.json]
 #   scripts/bench.sh --check [baseline.json]
+#   scripts/bench.sh --compare baseline.json fresh.json
 #
 # With --check, the fresh run is compared against the committed baseline
 # (default BENCH_campaigns.json) instead of overwriting it: any benchmark
@@ -12,12 +13,19 @@
 # or whose allocs/op regressed by more than BENCH_ALLOC_TOLERANCE percent
 # (default 10 — allocation counts are deterministic, so the gate is much
 # tighter than the timing one) fails the script with a per-benchmark
-# report. Benchmarks missing from either side are reported but never fail
-# the check, so adding or retiring a benchmark does not break CI.
+# report. Only benchmarks present in BOTH sweeps are gated: a benchmark
+# missing from either side is reported (NEW / GONE) but never fails the
+# check, so adding or retiring a benchmark does not break CI. A baseline
+# of 0 allocs/op is a hard pin — any allocation at all fails it (a
+# percentage gate is meaningless against zero).
+#
+# With --compare, no benchmarks run: the two named JSON files are
+# compared with exactly the --check rules. This is the hook the
+# regression test drives the comparator through.
 #
 # Environment:
 #   BENCH_PATTERN          benchmarks to run (default: the campaign +
-#                          columnar-kernel + BFS set)
+#                          columnar-kernel + BFS + fact-lake set)
 #   BENCH_TIME             -benchtime value (default: 1x — one timed
 #                          iteration per benchmark keeps the sweep fast;
 #                          raise for stable numbers, e.g. BENCH_TIME=3x)
@@ -29,18 +37,106 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-check=0
-if [[ "${1:-}" == "--check" ]]; then
-    check=1
-    shift
-fi
-
-pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignWarm|ChaosCampaignWarm|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay|DNSQuery}"
-benchtime="${BENCH_TIME:-1x}"
 tolerance="${BENCH_TOLERANCE:-25}"
 alloc_tolerance="${BENCH_ALLOC_TOLERANCE:-10}"
 
-if [[ "$check" == 1 ]]; then
+# compare BASELINE FRESH — the --check/--compare comparator. Files are
+# told apart by name, not input order, so an empty (or header-only)
+# baseline cannot shift the fresh run into the baseline's role.
+compare() {
+    local baseline="$1" fresh="$2"
+    awk -v tol="$tolerance" -v atol="$alloc_tolerance" -v basefile="$baseline" '
+    function extract(line, key,   rest) {
+        if (index(line, "\"" key "\":") == 0) return ""
+        rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
+        gsub(/^[ ]*/, "", rest)
+        sub(/[,}].*$/, "", rest)
+        gsub(/"/, "", rest)
+        return rest
+    }
+    /"name"/ {
+        name = extract($0, "name")
+        if (FILENAME == basefile) {
+            base_ns[name]     = extract($0, "ns_per_op")
+            base_allocs[name] = extract($0, "allocs_per_op")
+            in_base[name] = 1
+        } else {
+            cur_ns[name]     = extract($0, "ns_per_op")
+            cur_allocs[name] = extract($0, "allocs_per_op")
+            in_cur[name] = 1
+        }
+    }
+    END {
+        failed = 0
+        gated = 0
+        for (name in in_cur) {
+            if (!(name in in_base)) {
+                printf "  NEW   %s (no baseline, skipped)\n", name
+                continue
+            }
+            gated++
+            verdict = "ok"
+            detail = ""
+            if (base_ns[name] + 0 > 0) {
+                pct = (cur_ns[name] - base_ns[name]) * 100.0 / base_ns[name]
+                detail = sprintf("ns/op %s -> %s (%+.1f%%)", base_ns[name], cur_ns[name], pct)
+                if (pct > tol) verdict = "FAIL"
+            }
+            if (base_allocs[name] != "" && cur_allocs[name] != "") {
+                if (base_allocs[name] + 0 == 0) {
+                    # A zero-alloc baseline is a pin, not a percentage:
+                    # the first allocation is a regression the ratio
+                    # gate cannot see.
+                    detail = detail sprintf(", allocs/op %s -> %s", base_allocs[name], cur_allocs[name])
+                    if (cur_allocs[name] + 0 > 0) verdict = "FAIL"
+                } else {
+                    apct = (cur_allocs[name] - base_allocs[name]) * 100.0 / base_allocs[name]
+                    detail = detail sprintf(", allocs/op %s -> %s (%+.1f%%)", base_allocs[name], cur_allocs[name], apct)
+                    if (apct > atol) verdict = "FAIL"
+                }
+            }
+            printf "  %-5s %s: %s\n", verdict, name, detail
+            if (verdict == "FAIL") failed++
+        }
+        for (name in in_base) {
+            if (!(name in in_cur)) printf "  GONE  %s (in baseline, not in this run)\n", name
+        }
+        if (failed > 0) {
+            printf "bench.sh: %d of %d gated benchmark(s) regressed beyond ns %s%% / allocs %s%%\n", failed, gated, tol, atol
+            exit 1
+        }
+        printf "bench.sh: %d gated benchmark(s), no regression beyond ns %s%% / allocs %s%%\n", gated, tol, atol
+    }' "$baseline" "$fresh"
+}
+
+mode=run
+if [[ "${1:-}" == "--check" ]]; then
+    mode=check
+    shift
+elif [[ "${1:-}" == "--compare" ]]; then
+    mode=compare
+    shift
+fi
+
+if [[ "$mode" == compare ]]; then
+    if [[ $# -ne 2 ]]; then
+        echo "bench.sh --compare: want exactly two JSON files" >&2
+        exit 2
+    fi
+    for f in "$1" "$2"; do
+        if [[ ! -f "$f" ]]; then
+            echo "bench.sh --compare: $f not found" >&2
+            exit 2
+        fi
+    done
+    compare "$1" "$2"
+    exit $?
+fi
+
+pattern="${BENCH_PATTERN:-TraceCampaignFull|ChaosCampaignFull|TraceCampaignWarm|ChaosCampaignWarm|TraceCampaignMonth|ChaosCampaignMonth|ValleyFreeTree|WorldBuild|ScenarioOverlayDense|ScenarioDenseRebuild|SweepResume|SweepWindowedReplay|DNSQuery|FactBuild|QueryWindow}"
+benchtime="${BENCH_TIME:-1x}"
+
+if [[ "$mode" == check ]]; then
     baseline="${1:-BENCH_campaigns.json}"
     out="$(mktemp)"
 else
@@ -84,7 +180,7 @@ END {
 
 echo "wrote $out ($(grep -c '"name"' "$out") benchmarks)"
 
-if [[ "$check" == 0 ]]; then
+if [[ "$mode" == run ]]; then
     exit 0
 fi
 
@@ -93,62 +189,7 @@ if [[ ! -f "$baseline" ]]; then
     exit 2
 fi
 
-# Compare the fresh run against the baseline. The JSON is our own
-# one-benchmark-per-line format, so awk is enough — no extra tooling.
 status=0
-awk -v tol="$tolerance" -v atol="$alloc_tolerance" '
-function extract(line, key,   rest) {
-    if (index(line, "\"" key "\":") == 0) return ""
-    rest = substr(line, index(line, "\"" key "\":") + length(key) + 3)
-    gsub(/^[ ]*/, "", rest)
-    sub(/[,}].*$/, "", rest)
-    gsub(/"/, "", rest)
-    return rest
-}
-FNR == 1 { file++ }
-/"name"/ {
-    name = extract($0, "name")
-    if (file == 1) {
-        base_ns[name]     = extract($0, "ns_per_op")
-        base_allocs[name] = extract($0, "allocs_per_op")
-        in_base[name] = 1
-    } else {
-        cur_ns[name]     = extract($0, "ns_per_op")
-        cur_allocs[name] = extract($0, "allocs_per_op")
-        in_cur[name] = 1
-    }
-}
-END {
-    failed = 0
-    for (name in in_cur) {
-        if (!(name in in_base)) {
-            printf "  NEW   %s (no baseline, skipped)\n", name
-            continue
-        }
-        verdict = "ok"
-        detail = ""
-        if (base_ns[name] + 0 > 0) {
-            pct = (cur_ns[name] - base_ns[name]) * 100.0 / base_ns[name]
-            detail = sprintf("ns/op %s -> %s (%+.1f%%)", base_ns[name], cur_ns[name], pct)
-            if (pct > tol) verdict = "FAIL"
-        }
-        if (base_allocs[name] != "" && base_allocs[name] + 0 > 0) {
-            apct = (cur_allocs[name] - base_allocs[name]) * 100.0 / base_allocs[name]
-            detail = detail sprintf(", allocs/op %s -> %s (%+.1f%%)", base_allocs[name], cur_allocs[name], apct)
-            if (apct > atol) verdict = "FAIL"
-        }
-        printf "  %-5s %s: %s\n", verdict, name, detail
-        if (verdict == "FAIL") failed++
-    }
-    for (name in in_base) {
-        if (!(name in in_cur)) printf "  GONE  %s (in baseline, not in this run)\n", name
-    }
-    if (failed > 0) {
-        printf "bench.sh --check: %d benchmark(s) regressed beyond ns %s%% / allocs %s%%\n", failed, tol, atol
-        exit 1
-    }
-    printf "bench.sh --check: no regression beyond ns %s%% / allocs %s%%\n", tol, atol
-}' "$baseline" "$out" || status=1
-
+compare "$baseline" "$out" || status=1
 rm -f "$out"
 exit "$status"
